@@ -1,0 +1,156 @@
+// Command entropyd runs the full Entropy control loop against a
+// simulated cluster: it generates a cluster and a vjob workload,
+// starts the observe/decide/plan/execute loop with the dynamic
+// consolidation decision module, and streams every cluster-wide
+// context switch plus periodic utilization lines until the workload
+// completes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"cwcs/internal/core"
+	"cwcs/internal/drivers"
+	"cwcs/internal/duration"
+	"cwcs/internal/monitor"
+	"cwcs/internal/sched"
+	"cwcs/internal/sim"
+	"cwcs/internal/vjob"
+	"cwcs/internal/workload"
+
+	"math/rand"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 11, "working nodes")
+	cpu := flag.Int("cpu", 2, "processing units per node")
+	memory := flag.Int("memory", 3584, "MiB per node")
+	njobs := flag.Int("vjobs", 8, "number of vjobs")
+	nvms := flag.Int("vms", 9, "VMs per vjob")
+	interval := flag.Float64("interval", 30, "loop interval (virtual seconds)")
+	timeout := flag.Duration("timeout", 2*time.Second, "optimizer budget per iteration")
+	seed := flag.Int64("seed", 42, "workload seed")
+	horizon := flag.Float64("horizon", 100_000, "simulation cut-off (virtual seconds)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	cfg := vjob.NewConfiguration()
+	for i := 0; i < *nodes; i++ {
+		cfg.AddNode(vjob.NewNode(fmt.Sprintf("node%02d", i), *cpu, *memory))
+	}
+	c := sim.New(cfg, duration.Default())
+
+	jobs := make([]*vjob.VJob, *njobs)
+	for i := range jobs {
+		spec := workload.NewSpec(fmt.Sprintf("vjob%d", i+1),
+			workload.Benchmarks[i%len(workload.Benchmarks)],
+			workload.Classes[1+i%2], *nvms, i, rng)
+		spec.Install(cfg, c)
+		jobs[i] = spec.Job
+		fmt.Printf("submitted %s: %s class %s, %d VMs, %.0f s of work\n",
+			spec.Job.Name, spec.Bench, spec.Size, len(spec.Job.VMs), spec.TotalWork())
+	}
+
+	loop := &core.Loop{
+		Decision:  reaper{inner: sched.Consolidation{}, c: c, jobs: jobs},
+		Optimizer: core.Optimizer{Timeout: *timeout},
+		Interval:  *interval,
+		Queue:     func() []*vjob.VJob { return jobs },
+		Done: func() bool {
+			// Stop once every vjob finished AND its VMs were stopped.
+			for _, j := range jobs {
+				if !c.VJobDone(j) {
+					return false
+				}
+				for _, v := range j.VMs {
+					if cfg.VM(v.Name) != nil {
+						return false
+					}
+				}
+			}
+			return true
+		},
+		OnSwitch: func(r core.SwitchRecord) {
+			fmt.Printf("[t=%7.0f] context switch: cost=%d actions=%d pools=%d duration=%.0fs\n",
+				r.At, r.Cost, r.Actions, r.Pools, r.Duration)
+		},
+	}
+
+	var tick func()
+	tick = func() {
+		s := monitor.Observe(c.Now(), cfg)
+		fmt.Printf("[t=%7.0f] cpu %d/%d (%.0f%%), mem %.1f GiB, VMs run/sleep/wait %d/%d/%d\n",
+			s.T, s.UsedCPU, s.CapCPU, s.CPUPercent(), s.MemGiB(), s.Running, s.Sleeping, s.Waiting)
+		done := true
+		for _, j := range jobs {
+			if !c.VJobDone(j) {
+				done = false
+				break
+			}
+		}
+		if !done {
+			c.Schedule(c.Now()+60, tick)
+		}
+	}
+	tick()
+
+	loop.Start(&drivers.Actuator{C: c})
+	c.Run(*horizon)
+
+	fmt.Printf("\nworkload complete at t=%.0f s (%.1f min); %d context switches, mean duration %.0f s\n",
+		c.Now(), c.Now()/60, len(loop.Records), meanDuration(loop.Records))
+	local, remote := c.TransferCounts()
+	fmt.Printf("actions: %v; transfers: %d local, %d remote\n", c.ActionCounts(), local, remote)
+}
+
+func meanDuration(recs []core.SwitchRecord) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range recs {
+		sum += r.Duration
+	}
+	return sum / float64(len(recs))
+}
+
+// reaper terminates vjobs whose application finished, mirroring the
+// paper's "the application signals Entropy to stop its vjob".
+type reaper struct {
+	inner core.DecisionModule
+	c     *sim.Cluster
+	jobs  []*vjob.VJob
+}
+
+func (r reaper) Decide(cfg *vjob.Configuration, queue []*vjob.VJob) map[string]vjob.State {
+	var live []*vjob.VJob
+	for _, j := range queue {
+		if !r.c.VJobDone(j) {
+			live = append(live, j)
+		}
+	}
+	target := r.inner.Decide(cfg, live)
+	for _, j := range r.jobs {
+		if !r.c.VJobDone(j) {
+			continue
+		}
+		present, allRunning := false, true
+		for _, v := range j.VMs {
+			if cfg.VM(v.Name) == nil {
+				continue
+			}
+			present = true
+			if cfg.StateOf(v.Name) != vjob.Running {
+				allRunning = false
+			}
+		}
+		if present && allRunning {
+			target[j.Name] = vjob.Terminated
+		} else if present {
+			target[j.Name] = vjob.Running
+		}
+	}
+	return target
+}

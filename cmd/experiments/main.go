@@ -1,0 +1,136 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation. Each subcommand prints the rows/series of one
+// table or figure:
+//
+//	experiments fig1              backfilling schematic (FCFS / EASY / EASY+preemption)
+//	experiments table1            action cost model
+//	experiments fig3              action durations vs VM memory
+//	experiments fig10 [-quick]    FFD vs Entropy reconfiguration costs (200 nodes)
+//	experiments fig11 [-quick]    cost & duration of the cluster run's context switches
+//	experiments fig12 [-quick]    allocation diagram under static FCFS
+//	experiments fig13 [-quick]    utilization & completion, Entropy vs FCFS
+//	experiments all  [-quick]     everything above
+//
+// -quick shrinks sample counts, solver budgets and workload durations
+// so the full set completes in seconds; without it the fig10 sweep
+// uses the paper's 30 samples × 40 s budget and runs for hours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cwcs/internal/experiments"
+	"cwcs/internal/sched"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced samples/budgets for a fast run")
+	seed := fs.Int64("seed", 42, "workload seed")
+	csvDir := fs.String("csv", "", "also write <figure>.csv files into this directory")
+	_ = fs.Parse(os.Args[2:])
+
+	switch cmd {
+	case "fig1":
+		fmt.Print(experiments.Fig1())
+	case "table1":
+		fmt.Print(experiments.Table1(1024))
+	case "fig3":
+		rows := experiments.Fig3(512, 1024, 2048)
+		fmt.Print(experiments.Fig3Table(rows))
+		writeCSV(*csvDir, "fig3.csv", experiments.Fig3CSV(rows))
+	case "fig10":
+		rows := experiments.Fig10(fig10Options(*quick, *seed))
+		fmt.Print(experiments.Fig10Table(rows))
+		writeCSV(*csvDir, "fig10.csv", experiments.Fig10CSV(rows))
+	case "fig11":
+		_, ent := clusterRuns(*quick, *seed, false)
+		fmt.Print(experiments.Fig11Table(ent))
+		writeCSV(*csvDir, "fig11.csv", experiments.Fig11CSV(ent))
+	case "fig12":
+		fcfs, _ := clusterRuns(*quick, *seed, true)
+		fmt.Println("Figure 12 — allocation diagram, static FCFS scheduler")
+		fmt.Print(fcfs.Gantt.Render(72))
+	case "fig13":
+		fcfs, ent := clusterRuns(*quick, *seed, false)
+		fmt.Print(experiments.Fig13Table(fcfs, ent))
+		writeCSV(*csvDir, "fig13.csv", experiments.Fig13CSV(fcfs, ent))
+	case "all":
+		fmt.Print(experiments.Fig1())
+		fmt.Println()
+		fmt.Print(experiments.Table1(1024))
+		fmt.Println()
+		fmt.Print(experiments.Fig3Table(experiments.Fig3(512, 1024, 2048)))
+		fmt.Println()
+		fmt.Print(experiments.Fig10Table(experiments.Fig10(fig10Options(*quick, *seed))))
+		fmt.Println()
+		fcfs, ent := clusterRuns(*quick, *seed, false)
+		fmt.Print(experiments.Fig11Table(ent))
+		fmt.Println()
+		fmt.Println("Figure 12 — allocation diagram, static FCFS scheduler")
+		fmt.Print(fcfs.Gantt.Render(72))
+		fmt.Println()
+		fmt.Print(experiments.Fig13Table(fcfs, ent))
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func fig10Options(quick bool, seed int64) experiments.Fig10Options {
+	o := experiments.DefaultFig10Options()
+	o.Seed = seed
+	if quick {
+		o.VMCounts = []int{54, 108, 162, 216}
+		o.Samples = 3
+		o.Timeout = 2 * time.Second
+	}
+	return o
+}
+
+// clusterRuns executes the §5.2 experiment under both decision
+// modules. fcfsOnly skips the Entropy run (for fig12).
+func clusterRuns(quick bool, seed int64, fcfsOnly bool) (fcfs, entropy experiments.ClusterResult) {
+	opts := experiments.DefaultClusterOptions()
+	opts.Seed = seed
+	if quick {
+		opts.WorkScale = 0.5
+		opts.Timeout = time.Second
+	}
+	fopts := opts
+	fopts.PinRunning = true // a static RMS never migrates
+	fcfs = experiments.RunCluster(sched.StaticFCFS{ReserveFullCPU: true}, fopts)
+	if !fcfsOnly {
+		entropy = experiments.RunCluster(sched.Consolidation{}, opts)
+	}
+	return fcfs, entropy
+}
+
+// writeCSV stores content under dir when -csv was given.
+func writeCSV(dir, name, content string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	path := dir + string(os.PathSeparator) + name
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|all> [-quick] [-seed N] [-csv DIR]`)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFig10Options(t *testing.T) {
+	full := fig10Options(false, 7)
+	if full.Samples != 30 || full.Timeout != 40*time.Second {
+		t.Fatalf("full options = %+v, want the paper's 30 samples x 40s", full)
+	}
+	if full.Seed != 7 {
+		t.Fatal("seed not forwarded")
+	}
+	quick := fig10Options(true, 7)
+	if quick.Samples >= full.Samples || quick.Timeout >= full.Timeout {
+		t.Fatal("quick options not reduced")
+	}
+	if len(quick.VMCounts) == 0 || len(quick.VMCounts) >= len(full.VMCounts) {
+		t.Fatalf("quick VM counts = %v", quick.VMCounts)
+	}
+}
+
+func TestClusterRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the reduced cluster experiment")
+	}
+	fcfs, entropy := clusterRuns(true, 42, false)
+	if fcfs.Completion <= 0 || entropy.Completion <= 0 {
+		t.Fatalf("completions = %v / %v", fcfs.Completion, entropy.Completion)
+	}
+	if entropy.Completion >= fcfs.Completion {
+		t.Fatalf("entropy (%v) not faster than fcfs (%v)", entropy.Completion, fcfs.Completion)
+	}
+	// fcfsOnly skips the entropy run.
+	onlyF, none := clusterRuns(true, 42, true)
+	if onlyF.Completion <= 0 {
+		t.Fatal("fcfs-only run missing")
+	}
+	if none.Completion != 0 {
+		t.Fatal("entropy run performed despite fcfsOnly")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	writeCSV(dir, "x.csv", "a,b\n1,2\n")
+	data, err := os.ReadFile(filepath.Join(dir, "x.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n1,2\n" {
+		t.Fatalf("content = %q", data)
+	}
+	// Empty dir is a no-op.
+	writeCSV("", "y.csv", "ignored")
+}

@@ -1,0 +1,197 @@
+// Command planviz loads a cluster description from JSON, computes the
+// reconfiguration the requested vjob states imply, and pretty-prints
+// the optimized plan: the pools, the actions with their local and
+// accumulated costs, and the resulting configuration.
+//
+// Input format (see examples/cluster.json emitted by -example):
+//
+//	{
+//	  "nodes": [{"name": "n1", "cpu": 2, "memory": 4096}, ...],
+//	  "vms": [{"name": "vm1", "vjob": "j1", "cpu": 1, "memory": 1024,
+//	           "state": "running", "node": "n1"}, ...],
+//	  "targets": {"j1": "sleeping", "j2": "running"}
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cwcs/internal/core"
+	"cwcs/internal/vjob"
+)
+
+type clusterSpec struct {
+	Nodes []struct {
+		Name   string `json:"name"`
+		CPU    int    `json:"cpu"`
+		Memory int    `json:"memory"`
+	} `json:"nodes"`
+	VMs []struct {
+		Name   string `json:"name"`
+		VJob   string `json:"vjob"`
+		CPU    int    `json:"cpu"`
+		Memory int    `json:"memory"`
+		State  string `json:"state"`
+		Node   string `json:"node"`
+	} `json:"vms"`
+	Targets map[string]string `json:"targets"`
+	// Rules are optional placement constraints: {"type": "spread" |
+	// "ban" | "fence" | "gather", "vms": [...], "nodes": [...]}.
+	Rules []ruleSpec `json:"rules"`
+}
+
+type ruleSpec struct {
+	Type  string   `json:"type"`
+	VMs   []string `json:"vms"`
+	Nodes []string `json:"nodes"`
+}
+
+func (r ruleSpec) compile() (core.PlacementRule, error) {
+	switch r.Type {
+	case "spread":
+		return core.Spread{VMs: r.VMs}, nil
+	case "ban":
+		return core.Ban{VMs: r.VMs, Nodes: r.Nodes}, nil
+	case "fence":
+		return core.Fence{VMs: r.VMs, Nodes: r.Nodes}, nil
+	case "gather":
+		return core.Gather{VMs: r.VMs}, nil
+	default:
+		return nil, fmt.Errorf("unknown rule type %q", r.Type)
+	}
+}
+
+const exampleSpec = `{
+  "nodes": [
+    {"name": "n1", "cpu": 1, "memory": 3072},
+    {"name": "n2", "cpu": 1, "memory": 3072},
+    {"name": "n3", "cpu": 1, "memory": 3072}
+  ],
+  "vms": [
+    {"name": "vm1", "vjob": "j1", "cpu": 1, "memory": 2048, "state": "running", "node": "n1"},
+    {"name": "vm2", "vjob": "j2", "cpu": 1, "memory": 2048, "state": "running", "node": "n2"},
+    {"name": "vm3", "vjob": "j3", "cpu": 1, "memory": 1024, "state": "waiting"}
+  ],
+  "targets": {"j2": "sleeping", "j3": "running"}
+}
+`
+
+func main() {
+	timeout := flag.Duration("timeout", 5*time.Second, "optimizer time budget")
+	example := flag.Bool("example", false, "print an example cluster JSON and exit")
+	flag.Parse()
+	if *example {
+		fmt.Print(exampleSpec)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: planviz [-timeout 5s] cluster.json   (or planviz -example)")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var spec clusterSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", flag.Arg(0), err))
+	}
+	cfg, targets, err := build(spec)
+	if err != nil {
+		fatal(err)
+	}
+	var rules []core.PlacementRule
+	for _, r := range spec.Rules {
+		rule, err := r.compile()
+		if err != nil {
+			fatal(err)
+		}
+		rules = append(rules, rule)
+	}
+
+	fmt.Println("current configuration:")
+	fmt.Print(indent(cfg.String()))
+	res, err := core.Optimizer{Timeout: *timeout}.Solve(core.Problem{Src: cfg, Target: targets, Rules: rules})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("\nreconfiguration plan:")
+	fmt.Print(indent(res.Plan.String()))
+	fmt.Printf("\ncost=%d lower-bound=%d optimal=%v bypass-migrations=%d\n",
+		res.Cost, res.LowerBound, res.Optimal, res.Plan.Bypass)
+	fmt.Println("\ndestination configuration:")
+	fmt.Print(indent(res.Dst.String()))
+}
+
+func build(spec clusterSpec) (*vjob.Configuration, map[string]vjob.State, error) {
+	cfg := vjob.NewConfiguration()
+	for _, n := range spec.Nodes {
+		cfg.AddNode(vjob.NewNode(n.Name, n.CPU, n.Memory))
+	}
+	for _, v := range spec.VMs {
+		cfg.AddVM(vjob.NewVM(v.Name, v.VJob, v.CPU, v.Memory))
+		switch v.State {
+		case "running":
+			if err := cfg.SetRunning(v.Name, v.Node); err != nil {
+				return nil, nil, err
+			}
+		case "sleeping":
+			if err := cfg.SetSleeping(v.Name, v.Node); err != nil {
+				return nil, nil, err
+			}
+		case "waiting", "":
+		default:
+			return nil, nil, fmt.Errorf("vm %s: unknown state %q", v.Name, v.State)
+		}
+	}
+	targets := map[string]vjob.State{}
+	for job, st := range spec.Targets {
+		switch st {
+		case "running":
+			targets[job] = vjob.Running
+		case "sleeping":
+			targets[job] = vjob.Sleeping
+		case "terminated":
+			targets[job] = vjob.Terminated
+		case "waiting":
+			targets[job] = vjob.Waiting
+		default:
+			return nil, nil, fmt.Errorf("target %s: unknown state %q", job, st)
+		}
+	}
+	return cfg, targets, nil
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			lines = append(lines, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "planviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cwcs/internal/core"
+	"cwcs/internal/vjob"
+)
+
+func parseSpec(t *testing.T, raw string) clusterSpec {
+	t.Helper()
+	var spec clusterSpec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestExampleSpecSolves(t *testing.T) {
+	spec := parseSpec(t, exampleSpec)
+	cfg, targets, err := build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumNodes() != 3 || cfg.NumVMs() != 3 {
+		t.Fatalf("parsed %d nodes, %d vms", cfg.NumNodes(), cfg.NumVMs())
+	}
+	if targets["j2"] != vjob.Sleeping || targets["j3"] != vjob.Running {
+		t.Fatalf("targets = %v", targets)
+	}
+	res, err := core.Optimizer{}.Solve(core.Problem{Src: cfg, Target: targets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dst.Viable() {
+		t.Fatal("example spec yields non-viable result")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown vm state":     `{"nodes":[{"name":"n1","cpu":1,"memory":10}],"vms":[{"name":"v","cpu":1,"memory":1,"state":"flying"}]}`,
+		"unknown node":         `{"vms":[{"name":"v","cpu":1,"memory":1,"state":"running","node":"ghost"}]}`,
+		"unknown sleep node":   `{"vms":[{"name":"v","cpu":1,"memory":1,"state":"sleeping","node":"ghost"}]}`,
+		"unknown target state": `{"nodes":[{"name":"n1","cpu":1,"memory":10}],"targets":{"j":"flying"}}`,
+	}
+	for name, raw := range cases {
+		spec := parseSpec(t, raw)
+		if _, _, err := build(spec); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestTargetStates(t *testing.T) {
+	spec := parseSpec(t, `{"targets":{"a":"running","b":"sleeping","c":"terminated","d":"waiting"}}`)
+	_, targets, err := build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]vjob.State{
+		"a": vjob.Running, "b": vjob.Sleeping, "c": vjob.Terminated, "d": vjob.Waiting,
+	}
+	for job, st := range want {
+		if targets[job] != st {
+			t.Errorf("target %s = %v, want %v", job, targets[job], st)
+		}
+	}
+}
+
+func TestRuleCompilation(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want string
+	}{
+		{`{"type":"spread","vms":["a","b"]}`, "core.Spread"},
+		{`{"type":"ban","vms":["a"],"nodes":["n1"]}`, "core.Ban"},
+		{`{"type":"fence","vms":["a"],"nodes":["n1"]}`, "core.Fence"},
+		{`{"type":"gather","vms":["a","b"]}`, "core.Gather"},
+	}
+	for _, tc := range cases {
+		var rs ruleSpec
+		if err := json.Unmarshal([]byte(tc.raw), &rs); err != nil {
+			t.Fatal(err)
+		}
+		rule, err := rs.compile()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.raw, err)
+		}
+		if rule == nil {
+			t.Fatalf("%s: nil rule", tc.raw)
+		}
+	}
+	if _, err := (ruleSpec{Type: "affinity"}).compile(); err == nil {
+		t.Fatal("unknown rule type accepted")
+	}
+}
+
+func TestIndent(t *testing.T) {
+	if got := indent("a\nb\n"); got != "  a\n  b\n" {
+		t.Fatalf("indent = %q", got)
+	}
+	if got := indent("tail"); got != "  tail\n" {
+		t.Fatalf("indent without newline = %q", got)
+	}
+}

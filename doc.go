@@ -1,0 +1,12 @@
+// Package cwcs reproduces "Cluster-Wide Context Switch of Virtualized
+// Jobs" (Hermenier, Lèbre, Menaud — HPDC 2010 / INRIA RR-6929): the
+// Entropy consolidation manager extended with coordinated
+// run/stop/migrate/suspend/resume permutations of the cluster's VMs,
+// planned for viability and cost-optimized with constraint
+// programming.
+//
+// The root package holds the benchmark harness regenerating the
+// paper's tables and figures; the implementation lives under
+// internal/ (see DESIGN.md for the map) and the runnable entry points
+// under cmd/ and examples/.
+package cwcs

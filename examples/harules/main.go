@@ -1,0 +1,87 @@
+// Harules: administrator placement rules (the paper's §7 — already
+// supported by Entropy) maintained through an optimized cluster-wide
+// context switch. A replicated service asks for anti-affinity
+// (Spread), a node goes to maintenance (Ban), a licensed tool is
+// fenced to its licence nodes (Fence), and two chatty VMs are
+// co-located (Gather). The optimizer honours all of it while still
+// minimizing the plan cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cwcs/internal/core"
+	"cwcs/internal/vjob"
+)
+
+func main() {
+	cfg := vjob.NewConfiguration()
+	for i := 1; i <= 4; i++ {
+		cfg.AddNode(vjob.NewNode(fmt.Sprintf("n%d", i), 2, 6144))
+	}
+
+	// A replicated web tier (3 VMs), a licensed solver, two chatty
+	// workers.
+	web := vjob.NewVJob("web", 1,
+		vjob.NewVM("web-0", "", 1, 1024),
+		vjob.NewVM("web-1", "", 1, 1024),
+		vjob.NewVM("web-2", "", 1, 1024))
+	solver := vjob.NewVJob("solver", 2, vjob.NewVM("solver-0", "", 1, 2048))
+	chat := vjob.NewVJob("chat", 3,
+		vjob.NewVM("chat-0", "", 1, 512),
+		vjob.NewVM("chat-1", "", 1, 512))
+	for _, j := range []*vjob.VJob{web, solver, chat} {
+		for _, v := range j.VMs {
+			cfg.AddVM(v)
+		}
+	}
+	// Everything currently crowds n1/n2 — including all three web
+	// replicas on the same node, a single point of failure.
+	must(cfg.SetRunning("web-0", "n1"))
+	must(cfg.SetRunning("web-1", "n1"))
+	must(cfg.SetRunning("web-2", "n2"))
+	must(cfg.SetRunning("solver-0", "n2"))
+
+	rules := []core.PlacementRule{
+		core.Spread{VMs: []string{"web-0", "web-1", "web-2"}},
+		// n4 is scheduled for maintenance: move the critical services
+		// off it first (the short-lived chat workers may stay until
+		// the next switch).
+		core.Ban{VMs: []string{"web-0", "web-1", "web-2", "solver-0"}, Nodes: []string{"n4"}},
+		core.Fence{VMs: []string{"solver-0"}, Nodes: []string{"n2", "n3"}}, // licence nodes
+		core.Gather{VMs: []string{"chat-0", "chat-1"}},
+	}
+
+	fmt.Println("current configuration (web replicas share n1!):")
+	fmt.Print(cfg)
+
+	res, err := core.Optimizer{}.Solve(core.Problem{
+		Src: cfg,
+		Target: map[string]vjob.State{
+			"web": vjob.Running, "solver": vjob.Running, "chat": vjob.Running,
+		},
+		Rules: rules,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ncontext switch enforcing the rules:")
+	fmt.Print(res.Plan)
+	fmt.Println("\ndestination configuration:")
+	fmt.Print(res.Dst)
+
+	for i, r := range rules {
+		if err := r.Check(res.Dst); err != nil {
+			log.Fatalf("rule %d violated: %v", i, err)
+		}
+	}
+	fmt.Println("\nall placement rules hold in the destination configuration.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"fmt"
+
+	"cwcs/internal/core"
+	"cwcs/internal/vjob"
+)
+
+// Example runs one cluster-wide context switch: an overloaded node is
+// repaired by migrating the cheapest VM away.
+func Example() {
+	cfg := vjob.NewConfiguration()
+	cfg.AddNode(vjob.NewNode("n1", 1, 8192))
+	cfg.AddNode(vjob.NewNode("n2", 1, 8192))
+	big := vjob.NewVM("big", "a", 1, 2048)
+	small := vjob.NewVM("small", "b", 1, 512)
+	cfg.AddVM(big)
+	cfg.AddVM(small)
+	_ = cfg.SetRunning("big", "n1")
+	_ = cfg.SetRunning("small", "n1") // two busy VMs, one CPU: overloaded
+
+	res, err := core.Optimizer{}.Solve(core.Problem{
+		Src:    cfg,
+		Target: map[string]vjob.State{"a": vjob.Running, "b": vjob.Running},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(res.Plan)
+	fmt.Println("viable:", res.Dst.Viable())
+	// Output:
+	// pool 0 (cost 512):
+	//   migrate(small,n1,n2) (local 512, total 512)
+	// plan cost: 512
+	// viable: true
+}
+
+// ExampleOptimizer_Solve_rules keeps two replicas apart with a Spread
+// rule while starting them.
+func ExampleOptimizer_Solve_rules() {
+	cfg := vjob.NewConfiguration()
+	cfg.AddNode(vjob.NewNode("n1", 2, 8192))
+	cfg.AddNode(vjob.NewNode("n2", 2, 8192))
+	for _, name := range []string{"db-0", "db-1"} {
+		cfg.AddVM(vjob.NewVM(name, "db", 1, 1024))
+	}
+
+	res, err := core.Optimizer{}.Solve(core.Problem{
+		Src:    cfg,
+		Target: map[string]vjob.State{"db": vjob.Running},
+		Rules:  []core.PlacementRule{core.Spread{VMs: []string{"db-0", "db-1"}}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("distinct hosts:", res.Dst.HostOf("db-0") != res.Dst.HostOf("db-1"))
+	// Output:
+	// distinct hosts: true
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+
+	"cwcs/internal/packing"
+	"cwcs/internal/plan"
+	"cwcs/internal/vjob"
+)
+
+// FFDPlan is the standard heuristic the paper compares Entropy against
+// in the §5.1 scalability study: it computes the destination
+// configuration with a plain First-Fit-Decrease pass — stopping at the
+// first completed viable configuration, with no regard for the current
+// placement of the VMs — and plans the resulting graph. Because FFD
+// ignores locality, its plans migrate and remotely resume far more
+// than necessary, which is precisely the gap Figure 10 quantifies.
+func FFDPlan(p Problem) (*Result, error) {
+	goals, err := p.compile()
+	if err != nil {
+		return nil, err
+	}
+	dst := p.Src.Clone()
+	scratch := vjob.NewConfiguration()
+	for _, n := range p.Src.Nodes() {
+		scratch.AddNode(n)
+	}
+	var runners []*vjob.VM
+	for _, g := range goals {
+		switch g.want {
+		case vjob.Running:
+			runners = append(runners, g.vm)
+			scratch.AddVM(g.vm)
+		case vjob.Sleeping:
+			if g.cur == vjob.Running {
+				if err := dst.SetSleeping(g.vm.Name, g.curLoc); err != nil {
+					return nil, err
+				}
+			}
+		case vjob.Terminated:
+			dst.RemoveVM(g.vm.Name)
+		}
+	}
+	if err := packing.FirstFitDecrease(scratch, runners); err != nil {
+		var nf packing.ErrNoFit
+		if errors.As(err, &nf) {
+			return nil, ErrNoViableConfiguration
+		}
+		return nil, err
+	}
+	for _, v := range runners {
+		if err := dst.SetRunning(v.Name, scratch.HostOf(v.Name)); err != nil {
+			return nil, err
+		}
+	}
+	g, err := plan.BuildGraph(p.Src, dst)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := plan.Builder{}.Plan(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Dst: dst, Plan: pl, Cost: pl.Cost(), Solutions: 1}, nil
+}

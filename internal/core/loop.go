@@ -1,0 +1,120 @@
+package core
+
+import (
+	"cwcs/internal/plan"
+	"cwcs/internal/vjob"
+)
+
+// DecisionModule is the pluggable scheduling policy of §3.1: from an
+// observed configuration and the vjob queue it decides the state each
+// vjob must reach. internal/sched provides the paper's sample modules.
+type DecisionModule interface {
+	Decide(cfg *vjob.Configuration, queue []*vjob.VJob) map[string]vjob.State
+}
+
+// Actuator abstracts the cluster the loop drives: a clock, an observer
+// (monitoring) and an executor (drivers). internal/drivers adapts the
+// simulator to this interface.
+type Actuator interface {
+	// Now returns the current virtual time in seconds.
+	Now() float64
+	// Schedule runs fn at the given virtual time.
+	Schedule(at float64, fn func())
+	// Observe returns a stable snapshot of the configuration.
+	Observe() *vjob.Configuration
+	// Execute runs the plan, then calls done with the execution
+	// duration in seconds and the number of failed actions.
+	Execute(p *plan.Plan, done func(duration float64, failures int))
+}
+
+// SwitchRecord is the telemetry of one cluster-wide context switch,
+// the data points of Figure 11.
+type SwitchRecord struct {
+	// At is the virtual time the switch started.
+	At float64
+	// Cost is the §4.2 plan cost.
+	Cost int
+	// Duration is the execution time in seconds.
+	Duration float64
+	// Actions and Pools describe the executed plan.
+	Actions, Pools int
+	// Failures counts actions whose application failed.
+	Failures int
+}
+
+// Loop is the Entropy control loop (§3.1, Figure 4): iteratively
+// observe the cluster, run the decision module, optimize the
+// reconfiguration, and execute the cluster-wide context switch. A new
+// iteration is scheduled Interval seconds after the previous one
+// finished (execution included), modelling the paper's behaviour of
+// accumulating fresh monitoring data between iterations.
+type Loop struct {
+	// Decision chooses vjob states; required.
+	Decision DecisionModule
+	// Optimizer computes the context switch; the zero value works.
+	Optimizer Optimizer
+	// Interval is the pause between iterations in seconds (the
+	// paper's sample module runs every 30 s; 0 defaults to that).
+	Interval float64
+	// Queue supplies the live vjob queue at each iteration; required.
+	Queue func() []*vjob.VJob
+	// Done, when non-nil, is polled at each iteration; returning true
+	// stops the loop (e.g. every vjob terminated).
+	Done func() bool
+	// OnSwitch, when non-nil, receives the record of each non-empty
+	// context switch.
+	OnSwitch func(SwitchRecord)
+
+	// Records accumulates every non-empty context switch.
+	Records []SwitchRecord
+
+	stopped bool
+}
+
+// Start schedules the first iteration immediately and returns; the
+// loop then lives on the actuator's clock.
+func (l *Loop) Start(a Actuator) {
+	a.Schedule(a.Now(), func() { l.iterate(a) })
+}
+
+// Stop halts the loop after the current iteration.
+func (l *Loop) Stop() { l.stopped = true }
+
+func (l *Loop) interval() float64 {
+	if l.Interval <= 0 {
+		return 30
+	}
+	return l.Interval
+}
+
+func (l *Loop) iterate(a Actuator) {
+	if l.stopped || (l.Done != nil && l.Done()) {
+		return
+	}
+	next := func() {
+		a.Schedule(a.Now()+l.interval(), func() { l.iterate(a) })
+	}
+	cfg := a.Observe()
+	queue := l.Queue()
+	target := l.Decision.Decide(cfg, queue)
+	res, err := l.Optimizer.Solve(Problem{Src: cfg, Target: target})
+	if err != nil || res.Plan.NumActions() == 0 {
+		next()
+		return
+	}
+	rec := SwitchRecord{
+		At:      a.Now(),
+		Cost:    res.Cost,
+		Actions: res.Plan.NumActions(),
+		Pools:   len(res.Plan.Pools),
+	}
+	a.Execute(res.Plan, func(duration float64, failures int) {
+		rec.Duration = duration
+		rec.Failures = failures
+		l.Records = append(l.Records, rec)
+		if l.OnSwitch != nil {
+			l.OnSwitch(rec)
+		}
+		next()
+	})
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"container/heap"
+	"testing"
+
+	"cwcs/internal/plan"
+	"cwcs/internal/vjob"
+)
+
+// fakeActuator drives the loop on a synthetic clock: plans apply
+// instantly to the configuration, with a fixed virtual duration.
+type fakeActuator struct {
+	now      float64
+	cfg      *vjob.Configuration
+	execSecs float64
+	events   fakeQueue
+	seq      int
+	executed []*plan.Plan
+}
+
+type fakeEvent struct {
+	at  float64
+	seq int
+	fn  func()
+}
+
+type fakeQueue []*fakeEvent
+
+func (q fakeQueue) Len() int { return len(q) }
+func (q fakeQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q fakeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *fakeQueue) Push(x interface{}) { *q = append(*q, x.(*fakeEvent)) }
+func (q *fakeQueue) Pop() interface{} {
+	old := *q
+	e := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return e
+}
+
+func (a *fakeActuator) Now() float64 { return a.now }
+
+func (a *fakeActuator) Schedule(at float64, fn func()) {
+	a.seq++
+	heap.Push(&a.events, &fakeEvent{at: at, seq: a.seq, fn: fn})
+}
+
+func (a *fakeActuator) Observe() *vjob.Configuration { return a.cfg.Clone() }
+
+func (a *fakeActuator) Execute(p *plan.Plan, done func(float64, int)) {
+	a.executed = append(a.executed, p)
+	failures := 0
+	for _, action := range p.Actions() {
+		if err := action.Apply(a.cfg); err != nil {
+			failures++
+		}
+	}
+	dur := a.execSecs
+	a.Schedule(a.now+dur, func() { done(dur, failures) })
+}
+
+// run processes events until the horizon or quiescence.
+func (a *fakeActuator) run(until float64) {
+	for len(a.events) > 0 {
+		e := heap.Pop(&a.events).(*fakeEvent)
+		if e.at > until {
+			return
+		}
+		if e.at > a.now {
+			a.now = e.at
+		}
+		e.fn()
+	}
+}
+
+// scriptedDecision returns canned targets, one per call.
+type scriptedDecision struct {
+	calls   int
+	targets []map[string]vjob.State
+}
+
+func (d *scriptedDecision) Decide(cfg *vjob.Configuration, queue []*vjob.VJob) map[string]vjob.State {
+	i := d.calls
+	d.calls++
+	if i < len(d.targets) {
+		return d.targets[i]
+	}
+	return map[string]vjob.State{}
+}
+
+func loopCluster(t *testing.T) (*vjob.Configuration, []*vjob.VJob) {
+	t.Helper()
+	cfg := mkCluster(2, 1, 4096)
+	j := vjob.NewVJob("j", 0, vjob.NewVM("j-1", "", 1, 1024))
+	cfg.AddVM(j.VMs[0])
+	return cfg, []*vjob.VJob{j}
+}
+
+func TestLoopExecutesSwitchAndRecords(t *testing.T) {
+	cfg, jobs := loopCluster(t)
+	a := &fakeActuator{cfg: cfg, execSecs: 12}
+	dec := &scriptedDecision{targets: []map[string]vjob.State{
+		{"j": vjob.Running},
+	}}
+	var got []SwitchRecord
+	l := &Loop{
+		Decision: dec,
+		Interval: 30,
+		Queue:    func() []*vjob.VJob { return jobs },
+		OnSwitch: func(r SwitchRecord) { got = append(got, r) },
+	}
+	l.Start(a)
+	a.run(100)
+	if cfg.StateOf("j-1") != vjob.Running {
+		t.Fatal("loop did not start the vjob")
+	}
+	if len(l.Records) != 1 || len(got) != 1 {
+		t.Fatalf("records = %d, callbacks = %d", len(l.Records), len(got))
+	}
+	if got[0].Duration != 12 || got[0].Actions != 1 {
+		t.Fatalf("record = %+v", got[0])
+	}
+	// Subsequent iterations produce empty decisions: no more records,
+	// but the decision module keeps being polled every interval.
+	if dec.calls < 2 {
+		t.Fatalf("decision polled %d times", dec.calls)
+	}
+}
+
+func TestLoopSkipsEmptyPlans(t *testing.T) {
+	cfg, jobs := loopCluster(t)
+	a := &fakeActuator{cfg: cfg}
+	l := &Loop{
+		Decision: &scriptedDecision{}, // always empty targets
+		Interval: 10,
+		Queue:    func() []*vjob.VJob { return jobs },
+	}
+	l.Start(a)
+	a.run(55)
+	if len(l.Records) != 0 {
+		t.Fatalf("empty decisions produced %d switches", len(l.Records))
+	}
+	if len(a.executed) != 0 {
+		t.Fatal("empty plan executed")
+	}
+}
+
+func TestLoopStops(t *testing.T) {
+	cfg, jobs := loopCluster(t)
+	a := &fakeActuator{cfg: cfg}
+	dec := &scriptedDecision{}
+	l := &Loop{Decision: dec, Interval: 10, Queue: func() []*vjob.VJob { return jobs }}
+	l.Start(a)
+	a.run(25) // a few iterations
+	calls := dec.calls
+	l.Stop()
+	a.run(200)
+	if dec.calls > calls+1 {
+		t.Fatalf("loop kept deciding after Stop (%d -> %d)", calls, dec.calls)
+	}
+}
+
+func TestLoopDonePredicate(t *testing.T) {
+	cfg, jobs := loopCluster(t)
+	a := &fakeActuator{cfg: cfg}
+	dec := &scriptedDecision{}
+	done := false
+	l := &Loop{
+		Decision: dec,
+		Interval: 10,
+		Queue:    func() []*vjob.VJob { return jobs },
+		Done:     func() bool { return done },
+	}
+	l.Start(a)
+	a.run(35)
+	before := dec.calls
+	done = true
+	a.run(500)
+	if dec.calls != before {
+		t.Fatalf("loop continued after Done (%d -> %d)", before, dec.calls)
+	}
+}
+
+func TestLoopDefaultInterval(t *testing.T) {
+	l := &Loop{}
+	if l.interval() != 30 {
+		t.Fatalf("default interval = %v", l.interval())
+	}
+	l.Interval = 7
+	if l.interval() != 7 {
+		t.Fatalf("interval = %v", l.interval())
+	}
+}
+
+func TestLoopCountsFailures(t *testing.T) {
+	cfg, jobs := loopCluster(t)
+	// Sabotage: the actuator executes against a configuration where
+	// the VM was already moved, so the planned run fails on apply.
+	a := &fakeActuator{cfg: cfg}
+	dec := &scriptedDecision{targets: []map[string]vjob.State{
+		{"j": vjob.Running},
+	}}
+	l := &Loop{Decision: dec, Interval: 10, Queue: func() []*vjob.VJob { return jobs }}
+	// Pre-apply the run so the loop's plan conflicts.
+	preRun := &plan.Run{Machine: jobs[0].VMs[0], On: "n00"}
+	l.Start(a)
+	// Before the first iteration executes, mutate the live config.
+	a.Schedule(0, func() {})
+	if err := preRun.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	a.run(50)
+	if len(l.Records) == 1 && l.Records[0].Failures == 0 {
+		t.Fatalf("conflicting action not counted as failure: %+v", l.Records[0])
+	}
+}

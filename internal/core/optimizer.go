@@ -1,0 +1,334 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"cwcs/internal/cp"
+	"cwcs/internal/plan"
+	"cwcs/internal/vjob"
+)
+
+// ErrNoViableConfiguration is returned when no viable destination
+// configuration satisfies the requested vjob states at all.
+var ErrNoViableConfiguration = errors.New("core: no viable configuration for the requested states")
+
+// Optimizer computes, for a Problem, a viable destination
+// configuration with a reconfiguration plan as cheap as possible. It
+// implements §4.3: assignment variables per running VM over the node
+// set, multi-knapsack viability constraints, a dynamically maintained
+// lower bound on the future plan cost, first-fail variable ordering
+// (hardest VMs first) and prefer-current-host value ordering, inside a
+// branch-and-bound loop driven by the true §4.2 plan cost.
+//
+// The zero value uses the paper's heuristics with no time limit; set
+// Timeout to bound the search (the paper uses 40 s for the §5.1
+// study).
+type Optimizer struct {
+	// Timeout bounds the whole optimization; zero means none.
+	Timeout time.Duration
+	// UseKnapsack enables the DP subset-sum bound inside the packing
+	// constraints (slower per node, stronger pruning).
+	UseKnapsack bool
+	// DisableCostBound drops the plan-cost lower-bound propagator, so
+	// the search degenerates to first-viable-solution enumeration
+	// (ablation).
+	DisableCostBound bool
+	// NaiveOrdering disables first-fail and prefer-current-host
+	// (ablation).
+	NaiveOrdering bool
+	// PinRunning forbids migrating VMs that are already running: each
+	// keeps its current host. This models a static RMS (the §5.2 FCFS
+	// baseline never moves a placed job) and is also a useful
+	// ablation of the migration action.
+	PinRunning bool
+	// Builder plans the graphs of candidate configurations.
+	Builder plan.Builder
+}
+
+// Solve runs the optimization. It returns ErrNoViableConfiguration
+// when even one solution cannot be found (within the timeout).
+func (o Optimizer) Solve(p Problem) (*Result, error) {
+	goals, err := p.compile()
+	if err != nil {
+		return nil, err
+	}
+	model := newCostModel(p.Src, goals)
+	nodes := p.Src.Nodes()
+	nodeIdx := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		nodeIdx[n.Name] = i
+	}
+
+	// Runners: every VM whose destination state is Running gets an
+	// assignment variable; everything else contributes fixed costs.
+	var runners []vmGoal
+	fixed := 0
+	for _, g := range goals {
+		if g.want == vjob.Running {
+			runners = append(runners, g)
+		} else {
+			fixed += g.fixedCost()
+		}
+	}
+	// Hardest VMs first (§4.3 first-fail flavor): decreasing memory
+	// then CPU demand.
+	sort.SliceStable(runners, func(i, j int) bool {
+		a, b := runners[i].vm, runners[j].vm
+		if a.MemoryDemand != b.MemoryDemand {
+			return a.MemoryDemand > b.MemoryDemand
+		}
+		if a.CPUDemand != b.CPUDemand {
+			return a.CPUDemand > b.CPUDemand
+		}
+		return a.Name < b.Name
+	})
+
+	s := cp.NewSolver()
+	vars := make([]*cp.IntVar, len(runners))
+	maxObj := fixed
+	for i, g := range runners {
+		var allowed []int
+		for j, n := range nodes {
+			if n.CPU >= g.vm.CPUDemand && n.Memory >= g.vm.MemoryDemand {
+				allowed = append(allowed, j)
+			}
+		}
+		if o.PinRunning && g.cur == vjob.Running {
+			if idx, ok := nodeIdx[g.curLoc]; ok {
+				allowed = []int{idx}
+			}
+		}
+		if len(allowed) == 0 {
+			return nil, fmt.Errorf("%w: %s fits on no node", ErrNoViableConfiguration, g.vm.Name)
+		}
+		vars[i] = s.NewEnumVar(g.vm.Name, allowed)
+		if idx, ok := nodeIdx[g.curLoc]; ok {
+			vars[i].SetPreferred(idx)
+		}
+		worst := 0
+		for _, j := range allowed {
+			if c := model.contribution(g, nodes[j].Name); c > worst {
+				worst = c
+			}
+		}
+		maxObj += worst
+	}
+
+	cpuW := make([]int, len(runners))
+	memW := make([]int, len(runners))
+	cpuC := make([]int, len(nodes))
+	memC := make([]int, len(nodes))
+	for i, g := range runners {
+		cpuW[i] = g.vm.CPUDemand
+		memW[i] = g.vm.MemoryDemand
+	}
+	for j, n := range nodes {
+		cpuC[j] = n.CPU
+		memC[j] = n.Memory
+	}
+	if len(runners) > 0 {
+		s.Post(&cp.Packing{Name: "cpu", Items: vars, Weights: cpuW, Capacity: cpuC, UseKnapsack: o.UseKnapsack})
+		s.Post(&cp.Packing{Name: "memory", Items: vars, Weights: memW, Capacity: memC, UseKnapsack: o.UseKnapsack})
+	}
+
+	varByName := make(map[string]*cp.IntVar, len(runners))
+	for i, g := range runners {
+		varByName[g.vm.Name] = vars[i]
+	}
+	for _, rule := range p.Rules {
+		if err := rule.Apply(s, varByName, nodeIdx); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNoViableConfiguration, err)
+		}
+	}
+
+	obj := s.NewIntVar("cost", 0, maxObj)
+	if !o.DisableCostBound {
+		s.Post(o.costBound(model, runners, vars, nodes, obj, fixed))
+	}
+
+	opts := cp.Options{
+		Vars:        vars,
+		FirstFail:   !o.NaiveOrdering,
+		PreferValue: !o.NaiveOrdering,
+	}
+	if o.Timeout != 0 {
+		opts.Deadline = time.Now().Add(o.Timeout)
+	}
+
+	// Warm start: the FFD heuristic's plan seeds the incumbent, so the
+	// optimizer never returns anything worse than the baseline and the
+	// branch-and-bound starts with a meaningful ceiling.
+	var best *Result
+	bound := maxObj
+	if seed, err := FFDPlan(p); err == nil && rulesHold(p.Rules, seed.Dst) && o.seedRespectsPins(p, seed) {
+		best = seed
+		if best.Cost-1 < bound {
+			bound = best.Cost - 1
+		}
+	}
+	root := s.SaveState()
+	for {
+		s.RestoreState(root)
+		if err := s.RemoveAbove(obj, bound); err != nil {
+			break // cost floor reached: optimality proven
+		}
+		sol, err := s.Solve(opts)
+		if errors.Is(err, cp.ErrDeadline) {
+			if best == nil {
+				return nil, fmt.Errorf("%w: timeout before first solution", ErrNoViableConfiguration)
+			}
+			best.finishStats(s)
+			return best, nil
+		}
+		if errors.Is(err, cp.ErrFailed) {
+			break // search space exhausted: optimality proven
+		}
+		if err != nil {
+			return nil, err
+		}
+		lb := fixed
+		for i, g := range runners {
+			lb += model.contribution(g, nodes[sol.MustValue(vars[i])].Name)
+		}
+		dst, derr := o.decode(p, goals, runners, vars, nodes, sol)
+		if derr == nil {
+			if g, gerr := plan.BuildGraph(p.Src, dst); gerr == nil {
+				if pl, perr := o.Builder.Plan(g); perr == nil {
+					if best == nil || pl.Cost() < best.Cost {
+						best = &Result{Dst: dst, Plan: pl, Cost: pl.Cost(), LowerBound: lb, Solutions: 0}
+					}
+					best.Solutions++
+				}
+			}
+		}
+		// Tighten: any better configuration must have a strictly lower
+		// action-cost sum than this one, and its sum (an admissible
+		// lower bound of its plan cost) must undercut the incumbent.
+		bound = lb - 1
+		if best != nil && best.Cost-1 < bound {
+			bound = best.Cost - 1
+		}
+	}
+	if best == nil {
+		return nil, ErrNoViableConfiguration
+	}
+	best.Optimal = true
+	best.finishStats(s)
+	return best, nil
+}
+
+// seedRespectsPins rejects a heuristic seed that migrates a running VM
+// when PinRunning is in force: the FFD heuristic re-places everything
+// from scratch and knows nothing about pinning.
+func (o Optimizer) seedRespectsPins(p Problem, seed *Result) bool {
+	if !o.PinRunning {
+		return true
+	}
+	for _, v := range p.Src.VMs() {
+		if p.Src.StateOf(v.Name) == vjob.Running && seed.Dst.StateOf(v.Name) == vjob.Running &&
+			seed.Dst.HostOf(v.Name) != p.Src.HostOf(v.Name) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Result) finishStats(s *cp.Solver) {
+	nodes, fails, _, _ := s.Stats()
+	r.Nodes, r.Fails = nodes, fails
+}
+
+// costBound is the dynamic cost estimation of §4.3: it keeps the
+// objective's lower bound equal to the fixed costs plus, per VM,
+// either the exact contribution of its assignment or the cheapest
+// contribution still in its domain; and it prunes node choices that
+// would push the bound past the incumbent.
+func (o Optimizer) costBound(model *costModel, runners []vmGoal, vars []*cp.IntVar, nodes []*vjob.Node, obj *cp.IntVar, fixed int) cp.Constraint {
+	watched := append([]*cp.IntVar{obj}, vars...)
+	return &cp.FuncConstraint{
+		On: watched,
+		Run: func(s *cp.Solver) error {
+			lb := fixed
+			mins := make([]int, len(vars))
+			for i, v := range vars {
+				if v.Bound() {
+					mins[i] = model.contribution(runners[i], nodes[v.Value()].Name)
+				} else {
+					min := -1
+					for _, val := range v.Values() {
+						c := model.contribution(runners[i], nodes[val].Name)
+						if min < 0 || c < min {
+							min = c
+						}
+					}
+					mins[i] = min
+				}
+				lb += mins[i]
+			}
+			if err := s.RemoveBelow(obj, lb); err != nil {
+				return err
+			}
+			slack := obj.Max() - lb
+			for i, v := range vars {
+				if v.Bound() {
+					continue
+				}
+				for _, val := range v.Values() {
+					if model.contribution(runners[i], nodes[val].Name)-mins[i] > slack {
+						if err := s.RemoveValue(v, val); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// decode turns a solver solution into the destination configuration.
+func (o Optimizer) decode(p Problem, goals []vmGoal, runners []vmGoal, vars []*cp.IntVar, nodes []*vjob.Node, sol cp.Solution) (*vjob.Configuration, error) {
+	dst := p.Src.Clone()
+	for _, g := range goals {
+		switch g.want {
+		case vjob.Sleeping:
+			if g.cur == vjob.Running {
+				if err := dst.SetSleeping(g.vm.Name, g.curLoc); err != nil {
+					return nil, err
+				}
+			}
+		case vjob.Terminated:
+			dst.RemoveVM(g.vm.Name)
+		case vjob.Waiting:
+			// stays waiting
+		}
+	}
+	for i, g := range runners {
+		if err := dst.SetRunning(g.vm.Name, nodes[sol.MustValue(vars[i])].Name); err != nil {
+			return nil, err
+		}
+	}
+	if !dst.Viable() {
+		return nil, fmt.Errorf("core: solver produced non-viable configuration: %v", dst.Violations())
+	}
+	for _, rule := range p.Rules {
+		if err := rule.Check(dst); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// rulesHold reports whether every placement rule accepts the
+// configuration.
+func rulesHold(rules []PlacementRule, cfg *vjob.Configuration) bool {
+	for _, r := range rules {
+		if r.Check(cfg) != nil {
+			return false
+		}
+	}
+	return true
+}

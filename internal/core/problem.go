@@ -1,0 +1,181 @@
+// Package core implements the paper's contribution: the cluster-wide
+// context switch engine. Given the current configuration and the vjob
+// states a decision module asks for, the engine searches — with the
+// constraint-programming model of §4.3 — for a viable destination
+// configuration whose reconfiguration plan is as cheap as possible,
+// then emits that plan. The package also provides the First-Fit-
+// Decrease baseline planner the paper compares against (§5.1) and the
+// Entropy control loop (§3.1): observe, decide, plan, execute.
+package core
+
+import (
+	"fmt"
+
+	"cwcs/internal/plan"
+	"cwcs/internal/vjob"
+)
+
+// Problem is one reconfiguration request: the current configuration
+// and the state each vjob must reach. VMs whose vjob is absent from
+// Target keep their current state (the keepVMState constraint); the
+// solver may still migrate running VMs to make room.
+type Problem struct {
+	// Src is the observed configuration.
+	Src *vjob.Configuration
+	// Target maps vjob names to the state the decision module wants
+	// (mustBeRunning / mustBeReady / terminated).
+	Target map[string]vjob.State
+	// Rules are administrator placement constraints (Spread, Ban,
+	// Fence, Gather) maintained during the optimization (§7).
+	Rules []PlacementRule
+}
+
+// vmGoal is the per-VM compilation of the problem.
+type vmGoal struct {
+	vm   *vjob.VM
+	cur  vjob.State
+	want vjob.State
+	// curLoc is the hosting node (running) or image node (sleeping).
+	curLoc string
+}
+
+// compile expands the per-vjob targets into per-VM goals and validates
+// them against the life cycle.
+func (p Problem) compile() ([]vmGoal, error) {
+	goals := make([]vmGoal, 0, p.Src.NumVMs())
+	for _, v := range p.Src.VMs() {
+		cur := p.Src.StateOf(v.Name)
+		want, ok := p.Target[v.VJob]
+		if !ok {
+			want = cur
+		}
+		// A vjob can be in a transiently mixed state (e.g. partially
+		// placed). Per-VM, a target that is a no-op for the VM's own
+		// state is coerced rather than rejected: a waiting VM of a
+		// vjob sent to Sleeping has nothing to suspend.
+		if want == vjob.Sleeping && cur == vjob.Waiting {
+			want = vjob.Waiting
+		}
+		if !vjob.ValidTransition(cur, want) {
+			return nil, fmt.Errorf("core: vjob %s: VM %s cannot go %v -> %v", v.VJob, v.Name, cur, want)
+		}
+		goals = append(goals, vmGoal{vm: v, cur: cur, want: want, curLoc: p.Src.LocationOf(v.Name)})
+	}
+	return goals, nil
+}
+
+// runContribution returns the plan-cost contribution (Table 1) of
+// hosting the VM of g on node when the target state is Running: 0 to
+// stay or boot, Dm to migrate, Dm to resume locally, 2·Dm to resume
+// remotely.
+func (g vmGoal) runContribution(node string) int {
+	switch g.cur {
+	case vjob.Running:
+		if node == g.curLoc {
+			return 0
+		}
+		return g.vm.MemoryDemand
+	case vjob.Sleeping:
+		if node == g.curLoc {
+			return g.vm.MemoryDemand
+		}
+		return 2 * g.vm.MemoryDemand
+	default: // waiting: a run action
+		return 0
+	}
+}
+
+// fixedCost returns the cost the goal incurs regardless of placement
+// (suspends of running VMs headed to Sleeping). Stops are free.
+func (g vmGoal) fixedCost() int {
+	if g.want == vjob.Sleeping && g.cur == vjob.Running {
+		return g.vm.MemoryDemand
+	}
+	return 0
+}
+
+// costModel evaluates placement contributions including the §4.2
+// sequencing delays: a VM sent to a node where it does not fit right
+// now must wait for at least one release there, so its total cost is
+// raised by the cheapest release cost of that node. The estimate stays
+// a lower bound of the true plan cost (the actual delay is the cost of
+// every preceding pool), which keeps the branch-and-bound admissible
+// while steering the search towards nodes that are free immediately —
+// the paper's "perform actions as early as possible".
+type costModel struct {
+	// freeCPU/freeMem cache the source configuration's per-node free
+	// capacities: contribution runs in the propagator's inner loop and
+	// cannot afford configuration scans.
+	freeCPU, freeMem map[string]int
+	// minRelease[node] is the cheapest cost among the actions that
+	// liberate resources on the node (0 when a hosted VM is being
+	// stopped; Dm for a suspend or an outbound migration); missing
+	// entries mean no release is possible.
+	minRelease map[string]int
+}
+
+func newCostModel(src *vjob.Configuration, goals []vmGoal) *costModel {
+	m := &costModel{
+		freeCPU:    make(map[string]int),
+		freeMem:    make(map[string]int),
+		minRelease: make(map[string]int),
+	}
+	for _, n := range src.Nodes() {
+		m.freeCPU[n.Name] = src.FreeCPU(n.Name)
+		m.freeMem[n.Name] = src.FreeMemory(n.Name)
+	}
+	for _, g := range goals {
+		if g.cur != vjob.Running {
+			continue
+		}
+		var rel int
+		switch g.want {
+		case vjob.Terminated:
+			rel = 0 // stop
+		default:
+			rel = g.vm.MemoryDemand // suspend or migration away
+		}
+		if cur, ok := m.minRelease[g.curLoc]; !ok || rel < cur {
+			m.minRelease[g.curLoc] = rel
+		}
+	}
+	return m
+}
+
+// contribution returns the placement cost of hosting g's VM on node:
+// the Table 1 action cost plus the sequencing delay bound.
+func (m *costModel) contribution(g vmGoal, node string) int {
+	c := g.runContribution(node)
+	if g.cur == vjob.Running && node == g.curLoc {
+		return c // staying put: no action, no delay
+	}
+	if m.freeCPU[node] >= g.vm.CPUDemand && m.freeMem[node] >= g.vm.MemoryDemand {
+		return c // fits immediately: the action can start in pool 0
+	}
+	if rel, ok := m.minRelease[node]; ok {
+		return c + rel
+	}
+	return c
+}
+
+// Result is the outcome of an optimization: the destination
+// configuration, its reconfiguration plan and cost, plus solver
+// telemetry.
+type Result struct {
+	// Dst is the viable destination configuration.
+	Dst *vjob.Configuration
+	// Plan realizes Src -> Dst.
+	Plan *plan.Plan
+	// Cost is the plan cost under the §4.2 model.
+	Cost int
+	// LowerBound is the solver's admissible lower bound on the cost of
+	// any plan for the chosen target states.
+	LowerBound int
+	// Optimal is true when the solver proved no cheaper configuration
+	// exists (with respect to its bound) before the timeout.
+	Optimal bool
+	// Solutions counts the improving configurations found.
+	Solutions int
+	// Nodes and Fails are search counters.
+	Nodes, Fails int64
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"cwcs/internal/cp"
+	"cwcs/internal/vjob"
+)
+
+// PlacementRule is an administrator-supplied low-level constraint on
+// where VMs may run (the paper's §7: Entropy already supports such
+// relations — e.g. hosting VMs on different nodes for high
+// availability — and this engine maintains them while optimizing the
+// cluster-wide context switch). Rules apply to the VMs that end up in
+// the Running state; sleeping and waiting VMs hold no placement.
+type PlacementRule interface {
+	// Apply posts the rule on the solver. vars maps VM names (of the
+	// VMs that will run) to their assignment variable; nodeIdx maps
+	// node names to variable values. Unknown VM names are ignored: the
+	// rule binds placement, not scheduling.
+	Apply(s *cp.Solver, vars map[string]*cp.IntVar, nodeIdx map[string]int) error
+	// Check validates a concrete configuration against the rule, for
+	// plan validation and tests.
+	Check(cfg *vjob.Configuration) error
+}
+
+// Spread keeps the named VMs on pairwise distinct nodes (the classic
+// high-availability anti-affinity rule).
+type Spread struct {
+	// VMs are the VM names the rule covers.
+	VMs []string
+}
+
+// Apply posts an AllDifferent over the covered running VMs.
+func (r Spread) Apply(s *cp.Solver, vars map[string]*cp.IntVar, nodeIdx map[string]int) error {
+	var items []*cp.IntVar
+	for _, name := range r.VMs {
+		if v, ok := vars[name]; ok {
+			items = append(items, v)
+		}
+	}
+	if len(items) > 1 {
+		s.Post(&cp.AllDifferent{Items: items})
+	}
+	return nil
+}
+
+// Check verifies pairwise distinct hosts among the running VMs.
+func (r Spread) Check(cfg *vjob.Configuration) error {
+	seen := map[string]string{}
+	for _, name := range r.VMs {
+		h := cfg.HostOf(name)
+		if h == "" {
+			continue
+		}
+		if prev, ok := seen[h]; ok {
+			return fmt.Errorf("core: spread violated: %s and %s share node %s", prev, name, h)
+		}
+		seen[h] = name
+	}
+	return nil
+}
+
+// Ban keeps the named VMs off the given nodes (e.g. nodes entering
+// maintenance).
+type Ban struct {
+	VMs   []string
+	Nodes []string
+}
+
+// Apply removes the banned nodes from the VMs' domains.
+func (r Ban) Apply(s *cp.Solver, vars map[string]*cp.IntVar, nodeIdx map[string]int) error {
+	for _, name := range r.VMs {
+		v, ok := vars[name]
+		if !ok {
+			continue
+		}
+		for _, n := range r.Nodes {
+			idx, ok := nodeIdx[n]
+			if !ok {
+				return fmt.Errorf("core: ban references unknown node %q", n)
+			}
+			if err := s.RemoveValue(v, idx); err != nil {
+				return fmt.Errorf("core: ban leaves no host for %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Check verifies no covered running VM sits on a banned node.
+func (r Ban) Check(cfg *vjob.Configuration) error {
+	banned := map[string]bool{}
+	for _, n := range r.Nodes {
+		banned[n] = true
+	}
+	for _, name := range r.VMs {
+		if h := cfg.HostOf(name); h != "" && banned[h] {
+			return fmt.Errorf("core: ban violated: %s runs on %s", name, h)
+		}
+	}
+	return nil
+}
+
+// Fence restricts the named VMs to the given node group (e.g. nodes
+// holding a dataset or a licence).
+type Fence struct {
+	VMs   []string
+	Nodes []string
+}
+
+// Apply prunes every node outside the fence from the VMs' domains.
+func (r Fence) Apply(s *cp.Solver, vars map[string]*cp.IntVar, nodeIdx map[string]int) error {
+	inside := map[int]bool{}
+	for _, n := range r.Nodes {
+		idx, ok := nodeIdx[n]
+		if !ok {
+			return fmt.Errorf("core: fence references unknown node %q", n)
+		}
+		inside[idx] = true
+	}
+	for _, name := range r.VMs {
+		v, ok := vars[name]
+		if !ok {
+			continue
+		}
+		for _, val := range v.Values() {
+			if !inside[val] {
+				if err := s.RemoveValue(v, val); err != nil {
+					return fmt.Errorf("core: fence leaves no host for %s: %w", name, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Check verifies every covered running VM sits inside the fence.
+func (r Fence) Check(cfg *vjob.Configuration) error {
+	inside := map[string]bool{}
+	for _, n := range r.Nodes {
+		inside[n] = true
+	}
+	for _, name := range r.VMs {
+		if h := cfg.HostOf(name); h != "" && !inside[h] {
+			return fmt.Errorf("core: fence violated: %s runs on %s", name, h)
+		}
+	}
+	return nil
+}
+
+// Gather co-locates the named VMs on one node (latency-bound
+// communication).
+type Gather struct {
+	VMs []string
+}
+
+// Apply chains equality between consecutive covered VMs through a
+// dedicated propagator.
+func (r Gather) Apply(s *cp.Solver, vars map[string]*cp.IntVar, nodeIdx map[string]int) error {
+	var items []*cp.IntVar
+	for _, name := range r.VMs {
+		if v, ok := vars[name]; ok {
+			items = append(items, v)
+		}
+	}
+	if len(items) < 2 {
+		return nil
+	}
+	s.Post(&cp.FuncConstraint{On: items, Run: func(s *cp.Solver) error {
+		// Intersect the domains: all variables must share a value.
+		for _, val := range items[0].Values() {
+			keep := true
+			for _, v := range items[1:] {
+				if !v.Contains(val) {
+					keep = false
+					break
+				}
+			}
+			if !keep {
+				if err := s.RemoveValue(items[0], val); err != nil {
+					return err
+				}
+			}
+		}
+		// Mirror item 0's (now intersected) domain onto the others.
+		for _, v := range items[1:] {
+			for _, val := range v.Values() {
+				if !items[0].Contains(val) {
+					if err := s.RemoveValue(v, val); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}})
+	return nil
+}
+
+// Check verifies the covered running VMs share a node.
+func (r Gather) Check(cfg *vjob.Configuration) error {
+	host := ""
+	first := ""
+	for _, name := range r.VMs {
+		h := cfg.HostOf(name)
+		if h == "" {
+			continue
+		}
+		if host == "" {
+			host, first = h, name
+			continue
+		}
+		if h != host {
+			return fmt.Errorf("core: gather violated: %s on %s but %s on %s", first, host, name, h)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cwcs/internal/vjob"
+)
+
+// rulesCluster: 3 nodes, one 2-VM vjob waiting.
+func rulesCluster(t *testing.T) (*vjob.Configuration, *vjob.VJob) {
+	t.Helper()
+	c := mkCluster(3, 2, 4096)
+	j := vjob.NewVJob("j", 0,
+		vjob.NewVM("j-1", "", 1, 1024),
+		vjob.NewVM("j-2", "", 1, 1024))
+	for _, v := range j.VMs {
+		c.AddVM(v)
+	}
+	return c, j
+}
+
+func TestSpreadSeparatesReplicas(t *testing.T) {
+	c, j := rulesCluster(t)
+	// Without the rule, both VMs fit on one node (2 CPUs).
+	plain, err := Optimizer{}.Solve(Problem{Src: c, Target: map[string]vjob.State{"j": vjob.Running}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = plain
+	res, err := Optimizer{}.Solve(Problem{
+		Src:    c,
+		Target: map[string]vjob.State{"j": vjob.Running},
+		Rules:  []PlacementRule{Spread{VMs: []string{"j-1", "j-2"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dst.HostOf("j-1") == res.Dst.HostOf("j-2") {
+		t.Fatalf("spread violated: both on %s", res.Dst.HostOf("j-1"))
+	}
+	if err := (Spread{VMs: []string{"j-1", "j-2"}}).Check(res.Dst); err != nil {
+		t.Fatal(err)
+	}
+	_ = j
+}
+
+func TestSpreadCheckDetectsViolation(t *testing.T) {
+	c, _ := rulesCluster(t)
+	mustRun(t, c, "j-1", "n00")
+	mustRun(t, c, "j-2", "n00")
+	if err := (Spread{VMs: []string{"j-1", "j-2"}}).Check(c); err == nil {
+		t.Fatal("violation not detected")
+	}
+}
+
+func TestBanKeepsVMOffNode(t *testing.T) {
+	c, _ := rulesCluster(t)
+	ban := Ban{VMs: []string{"j-1", "j-2"}, Nodes: []string{"n00", "n01"}}
+	res, err := Optimizer{}.Solve(Problem{
+		Src:    c,
+		Target: map[string]vjob.State{"j": vjob.Running},
+		Rules:  []PlacementRule{ban},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range []string{"j-1", "j-2"} {
+		if h := res.Dst.HostOf(vm); h != "n02" {
+			t.Fatalf("%s on %s, want n02", vm, h)
+		}
+	}
+	if err := ban.Check(res.Dst); err != nil {
+		t.Fatal(err)
+	}
+	// Banning every node is unsatisfiable.
+	_, err = Optimizer{}.Solve(Problem{
+		Src:    c,
+		Target: map[string]vjob.State{"j": vjob.Running},
+		Rules:  []PlacementRule{Ban{VMs: []string{"j-1"}, Nodes: []string{"n00", "n01", "n02"}}},
+	})
+	if !errors.Is(err, ErrNoViableConfiguration) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBanUnknownNode(t *testing.T) {
+	c, _ := rulesCluster(t)
+	_, err := Optimizer{}.Solve(Problem{
+		Src:    c,
+		Target: map[string]vjob.State{"j": vjob.Running},
+		Rules:  []PlacementRule{Ban{VMs: []string{"j-1"}, Nodes: []string{"ghost"}}},
+	})
+	if err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestFenceRestrictsToGroup(t *testing.T) {
+	c, _ := rulesCluster(t)
+	fence := Fence{VMs: []string{"j-1", "j-2"}, Nodes: []string{"n01"}}
+	res, err := Optimizer{}.Solve(Problem{
+		Src:    c,
+		Target: map[string]vjob.State{"j": vjob.Running},
+		Rules:  []PlacementRule{fence},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range []string{"j-1", "j-2"} {
+		if h := res.Dst.HostOf(vm); h != "n01" {
+			t.Fatalf("%s on %s, want n01", vm, h)
+		}
+	}
+	if err := fence.Check(res.Dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFenceConflictsWithSpread(t *testing.T) {
+	c, _ := rulesCluster(t)
+	// One node cannot both hold and separate two VMs.
+	_, err := Optimizer{}.Solve(Problem{
+		Src:    c,
+		Target: map[string]vjob.State{"j": vjob.Running},
+		Rules: []PlacementRule{
+			Fence{VMs: []string{"j-1", "j-2"}, Nodes: []string{"n01"}},
+			Spread{VMs: []string{"j-1", "j-2"}},
+		},
+	})
+	if !errors.Is(err, ErrNoViableConfiguration) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGatherColocates(t *testing.T) {
+	c, _ := rulesCluster(t)
+	gather := Gather{VMs: []string{"j-1", "j-2"}}
+	res, err := Optimizer{}.Solve(Problem{
+		Src:    c,
+		Target: map[string]vjob.State{"j": vjob.Running},
+		Rules:  []PlacementRule{gather},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dst.HostOf("j-1") != res.Dst.HostOf("j-2") {
+		t.Fatal("gather violated")
+	}
+	if err := gather.Check(res.Dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatherIntersectsDomains: one gathered VM is too big for most
+// nodes, so the whole group must land where the big one fits — the
+// propagator intersects the domains.
+func TestGatherIntersectsDomains(t *testing.T) {
+	c := vjob.NewConfiguration()
+	c.AddNode(vjob.NewNode("small1", 2, 1024))
+	c.AddNode(vjob.NewNode("small2", 2, 1024))
+	c.AddNode(vjob.NewNode("big", 2, 8192))
+	c.AddVM(vjob.NewVM("g-large", "g", 1, 4096))
+	c.AddVM(vjob.NewVM("g-tiny", "g", 1, 256))
+	gather := Gather{VMs: []string{"g-large", "g-tiny"}}
+	res, err := Optimizer{}.Solve(Problem{
+		Src:    c,
+		Target: map[string]vjob.State{"g": vjob.Running},
+		Rules:  []PlacementRule{gather},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dst.HostOf("g-large") != "big" || res.Dst.HostOf("g-tiny") != "big" {
+		t.Fatalf("gather landed on %s/%s, want big/big",
+			res.Dst.HostOf("g-large"), res.Dst.HostOf("g-tiny"))
+	}
+	// And when the shared node cannot host both, the rule must fail
+	// the reconfiguration rather than split the group.
+	c2 := vjob.NewConfiguration()
+	c2.AddNode(vjob.NewNode("n1", 1, 8192))
+	c2.AddNode(vjob.NewNode("n2", 1, 8192))
+	c2.AddVM(vjob.NewVM("g-1", "g", 1, 512))
+	c2.AddVM(vjob.NewVM("g-2", "g", 1, 512))
+	_, err = Optimizer{}.Solve(Problem{
+		Src:    c2,
+		Target: map[string]vjob.State{"g": vjob.Running},
+		Rules:  []PlacementRule{Gather{VMs: []string{"g-1", "g-2"}}},
+	})
+	if !errors.Is(err, ErrNoViableConfiguration) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGatherCheckDetectsViolation(t *testing.T) {
+	c, _ := rulesCluster(t)
+	mustRun(t, c, "j-1", "n00")
+	mustRun(t, c, "j-2", "n01")
+	if err := (Gather{VMs: []string{"j-1", "j-2"}}).Check(c); err == nil {
+		t.Fatal("violation not detected")
+	}
+}
+
+// TestRulesSurviveOptimization is the §7 scenario: the rules hold in
+// the optimized configuration even when the optimizer must pay more
+// (j-1 runs on n00 and would stay for free, but the ban forces a
+// migration).
+func TestRulesSurviveOptimization(t *testing.T) {
+	c, _ := rulesCluster(t)
+	mustRun(t, c, "j-1", "n00")
+	mustRun(t, c, "j-2", "n01")
+	ban := Ban{VMs: []string{"j-1"}, Nodes: []string{"n00"}}
+	res, err := Optimizer{}.Solve(Problem{
+		Src:    c,
+		Target: map[string]vjob.State{"j": vjob.Running},
+		Rules:  []PlacementRule{ban},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dst.HostOf("j-1") == "n00" {
+		t.Fatal("ban ignored")
+	}
+	if res.Cost < 1024 {
+		t.Fatalf("cost = %d, want at least one migration", res.Cost)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpreadAcrossManyVMs stresses the AllDifferent propagation.
+func TestSpreadAcrossManyVMs(t *testing.T) {
+	c := mkCluster(6, 2, 8192)
+	var names []string
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("r-%d", i)
+		c.AddVM(vjob.NewVM(name, "r", 1, 1024))
+		names = append(names, name)
+	}
+	res, err := Optimizer{}.Solve(Problem{
+		Src:    c,
+		Target: map[string]vjob.State{"r": vjob.Running},
+		Rules:  []PlacementRule{Spread{VMs: names}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := map[string]bool{}
+	for _, n := range names {
+		hosts[res.Dst.HostOf(n)] = true
+	}
+	if len(hosts) != 6 {
+		t.Fatalf("only %d distinct hosts", len(hosts))
+	}
+	// Seven replicas on six nodes cannot spread.
+	c.AddVM(vjob.NewVM("r-6", "r", 1, 1024))
+	_, err = Optimizer{}.Solve(Problem{
+		Src:    c,
+		Target: map[string]vjob.State{"r": vjob.Running},
+		Rules:  []PlacementRule{Spread{VMs: append(names, "r-6")}},
+	})
+	if !errors.Is(err, ErrNoViableConfiguration) {
+		t.Fatalf("err = %v", err)
+	}
+}

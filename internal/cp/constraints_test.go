@@ -1,0 +1,172 @@
+package cp
+
+import (
+	"errors"
+	"testing"
+)
+
+// packingProblem posts a Packing over nItems items and returns the
+// assignment variables.
+func packingProblem(s *Solver, weights, caps []int, knapsack bool) []*IntVar {
+	items := make([]*IntVar, len(weights))
+	bins := rangeVals(len(caps))
+	for i := range items {
+		items[i] = s.NewEnumVar("item", bins)
+	}
+	s.Post(&Packing{Name: "mem", Items: items, Weights: weights, Capacity: caps, UseKnapsack: knapsack})
+	return items
+}
+
+func TestPackingFeasible(t *testing.T) {
+	s := NewSolver()
+	items := packingProblem(s, []int{5, 5, 5, 5}, []int{10, 10}, false)
+	sol, err := s.Solve(Options{FirstFail: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := map[int]int{}
+	for i, v := range items {
+		load[sol.MustValue(v)] += []int{5, 5, 5, 5}[i]
+	}
+	for b, l := range load {
+		if l > 10 {
+			t.Fatalf("bin %d overloaded: %d", b, l)
+		}
+	}
+}
+
+func TestPackingInfeasible(t *testing.T) {
+	s := NewSolver()
+	packingProblem(s, []int{8, 8, 8}, []int{10, 10}, false)
+	if _, err := s.Solve(Options{}); !errors.Is(err, ErrFailed) {
+		t.Fatalf("err = %v, want ErrFailed", err)
+	}
+}
+
+func TestPackingPrunesTooHeavy(t *testing.T) {
+	s := NewSolver()
+	items := packingProblem(s, []int{9, 4}, []int{10, 5}, false)
+	if err := s.propagate(); err != nil {
+		t.Fatal(err)
+	}
+	// Item 0 (weight 9) cannot go to bin 1 (cap 5).
+	if items[0].Contains(1) {
+		t.Fatal("bin 1 not pruned for heavy item")
+	}
+}
+
+func TestPackingZeroWeightIgnored(t *testing.T) {
+	s := NewSolver()
+	items := packingProblem(s, []int{0, 0, 0}, []int{0}, false)
+	sol, err := s.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range items {
+		if sol.MustValue(v) != 0 {
+			t.Fatal("zero-weight item rejected from zero-cap bin")
+		}
+	}
+}
+
+// TestKnapsackBoundDetectsDeadEndEarly: three items of weight 6 on two
+// bins of capacity 10. The plain sum bound sees 18 <= 20 free and only
+// fails during search; the DP bound proves at the root that each bin
+// absorbs at most one item (reachable loads {0,6,12->pruned}), so the
+// total absorbable is 12 < 18.
+func TestKnapsackBoundDetectsDeadEndEarly(t *testing.T) {
+	plain := NewSolver()
+	packingProblem(plain, []int{6, 6, 6}, []int{10, 10}, false)
+	if err := plain.propagate(); err != nil {
+		t.Fatal("plain bound failed at root; premise broken")
+	}
+
+	dp := NewSolver()
+	packingProblem(dp, []int{6, 6, 6}, []int{10, 10}, true)
+	if err := dp.propagate(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("knapsack bound missed the root dead end: %v", err)
+	}
+
+	// Both must agree the problem is infeasible overall.
+	if _, err := plain.Solve(Options{}); !errors.Is(err, ErrFailed) {
+		t.Fatalf("plain solver found impossible solution: %v", err)
+	}
+}
+
+func TestKnapsackAgreesOnFeasible(t *testing.T) {
+	for _, knap := range []bool{false, true} {
+		s := NewSolver()
+		packingProblem(s, []int{6, 6, 4, 4}, []int{10, 10}, knap)
+		if _, err := s.Solve(Options{FirstFail: true}); err != nil {
+			t.Fatalf("knapsack=%v: %v", knap, err)
+		}
+	}
+}
+
+func TestPackingOverloadDetected(t *testing.T) {
+	s := NewSolver()
+	items := packingProblem(s, []int{7, 7}, []int{10, 20}, false)
+	if err := s.Assign(items[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assign(items[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.propagate(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("overload not detected: %v", err)
+	}
+}
+
+// TestMinimizePackingOptimum: minimize the index of the highest bin
+// used, a classic makespan-flavored objective over the packing. The
+// optimum packs everything into bin 0.
+func TestMinimizePackingOptimum(t *testing.T) {
+	s := NewSolver()
+	items := packingProblem(s, []int{4, 3, 3}, []int{10, 10, 10}, false)
+	obj := s.NewIntVar("maxbin", 0, 2)
+	s.Post(&FuncConstraint{On: append([]*IntVar{obj}, items...), Run: func(s *Solver) error {
+		// obj >= max over items of min-bin still possible; prune item
+		// bins above obj's max.
+		for _, v := range items {
+			if err := s.RemoveBelow(obj, v.Min()); err != nil {
+				return err
+			}
+			if err := s.RemoveAbove(v, obj.Max()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}})
+	sol, err := s.Minimize(obj, Options{Vars: items, FirstFail: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range items {
+		if sol.MustValue(v) != 0 {
+			t.Fatalf("item on bin %d, optimum packs all on bin 0", sol.MustValue(v))
+		}
+	}
+	if sol.Objective != 0 {
+		t.Fatalf("objective = %d", sol.Objective)
+	}
+}
+
+func TestFuncConstraint(t *testing.T) {
+	s := NewSolver()
+	x := s.NewEnumVar("x", rangeVals(5))
+	calls := 0
+	fc := &FuncConstraint{On: []*IntVar{x}, Run: func(s *Solver) error {
+		calls++
+		return s.RemoveValue(x, 0)
+	}}
+	s.Post(fc)
+	if got := len(fc.Vars()); got != 1 {
+		t.Fatalf("Vars len = %d", got)
+	}
+	if err := s.propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Contains(0) || calls == 0 {
+		t.Fatal("func constraint did not run")
+	}
+}

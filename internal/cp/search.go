@@ -1,0 +1,211 @@
+package cp
+
+import (
+	"errors"
+	"time"
+)
+
+// Options tunes the search.
+type Options struct {
+	// Deadline stops the search when reached; zero means no deadline.
+	Deadline time.Time
+	// Vars are the decision variables, all of which must be bound in a
+	// solution. Defaults to every enumerated variable of the solver.
+	Vars []*IntVar
+	// FirstFail, when true (the paper's choice, §4.3), selects the
+	// unbound variable with the smallest domain; ties are broken by
+	// the order of Vars, so callers implement "hardest VMs first" by
+	// ordering Vars by decreasing demand. When false, variables are
+	// taken in Vars order.
+	FirstFail bool
+	// PreferValue, when true, tries each variable's Preferred() value
+	// first (the paper assigns running VMs to their current node in
+	// priority); remaining values are tried in ascending order.
+	PreferValue bool
+}
+
+// Solution is an immutable assignment of the decision variables.
+type Solution struct {
+	values map[*IntVar]int
+	// Objective is the objective value at the time the solution was
+	// found (only set by Minimize).
+	Objective int
+}
+
+// Value returns the solved value of v; ok is false when v was not a
+// decision variable.
+func (s Solution) Value(v *IntVar) (val int, ok bool) {
+	val, ok = s.values[v]
+	return
+}
+
+// MustValue returns the solved value of v and panics when v was not a
+// decision variable (a programming error).
+func (s Solution) MustValue(v *IntVar) int {
+	val, ok := s.values[v]
+	if !ok {
+		panic("cp: variable not part of the solution: " + v.name)
+	}
+	return val
+}
+
+func (s *Solver) decisionVars(opts Options) []*IntVar {
+	if len(opts.Vars) > 0 {
+		return opts.Vars
+	}
+	var out []*IntVar
+	for _, v := range s.vars {
+		if _, ok := v.dom.(*bitsetDomain); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Solve searches for one solution. It returns ErrFailed when the
+// problem is unsatisfiable and ErrDeadline on timeout.
+func (s *Solver) Solve(opts Options) (Solution, error) {
+	vars := s.decisionVars(opts)
+	if err := s.propagate(); err != nil {
+		return Solution{}, err
+	}
+	if err := s.search(vars, opts); err != nil {
+		return Solution{}, err
+	}
+	s.solutions++
+	return s.capture(vars), nil
+}
+
+// Minimize runs branch-and-bound on obj: it repeatedly searches for a
+// solution, then constrains obj below the incumbent and restarts,
+// until the space is exhausted (proving optimality) or the deadline
+// expires. It returns the best solution found; the error is nil when
+// optimality was proven, ErrDeadline when the deadline cut the proof
+// short, and ErrFailed when no solution exists at all.
+func (s *Solver) Minimize(obj *IntVar, opts Options) (Solution, error) {
+	vars := s.decisionVars(opts)
+	best := Solution{}
+	found := false
+	root := s.snapshot()
+	bound := obj.Max()
+	for {
+		s.restore(root)
+		if err := s.RemoveAbove(obj, bound); err != nil {
+			if found {
+				return best, nil
+			}
+			return Solution{}, ErrFailed
+		}
+		err := func() error {
+			if err := s.propagate(); err != nil {
+				return err
+			}
+			return s.search(vars, opts)
+		}()
+		switch {
+		case err == nil:
+			s.solutions++
+			best = s.capture(vars)
+			best.Objective = obj.Min()
+			found = true
+			bound = best.Objective - 1
+		case errors.Is(err, ErrDeadline):
+			if found {
+				return best, ErrDeadline
+			}
+			return Solution{}, ErrDeadline
+		case errors.Is(err, ErrFailed):
+			if found {
+				return best, nil // optimality proven
+			}
+			return Solution{}, ErrFailed
+		default:
+			return Solution{}, err
+		}
+	}
+}
+
+func (s *Solver) capture(vars []*IntVar) Solution {
+	sol := Solution{values: make(map[*IntVar]int, len(vars))}
+	for _, v := range vars {
+		sol.values[v] = v.Value()
+	}
+	return sol
+}
+
+// search runs depth-first search until all vars are bound (nil) or the
+// subtree fails (ErrFailed) or the deadline passes (ErrDeadline).
+// Domains are assumed propagated to fixpoint on entry.
+func (s *Solver) search(vars []*IntVar, opts Options) error {
+	if !opts.Deadline.IsZero() && s.nodes&63 == 0 && time.Now().After(opts.Deadline) {
+		return ErrDeadline
+	}
+	s.nodes++
+	v := s.pick(vars, opts)
+	if v == nil {
+		return nil // all bound: solution
+	}
+	for _, val := range s.valueOrder(v, opts) {
+		if !v.Contains(val) {
+			continue // pruned by a sibling's failure propagation
+		}
+		snap := s.snapshot()
+		err := func() error {
+			if err := s.Assign(v, val); err != nil {
+				return err
+			}
+			if err := s.propagate(); err != nil {
+				return err
+			}
+			return s.search(vars, opts)
+		}()
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrDeadline) {
+			return err
+		}
+		s.fails++
+		s.restore(snap)
+		// The value failed: remove it at this level and re-propagate,
+		// so siblings benefit from the refutation.
+		if err := s.RemoveValue(v, val); err != nil {
+			return err
+		}
+		if err := s.propagate(); err != nil {
+			return err
+		}
+	}
+	return ErrFailed
+}
+
+func (s *Solver) pick(vars []*IntVar, opts Options) *IntVar {
+	var best *IntVar
+	for _, v := range vars {
+		if v.Bound() {
+			continue
+		}
+		if !opts.FirstFail {
+			return v
+		}
+		if best == nil || v.Size() < best.Size() {
+			best = v
+		}
+	}
+	return best
+}
+
+func (s *Solver) valueOrder(v *IntVar, opts Options) []int {
+	vals := v.Values()
+	if !opts.PreferValue || v.pref < 0 || !v.Contains(v.pref) {
+		return vals
+	}
+	out := make([]int, 0, len(vals))
+	out = append(out, v.pref)
+	for _, val := range vals {
+		if val != v.pref {
+			out = append(out, val)
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package cp
+
+import "fmt"
+
+// IntVar is a finite-domain integer variable owned by a Solver. All
+// mutation goes through Solver methods so changes are propagated and
+// undone on backtrack.
+type IntVar struct {
+	solver *Solver
+	id     int
+	name   string
+	dom    domain
+	// watchers are the constraints to wake when the domain changes.
+	watchers []Constraint
+	// pref is the value tried first during search (e.g. the node the
+	// VM currently runs on); -1 when unset.
+	pref int
+}
+
+// Name returns the variable name given at creation.
+func (v *IntVar) Name() string { return v.name }
+
+// Min returns the domain minimum.
+func (v *IntVar) Min() int { return v.dom.min() }
+
+// Max returns the domain maximum.
+func (v *IntVar) Max() int { return v.dom.max() }
+
+// Size returns the domain cardinality.
+func (v *IntVar) Size() int { return v.dom.size() }
+
+// Bound reports whether the domain is a singleton.
+func (v *IntVar) Bound() bool { return v.dom.size() == 1 }
+
+// Value returns the assigned value; it panics when the variable is not
+// bound, which would be a solver bug.
+func (v *IntVar) Value() int {
+	if !v.Bound() {
+		panic(fmt.Sprintf("cp: Value() on unbound variable %s", v.name))
+	}
+	return v.dom.min()
+}
+
+// Contains reports whether val is still in the domain.
+func (v *IntVar) Contains(val int) bool { return v.dom.contains(val) }
+
+// Values returns the remaining domain values in ascending order.
+func (v *IntVar) Values() []int { return v.dom.values() }
+
+// SetPreferred sets the value the search tries first for this
+// variable. Use -1 to clear.
+func (v *IntVar) SetPreferred(val int) { v.pref = val }
+
+// Preferred returns the preferred value, or -1.
+func (v *IntVar) Preferred() int { return v.pref }
+
+// String renders the variable with its domain, for debugging.
+func (v *IntVar) String() string {
+	if v.Bound() {
+		return fmt.Sprintf("%s=%d", v.name, v.Value())
+	}
+	if v.Size() <= 8 {
+		return fmt.Sprintf("%s∈%v", v.name, v.Values())
+	}
+	return fmt.Sprintf("%s∈[%d..%d](%d)", v.name, v.Min(), v.Max(), v.Size())
+}

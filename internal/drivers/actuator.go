@@ -1,0 +1,33 @@
+package drivers
+
+import (
+	"cwcs/internal/plan"
+	"cwcs/internal/sim"
+	"cwcs/internal/vjob"
+)
+
+// Actuator adapts a simulated cluster to the core.Actuator interface,
+// wiring the Entropy control loop to the drivers.
+type Actuator struct {
+	// C is the simulated cluster.
+	C *sim.Cluster
+	// Reports accumulates the raw execution reports.
+	Reports []Report
+}
+
+// Now returns the cluster's virtual time.
+func (a *Actuator) Now() float64 { return a.C.Now() }
+
+// Schedule forwards to the cluster's event queue.
+func (a *Actuator) Schedule(at float64, fn func()) { a.C.Schedule(at, fn) }
+
+// Observe snapshots the configuration.
+func (a *Actuator) Observe() *vjob.Configuration { return a.C.Snapshot() }
+
+// Execute runs the plan through the drivers and reports back.
+func (a *Actuator) Execute(p *plan.Plan, done func(duration float64, failures int)) {
+	Execute(a.C, p, func(r Report) {
+		a.Reports = append(a.Reports, r)
+		done(r.Duration(), len(r.Errs))
+	})
+}

@@ -1,0 +1,126 @@
+// Package drivers executes reconfiguration plans against the simulated
+// cluster, playing the role of the paper's SSH / Xen-API action
+// drivers. Pools run sequentially; inside a pool every action starts in
+// parallel, except the suspends and resumes, which are sorted by the
+// hostname of their VMs and pipelined one second apart (§4.1): the VMs
+// of a vjob pause in a fixed order within a short period while the
+// bulk of the image writing still overlaps.
+package drivers
+
+import (
+	"fmt"
+	"sort"
+
+	"cwcs/internal/plan"
+	"cwcs/internal/sim"
+)
+
+// PipelineDelay is the delay between two pipelined suspend/resume
+// starts, in seconds (the paper uses one second).
+const PipelineDelay = 1.0
+
+// Report summarizes an executed cluster-wide context switch.
+type Report struct {
+	// Start and End are the virtual times bounding the execution.
+	Start, End float64
+	// Cost is the §4.2 cost of the executed plan.
+	Cost int
+	// Actions counts executed actions; Pools the sequential steps.
+	Actions, Pools int
+	// Errs collects per-action failures (empty on success).
+	Errs []error
+}
+
+// Duration returns the wall-clock (virtual) length of the switch.
+func (r Report) Duration() float64 { return r.End - r.Start }
+
+// Execute launches the plan on the cluster and calls done with a
+// report when the last action of the last pool has completed. It
+// returns immediately; the work happens as the simulation advances.
+func Execute(c *sim.Cluster, p *plan.Plan, done func(Report)) {
+	rep := Report{Start: c.Now(), Cost: p.Cost(), Actions: p.NumActions(), Pools: len(p.Pools)}
+	runPool(c, p, 0, rep, done)
+}
+
+func runPool(c *sim.Cluster, p *plan.Plan, i int, rep Report, done func(Report)) {
+	if i >= len(p.Pools) {
+		rep.End = c.Now()
+		if done != nil {
+			done(rep)
+		}
+		return
+	}
+	pool := p.Pools[i]
+	if len(pool) == 0 {
+		runPool(c, p, i+1, rep, done)
+		return
+	}
+	pending := len(pool)
+	finish := func(err error) {
+		if err != nil {
+			rep.Errs = append(rep.Errs, err)
+		}
+		pending--
+		if pending == 0 {
+			runPool(c, p, i+1, rep, done)
+		}
+	}
+	now := c.Now()
+	for _, sa := range scheduleTimes(pool, now) {
+		a, at := sa.action, sa.at
+		c.Schedule(at, func() { c.StartAction(a, finish) })
+	}
+}
+
+type scheduledAction struct {
+	action plan.Action
+	at     float64
+}
+
+// scheduleTimes assigns a start time to every action of a pool:
+// migrations, runs and stops start immediately; suspends and resumes
+// are each pipelined PipelineDelay apart, ordered by the hostname of
+// the manipulated VM then the VM name.
+func scheduleTimes(pool plan.Pool, now float64) []scheduledAction {
+	var immediate, pipelined []plan.Action
+	for _, a := range pool {
+		switch a.(type) {
+		case *plan.Suspend, *plan.Resume:
+			pipelined = append(pipelined, a)
+		default:
+			immediate = append(immediate, a)
+		}
+	}
+	sort.SliceStable(pipelined, func(i, j int) bool {
+		hi, hj := hostOf(pipelined[i]), hostOf(pipelined[j])
+		if hi != hj {
+			return hi < hj
+		}
+		return pipelined[i].VM().Name < pipelined[j].VM().Name
+	})
+	out := make([]scheduledAction, 0, len(pool))
+	for _, a := range immediate {
+		out = append(out, scheduledAction{a, now})
+	}
+	for k, a := range pipelined {
+		out = append(out, scheduledAction{a, now + float64(k)*PipelineDelay})
+	}
+	return out
+}
+
+func hostOf(a plan.Action) string {
+	switch a := a.(type) {
+	case *plan.Suspend:
+		return a.On
+	case *plan.Resume:
+		return a.On
+	default:
+		return ""
+	}
+}
+
+// String renders the report for logs.
+func (r Report) String() string {
+	return fmt.Sprintf("switch[cost=%d actions=%d pools=%d %.0fs..%.0fs errs=%d]",
+		r.Cost, r.Actions, r.Pools, r.Start, r.End, len(r.Errs))
+}

@@ -1,0 +1,182 @@
+// Package duration models how long each VM context-switch action takes
+// and how much it slows down co-hosted busy VMs. It is the analytic
+// substitute for the measurements of §2.3 / Figure 3 of the paper,
+// which were taken on 2.1 GHz Core 2 Duo nodes with Xen 3.2 and NFS
+// storage. The model preserves the shapes that matter to the planner:
+//
+//   - booting a VM is constant (~6 s) and a clean shutdown is constant
+//     (~25 s, dominated by service timeouts);
+//   - migration, suspend and resume durations grow linearly with the
+//     memory allocated to the manipulated VM (a migration reaches ~26 s
+//     at 2 GiB);
+//   - a remote suspend/resume (image pushed with scp or rsync) takes
+//     about twice as long as a local one (a remote resume reaches ~3
+//     minutes at 2 GiB);
+//   - while an operation runs, busy VMs on the involved nodes are
+//     decelerated by a factor of ~1.3 (local) to ~1.5 (remote).
+package duration
+
+import (
+	"fmt"
+	"time"
+
+	"cwcs/internal/plan"
+)
+
+// Transfer says how a suspended image reaches (or leaves) the node
+// that runs the VM.
+type Transfer int
+
+const (
+	// Local: the image stays on the node's own storage.
+	Local Transfer = iota
+	// SCP: the image is copied with scp.
+	SCP
+	// Rsync: the image is copied with rsync.
+	Rsync
+)
+
+// String names the transfer mode as in Figure 3 ("local", "local+scp",
+// "local+rsync").
+func (t Transfer) String() string {
+	switch t {
+	case Local:
+		return "local"
+	case SCP:
+		return "local+scp"
+	case Rsync:
+		return "local+rsync"
+	default:
+		return "invalid"
+	}
+}
+
+// Model holds the calibration constants. All durations are seconds;
+// memory is MiB.
+type Model struct {
+	// BootSec is the constant duration of run (start) actions.
+	BootSec float64
+	// ShutdownSec is the constant duration of stop (clean shutdown).
+	ShutdownSec float64
+	// MigrateBaseSec + MigratePerMiB*mem is a live migration.
+	MigrateBaseSec float64
+	MigratePerMiB  float64
+	// SuspendBaseSec + SuspendPerMiB*mem is a local suspend.
+	SuspendBaseSec float64
+	SuspendPerMiB  float64
+	// ResumeBaseSec + ResumePerMiB*mem is a local resume.
+	ResumeBaseSec float64
+	ResumePerMiB  float64
+	// RemoteFactorSCP/Rsync multiply the local suspend/resume duration
+	// when the image crosses the network.
+	RemoteFactorSCP   float64
+	RemoteFactorRsync float64
+	// DecelLocal/DecelRemote are the slowdown factors applied to busy
+	// VMs co-hosted with a local (resp. remote) operation.
+	DecelLocal  float64
+	DecelRemote float64
+	// RAMSuspendSec is the constant duration of the future-work
+	// suspend-to-RAM variant (§7): no disk image is written.
+	RAMSuspendSec float64
+}
+
+// Default returns the calibration matching §2.3: boot 6 s, shutdown
+// 25 s, migrate 5+mem/100 s (25.5 s at 2 GiB), local suspend
+// 5+mem/20 s (107 s at 2 GiB), local resume 5+mem/25 s (87 s at 2
+// GiB), remote ≈ 2x, deceleration 1.3 local / 1.5 remote.
+func Default() Model {
+	return Model{
+		BootSec:           6,
+		ShutdownSec:       25,
+		MigrateBaseSec:    5,
+		MigratePerMiB:     0.01,
+		SuspendBaseSec:    5,
+		SuspendPerMiB:     0.05,
+		ResumeBaseSec:     5,
+		ResumePerMiB:      0.04,
+		RemoteFactorSCP:   2.0,
+		RemoteFactorRsync: 1.9,
+		DecelLocal:        1.3,
+		DecelRemote:       1.5,
+		RAMSuspendSec:     1.5,
+	}
+}
+
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// Boot returns the duration of a run action.
+func (m Model) Boot() time.Duration { return secs(m.BootSec) }
+
+// Shutdown returns the duration of a clean stop action.
+func (m Model) Shutdown() time.Duration { return secs(m.ShutdownSec) }
+
+// Migrate returns the duration of a live migration of a VM with the
+// given memory allocation (MiB).
+func (m Model) Migrate(memMiB int) time.Duration {
+	return secs(m.MigrateBaseSec + m.MigratePerMiB*float64(memMiB))
+}
+
+// Suspend returns the duration of suspending a VM, writing the image
+// through the given transfer.
+func (m Model) Suspend(memMiB int, tr Transfer) time.Duration {
+	local := m.SuspendBaseSec + m.SuspendPerMiB*float64(memMiB)
+	return secs(local * m.factor(tr))
+}
+
+// Resume returns the duration of resuming a VM whose image arrives
+// through the given transfer.
+func (m Model) Resume(memMiB int, tr Transfer) time.Duration {
+	local := m.ResumeBaseSec + m.ResumePerMiB*float64(memMiB)
+	return secs(local * m.factor(tr))
+}
+
+// SuspendToRAM returns the duration of the §7 suspend-to-RAM variant.
+func (m Model) SuspendToRAM() time.Duration { return secs(m.RAMSuspendSec) }
+
+func (m Model) factor(tr Transfer) float64 {
+	switch tr {
+	case SCP:
+		return m.RemoteFactorSCP
+	case Rsync:
+		return m.RemoteFactorRsync
+	default:
+		return 1
+	}
+}
+
+// Deceleration returns the slowdown factor suffered by busy VMs
+// co-hosted with an operation using the given transfer.
+func (m Model) Deceleration(tr Transfer) float64 {
+	if tr == Local {
+		return m.DecelLocal
+	}
+	return m.DecelRemote
+}
+
+// ActionDuration maps a plan action to its duration and the transfer
+// mode involved (remote suspends/resumes use SCP, the paper's default
+// push). Unknown action types are a programming error.
+func (m Model) ActionDuration(a plan.Action) (time.Duration, Transfer) {
+	switch a := a.(type) {
+	case *plan.Run:
+		return m.Boot(), Local
+	case *plan.Stop:
+		return m.Shutdown(), Local
+	case *plan.Migration:
+		return m.Migrate(a.Machine.MemoryDemand), Local
+	case *plan.Suspend:
+		tr := Local
+		if a.To != a.On {
+			tr = SCP
+		}
+		return m.Suspend(a.Machine.MemoryDemand, tr), tr
+	case *plan.Resume:
+		tr := Local
+		if !a.Local() {
+			tr = SCP
+		}
+		return m.Resume(a.Machine.MemoryDemand, tr), tr
+	default:
+		panic(fmt.Sprintf("duration: unknown action type %T", a))
+	}
+}

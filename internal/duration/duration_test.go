@@ -1,0 +1,127 @@
+package duration
+
+import (
+	"testing"
+	"time"
+
+	"cwcs/internal/plan"
+	"cwcs/internal/vjob"
+)
+
+func TestConstantsMatchPaper(t *testing.T) {
+	m := Default()
+	// Booting a VM takes around 6 seconds; a clean shutdown ~25 s.
+	if m.Boot() != 6*time.Second {
+		t.Fatalf("boot = %v", m.Boot())
+	}
+	if m.Shutdown() != 25*time.Second {
+		t.Fatalf("shutdown = %v", m.Shutdown())
+	}
+	// Migrating a 2 GiB VM takes up to ~26 seconds.
+	if d := m.Migrate(2048); d < 20*time.Second || d > 30*time.Second {
+		t.Fatalf("migrate(2048) = %v, want ~26s", d)
+	}
+	// Resuming a 2 GiB VM remotely takes up to ~3 minutes.
+	if d := m.Resume(2048, SCP); d < 2*time.Minute || d > 4*time.Minute {
+		t.Fatalf("remote resume(2048) = %v, want ~3min", d)
+	}
+}
+
+func TestLinearInMemory(t *testing.T) {
+	m := Default()
+	sizes := []int{512, 1024, 2048}
+	for _, f := range []func(int) time.Duration{
+		m.Migrate,
+		func(mem int) time.Duration { return m.Suspend(mem, Local) },
+		func(mem int) time.Duration { return m.Resume(mem, Local) },
+	} {
+		d1, d2, d3 := f(sizes[0]), f(sizes[1]), f(sizes[2])
+		if !(d1 < d2 && d2 < d3) {
+			t.Fatalf("not increasing in memory: %v %v %v", d1, d2, d3)
+		}
+		// Linearity: d3-d2 == 2*(d2-d1) within rounding.
+		gap21 := d2 - d1
+		gap32 := d3 - d2
+		if diff := gap32 - 2*gap21; diff < -time.Millisecond || diff > time.Millisecond {
+			t.Fatalf("not linear: gaps %v %v", gap21, gap32)
+		}
+	}
+}
+
+func TestRemoteRoughlyTwiceLocal(t *testing.T) {
+	m := Default()
+	for _, mem := range []int{512, 1024, 2048} {
+		local := m.Suspend(mem, Local)
+		scp := m.Suspend(mem, SCP)
+		rsync := m.Suspend(mem, Rsync)
+		if ratio := float64(scp) / float64(local); ratio < 1.8 || ratio > 2.2 {
+			t.Fatalf("scp/local suspend ratio = %.2f", ratio)
+		}
+		if rsync >= scp {
+			t.Fatalf("rsync (%v) should be slightly cheaper than scp (%v)", rsync, scp)
+		}
+		if rsync <= local {
+			t.Fatal("rsync should cost more than local")
+		}
+	}
+}
+
+func TestDeceleration(t *testing.T) {
+	m := Default()
+	if m.Deceleration(Local) != 1.3 {
+		t.Fatalf("local decel = %v", m.Deceleration(Local))
+	}
+	if m.Deceleration(SCP) != 1.5 || m.Deceleration(Rsync) != 1.5 {
+		t.Fatal("remote decel != 1.5")
+	}
+}
+
+func TestSuspendToRAMFasterThanDisk(t *testing.T) {
+	m := Default()
+	if m.SuspendToRAM() >= m.Suspend(256, Local) {
+		t.Fatal("suspend-to-RAM not faster than smallest disk suspend")
+	}
+}
+
+func TestActionDuration(t *testing.T) {
+	m := Default()
+	vm := vjob.NewVM("v", "j", 1, 1024)
+	cases := []struct {
+		a    plan.Action
+		want time.Duration
+		tr   Transfer
+	}{
+		{&plan.Run{Machine: vm, On: "n1"}, m.Boot(), Local},
+		{&plan.Stop{Machine: vm, On: "n1"}, m.Shutdown(), Local},
+		{&plan.Migration{Machine: vm, Src: "n1", Dst: "n2"}, m.Migrate(1024), Local},
+		{&plan.Suspend{Machine: vm, On: "n1", To: "n1"}, m.Suspend(1024, Local), Local},
+		{&plan.Suspend{Machine: vm, On: "n1", To: "n2"}, m.Suspend(1024, SCP), SCP},
+		{&plan.Resume{Machine: vm, From: "n1", On: "n1"}, m.Resume(1024, Local), Local},
+		{&plan.Resume{Machine: vm, From: "n1", On: "n2"}, m.Resume(1024, SCP), SCP},
+	}
+	for _, tc := range cases {
+		d, tr := m.ActionDuration(tc.a)
+		if d != tc.want || tr != tc.tr {
+			t.Errorf("%s: (%v,%v), want (%v,%v)", tc.a, d, tr, tc.want, tc.tr)
+		}
+	}
+}
+
+func TestTransferStrings(t *testing.T) {
+	for tr, want := range map[Transfer]string{
+		Local: "local", SCP: "local+scp", Rsync: "local+rsync", Transfer(9): "invalid",
+	} {
+		if tr.String() != want {
+			t.Errorf("%d.String() = %q, want %q", tr, tr.String(), want)
+		}
+	}
+}
+
+func TestActionDurationPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unknown action")
+		}
+	}()
+	Default().ActionDuration(nil)
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig10CSV renders the scalability rows as CSV for external plotting.
+func Fig10CSV(rows []Fig10Row) string {
+	var b strings.Builder
+	b.WriteString("vms,samples,ffd_mean,entropy_mean,reduction_pct\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%d,%.0f,%.0f,%.1f\n", r.VMs, r.Samples, r.FFDMean, r.EntropyMean, r.ReductionPct)
+	}
+	return b.String()
+}
+
+// Fig3CSV renders the duration study as CSV.
+func Fig3CSV(rows []Fig3Row) string {
+	var b strings.Builder
+	b.WriteString("mem_mib,run_s,stop_s,migrate_s,suspend_local_s,suspend_scp_s,suspend_rsync_s,resume_local_s,resume_scp_s,resume_rsync_s,decel_local,decel_remote\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.2f,%.2f\n",
+			r.MemMiB, r.Run, r.Stop, r.Migrate,
+			r.SuspendLocal, r.SuspendSCP, r.SuspendRsync,
+			r.ResumeLocal, r.ResumeSCP, r.ResumeRsync,
+			r.DecelBusyLocal, r.DecelBusyRemote)
+	}
+	return b.String()
+}
+
+// Fig11CSV renders the context-switch records as CSV.
+func Fig11CSV(res ClusterResult) string {
+	var b strings.Builder
+	b.WriteString("t_s,cost,duration_s,actions,pools,failures\n")
+	for _, r := range res.Records {
+		fmt.Fprintf(&b, "%.0f,%d,%.1f,%d,%d,%d\n", r.At, r.Cost, r.Duration, r.Actions, r.Pools, r.Failures)
+	}
+	return b.String()
+}
+
+// Fig13CSV renders both utilization time series as CSV, one row per
+// sample with a scheduler tag.
+func Fig13CSV(fcfs, entropy ClusterResult) string {
+	var b strings.Builder
+	b.WriteString("scheduler,t_s,cpu_used,cpu_cap,cpu_pct,mem_used_mib,mem_cap_mib,running,sleeping,waiting\n")
+	for tag, res := range map[string]ClusterResult{"fcfs": fcfs, "entropy": entropy} {
+		for _, s := range res.Samples {
+			fmt.Fprintf(&b, "%s,%.0f,%d,%d,%.1f,%d,%d,%d,%d,%d\n",
+				tag, s.T, s.UsedCPU, s.CapCPU, s.CPUPercent(), s.UsedMem, s.CapMem,
+				s.Running, s.Sleeping, s.Waiting)
+		}
+	}
+	return b.String()
+}

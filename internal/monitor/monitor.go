@@ -1,0 +1,109 @@
+// Package monitor is the Ganglia substitute: it periodically samples
+// the simulated cluster's resource usage — the CPU and memory demands
+// of the running VMs against the total capacities — and the vjob state
+// mix, producing the time series behind Figure 13.
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"cwcs/internal/sim"
+	"cwcs/internal/vjob"
+)
+
+// Sample is one observation of the cluster.
+type Sample struct {
+	// T is the virtual time of the observation, in seconds.
+	T float64
+	// UsedCPU / CapCPU are the processing units demanded by running
+	// VMs and the cluster capacity.
+	UsedCPU, CapCPU int
+	// UsedMem / CapMem are memory (MiB) demanded vs. capacity.
+	UsedMem, CapMem int
+	// Running, Sleeping, Waiting count VMs per state.
+	Running, Sleeping, Waiting int
+}
+
+// CPUPercent returns CPU utilization in percent.
+func (s Sample) CPUPercent() float64 {
+	if s.CapCPU == 0 {
+		return 0
+	}
+	return 100 * float64(s.UsedCPU) / float64(s.CapCPU)
+}
+
+// MemGiB returns used memory in GiB, the unit of Figure 13a.
+func (s Sample) MemGiB() float64 { return float64(s.UsedMem) / 1024 }
+
+// Recorder samples a cluster at a fixed interval.
+type Recorder struct {
+	// Interval between samples, in virtual seconds.
+	Interval float64
+	// Samples accumulates observations in time order.
+	Samples []Sample
+
+	stopped bool
+}
+
+// Observe takes one sample of the configuration right now.
+func Observe(t float64, cfg *vjob.Configuration) Sample {
+	s := Sample{T: t}
+	for _, n := range cfg.Nodes() {
+		s.CapCPU += n.CPU
+		s.CapMem += n.Memory
+		s.UsedCPU += cfg.UsedCPU(n.Name)
+		s.UsedMem += cfg.UsedMemory(n.Name)
+	}
+	s.Running = len(cfg.InState(vjob.Running))
+	s.Sleeping = len(cfg.InState(vjob.Sleeping))
+	s.Waiting = len(cfg.InState(vjob.Waiting))
+	return s
+}
+
+// Attach starts periodic sampling on the cluster until Stop is called.
+func (r *Recorder) Attach(c *sim.Cluster) {
+	if r.Interval <= 0 {
+		r.Interval = 10 // the paper's monitoring refresh is ~10 s
+	}
+	var tick func()
+	tick = func() {
+		if r.stopped {
+			return
+		}
+		r.Samples = append(r.Samples, Observe(c.Now(), c.Config()))
+		c.Schedule(c.Now()+r.Interval, tick)
+	}
+	tick()
+}
+
+// Stop ends the sampling (the pending tick becomes a no-op).
+func (r *Recorder) Stop() { r.stopped = true }
+
+// CSV renders the samples with a header, one line per sample.
+func (r *Recorder) CSV() string {
+	var b strings.Builder
+	b.WriteString("t_sec,cpu_used,cpu_cap,cpu_pct,mem_used_mib,mem_cap_mib,running,sleeping,waiting\n")
+	for _, s := range r.Samples {
+		fmt.Fprintf(&b, "%.0f,%d,%d,%.1f,%d,%d,%d,%d,%d\n",
+			s.T, s.UsedCPU, s.CapCPU, s.CPUPercent(), s.UsedMem, s.CapMem, s.Running, s.Sleeping, s.Waiting)
+	}
+	return b.String()
+}
+
+// MeanCPUPercent averages CPU utilization over samples taken before
+// the given horizon (0 means all samples).
+func (r *Recorder) MeanCPUPercent(until float64) float64 {
+	sum, n := 0.0, 0
+	for _, s := range r.Samples {
+		if until > 0 && s.T > until {
+			break
+		}
+		sum += s.CPUPercent()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

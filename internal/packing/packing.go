@@ -1,0 +1,180 @@
+// Package packing provides the placement heuristics and the knapsack
+// reasoning the paper relies on: the First-Fit-Decrease heuristic used
+// by the sample decision module (§3.2) and by the baseline planner of
+// the §5.1 evaluation, a Best-Fit-Decrease variant for ablation, and a
+// dynamic-programming subset-sum bound in the spirit of Trick's
+// knapsack propagation (§4.3) used by the constraint solver.
+package packing
+
+import (
+	"fmt"
+	"sort"
+
+	"cwcs/internal/vjob"
+)
+
+// ErrNoFit is wrapped by placement errors when a VM fits on no node.
+type ErrNoFit struct {
+	// VM is the machine that could not be placed.
+	VM *vjob.VM
+}
+
+// Error describes the unplaceable VM.
+func (e ErrNoFit) Error() string {
+	return fmt.Sprintf("packing: no node can host %s", e.VM)
+}
+
+// SortDecreasing orders VMs by decreasing memory demand, then
+// decreasing CPU demand, then name — the FFD ordering of §3.2. The
+// slice is sorted in place and returned for chaining.
+func SortDecreasing(vms []*vjob.VM) []*vjob.VM {
+	sort.SliceStable(vms, func(i, j int) bool {
+		if vms[i].MemoryDemand != vms[j].MemoryDemand {
+			return vms[i].MemoryDemand > vms[j].MemoryDemand
+		}
+		if vms[i].CPUDemand != vms[j].CPUDemand {
+			return vms[i].CPUDemand > vms[j].CPUDemand
+		}
+		return vms[i].Name < vms[j].Name
+	})
+	return vms
+}
+
+// FirstFitDecrease places every VM of vms as Running in c using the
+// First Fit Decrease heuristic: VMs are considered in decreasing
+// (memory, CPU) order and assigned to the first node with sufficient
+// free resources. The configuration is mutated; on failure it is left
+// untouched and an ErrNoFit is returned.
+func FirstFitDecrease(c *vjob.Configuration, vms []*vjob.VM) error {
+	trial := c.Clone()
+	ordered := SortDecreasing(append([]*vjob.VM(nil), vms...))
+	nodes := trial.Nodes()
+	for _, v := range ordered {
+		placed := false
+		for _, n := range nodes {
+			if trial.Fits(v, n.Name) {
+				if err := trial.SetRunning(v.Name, n.Name); err != nil {
+					return err
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return ErrNoFit{VM: v}
+		}
+	}
+	return commit(c, trial, vms)
+}
+
+// BestFitDecrease is the ablation variant: same ordering, but each VM
+// goes to the fitting node with the LEAST remaining memory, keeping
+// large holes available for large VMs.
+func BestFitDecrease(c *vjob.Configuration, vms []*vjob.VM) error {
+	trial := c.Clone()
+	ordered := SortDecreasing(append([]*vjob.VM(nil), vms...))
+	for _, v := range ordered {
+		best := ""
+		bestFree := -1
+		for _, n := range trial.Nodes() {
+			if !trial.Fits(v, n.Name) {
+				continue
+			}
+			free := trial.FreeMemory(n.Name)
+			if best == "" || free < bestFree {
+				best, bestFree = n.Name, free
+			}
+		}
+		if best == "" {
+			return ErrNoFit{VM: v}
+		}
+		if err := trial.SetRunning(v.Name, best); err != nil {
+			return err
+		}
+	}
+	return commit(c, trial, vms)
+}
+
+// commit copies the trial placements of the given VMs back into c.
+func commit(c, trial *vjob.Configuration, vms []*vjob.VM) error {
+	for _, v := range vms {
+		if err := c.SetRunning(v.Name, trial.HostOf(v.Name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxReachableLoad returns the largest subset-sum of weights that does
+// not exceed cap, computed with the dynamic-programming reachability
+// of Trick's knapsack propagation. The solver uses it to bound the
+// load a node can still accept: a partial packing whose reachable
+// loads cannot absorb the remaining mandatory demand is dead and can
+// be pruned.
+func MaxReachableLoad(cap int, weights []int) int {
+	if cap <= 0 {
+		return 0
+	}
+	// Bitset DP: bit i set <=> load i reachable.
+	words := cap/64 + 1
+	reach := make([]uint64, words)
+	reach[0] = 1
+	for _, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if w > cap {
+			continue
+		}
+		shiftOrInto(reach, w, cap)
+	}
+	for i := cap; i >= 0; i-- {
+		if reach[i/64]&(1<<uint(i%64)) != 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// shiftOrInto performs reach |= reach << w, truncated to cap+1 bits.
+func shiftOrInto(reach []uint64, w, cap int) {
+	words := len(reach)
+	wordShift := w / 64
+	bitShift := uint(w % 64)
+	for i := words - 1; i >= 0; i-- {
+		var v uint64
+		if i-wordShift >= 0 {
+			v = reach[i-wordShift] << bitShift
+			if bitShift > 0 && i-wordShift-1 >= 0 {
+				v |= reach[i-wordShift-1] >> (64 - bitShift)
+			}
+		}
+		reach[i] |= v
+	}
+	// Mask bits above cap.
+	last := cap / 64
+	reach[last] &= (1 << uint(cap%64+1)) - 1
+	for i := last + 1; i < words; i++ {
+		reach[i] = 0
+	}
+}
+
+// Reachable reports whether some subset of weights sums exactly to
+// target (a helper for tests and for exact-fit reasoning).
+func Reachable(target int, weights []int) bool {
+	if target < 0 {
+		return false
+	}
+	if target == 0 {
+		return true
+	}
+	reach := make([]uint64, target/64+1)
+	reach[0] = 1
+	for _, w := range weights {
+		if w <= 0 || w > target {
+			continue
+		}
+		shiftOrInto(reach, w, target)
+	}
+	return reach[target/64]&(1<<uint(target%64)) != 0
+}

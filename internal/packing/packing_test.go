@@ -1,0 +1,239 @@
+package packing
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cwcs/internal/vjob"
+)
+
+func testCluster(nodes, cpu, mem int) *vjob.Configuration {
+	c := vjob.NewConfiguration()
+	for i := 0; i < nodes; i++ {
+		c.AddNode(vjob.NewNode(fmt.Sprintf("n%02d", i), cpu, mem))
+	}
+	return c
+}
+
+func addVMs(c *vjob.Configuration, specs ...[2]int) []*vjob.VM {
+	var vms []*vjob.VM
+	for i, s := range specs {
+		v := vjob.NewVM(fmt.Sprintf("vm%02d", i), "j", s[0], s[1])
+		c.AddVM(v)
+		vms = append(vms, v)
+	}
+	return vms
+}
+
+func TestSortDecreasing(t *testing.T) {
+	c := testCluster(1, 8, 8192)
+	vms := addVMs(c, [2]int{1, 512}, [2]int{0, 2048}, [2]int{1, 2048}, [2]int{1, 1024})
+	SortDecreasing(vms)
+	wantOrder := []string{"vm02", "vm01", "vm03", "vm00"}
+	for i, w := range wantOrder {
+		if vms[i].Name != w {
+			t.Fatalf("order[%d] = %s, want %s", i, vms[i].Name, w)
+		}
+	}
+}
+
+func TestFFDPlacesAll(t *testing.T) {
+	c := testCluster(3, 2, 4096)
+	vms := addVMs(c,
+		[2]int{1, 2048}, [2]int{1, 2048}, [2]int{1, 2048},
+		[2]int{1, 1024}, [2]int{1, 1024}, [2]int{1, 1024})
+	if err := FirstFitDecrease(c, vms); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Viable() {
+		t.Fatalf("FFD produced non-viable config: %v", c.Violations())
+	}
+	for _, v := range vms {
+		if c.StateOf(v.Name) != vjob.Running {
+			t.Fatalf("%s not running", v.Name)
+		}
+	}
+}
+
+func TestFFDOrderMatters(t *testing.T) {
+	// Two nodes with 3 GiB; VMs 2+1 GiB per node fit only when the
+	// 2 GiB VMs are placed first (decreasing order).
+	c := testCluster(2, 2, 3072)
+	vms := addVMs(c, [2]int{1, 1024}, [2]int{1, 2048}, [2]int{1, 1024}, [2]int{1, 2048})
+	if err := FirstFitDecrease(c, vms); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Viable() {
+		t.Fatal("non-viable")
+	}
+}
+
+func TestFFDNoFit(t *testing.T) {
+	c := testCluster(1, 1, 1024)
+	vms := addVMs(c, [2]int{1, 512}, [2]int{1, 512})
+	err := FirstFitDecrease(c, vms)
+	var nf ErrNoFit
+	if !errors.As(err, &nf) {
+		t.Fatalf("err = %v, want ErrNoFit", err)
+	}
+	if nf.Error() == "" {
+		t.Fatal("empty error text")
+	}
+	// On failure the configuration must be untouched.
+	for _, v := range vms {
+		if c.StateOf(v.Name) != vjob.Waiting {
+			t.Fatalf("%s mutated on failed placement", v.Name)
+		}
+	}
+}
+
+func TestFFDRespectsExistingLoad(t *testing.T) {
+	c := testCluster(2, 1, 4096)
+	busy := vjob.NewVM("busy", "x", 1, 1024)
+	c.AddVM(busy)
+	if err := c.SetRunning("busy", "n00"); err != nil {
+		t.Fatal(err)
+	}
+	vms := addVMs(c, [2]int{1, 512})
+	if err := FirstFitDecrease(c, vms); err != nil {
+		t.Fatal(err)
+	}
+	if c.HostOf("vm00") != "n01" {
+		t.Fatalf("vm placed on %s, want n01 (n00 CPU is taken)", c.HostOf("vm00"))
+	}
+}
+
+func TestBFDPacksTighter(t *testing.T) {
+	// n00 has a 1 GiB hole, n01 a 2 GiB hole. BFD must put a 1 GiB VM
+	// in the 1 GiB hole; FFD puts it on the first fitting node.
+	c := testCluster(2, 4, 4096)
+	a := vjob.NewVM("a", "x", 1, 3072)
+	b := vjob.NewVM("b", "x", 1, 2048)
+	c.AddVM(a)
+	c.AddVM(b)
+	if err := c.SetRunning("a", "n00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRunning("b", "n01"); err != nil {
+		t.Fatal(err)
+	}
+	vms := addVMs(c, [2]int{1, 1024})
+	if err := BestFitDecrease(c, vms); err != nil {
+		t.Fatal(err)
+	}
+	if c.HostOf("vm00") != "n00" {
+		t.Fatalf("BFD placed on %s, want n00", c.HostOf("vm00"))
+	}
+}
+
+func TestBFDNoFit(t *testing.T) {
+	c := testCluster(1, 0, 0)
+	vms := addVMs(c, [2]int{1, 1})
+	var nf ErrNoFit
+	if err := BestFitDecrease(c, vms); !errors.As(err, &nf) {
+		t.Fatalf("err = %v, want ErrNoFit", err)
+	}
+}
+
+func TestMaxReachableLoad(t *testing.T) {
+	cases := []struct {
+		cap     int
+		weights []int
+		want    int
+	}{
+		{10, []int{3, 5, 7}, 10},      // 3+7
+		{10, []int{6, 6, 6}, 6},       // only one fits
+		{4, []int{5, 9}, 0},           // nothing fits
+		{0, []int{1, 2}, 0},           // no capacity
+		{-3, []int{1}, 0},             // negative capacity
+		{100, nil, 0},                 // no items
+		{8, []int{2, 2, 2, 2}, 8},     // exact fill
+		{7, []int{4, 4}, 4},           // cannot take both
+		{1000, []int{999, 2}, 999},    // big single item wins
+		{64, []int{64}, 64},           // word-boundary weight
+		{65, []int{64, 1}, 65},        // crosses word boundary
+		{128, []int{127, 2, 1}, 128},  // multi-word
+		{10, []int{0, -2, 3}, 3},      // non-positive weights ignored
+		{200, []int{70, 70, 70}, 140}, // two of three
+	}
+	for _, tc := range cases {
+		if got := MaxReachableLoad(tc.cap, tc.weights); got != tc.want {
+			t.Errorf("MaxReachableLoad(%d,%v) = %d, want %d", tc.cap, tc.weights, got, tc.want)
+		}
+	}
+}
+
+func TestReachable(t *testing.T) {
+	if !Reachable(0, []int{5}) {
+		t.Fatal("0 must always be reachable")
+	}
+	if Reachable(-1, []int{5}) {
+		t.Fatal("negative target reachable")
+	}
+	if !Reachable(12, []int{3, 4, 5}) {
+		t.Fatal("12 = 3+4+5 not found")
+	}
+	if Reachable(11, []int{3, 4, 5}) {
+		t.Fatal("11 wrongly reachable from {3,4,5}")
+	}
+}
+
+// Property: MaxReachableLoad matches a brute-force subset enumeration
+// for small inputs.
+func TestMaxReachableLoadMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10)
+		weights := make([]int, n)
+		for i := range weights {
+			weights[i] = rng.Intn(40)
+		}
+		cap := rng.Intn(120)
+		best := 0
+		for mask := 0; mask < 1<<n; mask++ {
+			sum := 0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					sum += weights[i]
+				}
+			}
+			if sum <= cap && sum > best {
+				best = sum
+			}
+		}
+		return MaxReachableLoad(cap, weights) == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FFD output is always viable and deterministic.
+func TestFFDViableAndDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c1 := testCluster(1+rng.Intn(6), 2, 4096)
+		var specs [][2]int
+		for i := 0; i < rng.Intn(10); i++ {
+			specs = append(specs, [2]int{rng.Intn(2), 256 * (1 + rng.Intn(8))})
+		}
+		c2 := c1.Clone()
+		vms1 := addVMs(c1, specs...)
+		vms2 := addVMs(c2, specs...)
+		err1 := FirstFitDecrease(c1, vms1)
+		err2 := FirstFitDecrease(c2, vms2)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return c1.Viable() && c1.Equal(c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package plan implements the reconfiguration machinery of the
+// cluster-wide context switch (Section 4 of the paper): the actions
+// that manipulate VMs, the reconfiguration graph derived from a source
+// and a destination configuration, the reconfiguration plan made of
+// sequential pools of parallel-feasible actions, the pivot-based
+// breaking of inter-dependent migration cycles, the grouping of the
+// suspends and resumes of a vjob, and the cost model of Table 1 / §4.2.
+package plan
+
+import (
+	"fmt"
+
+	"cwcs/internal/vjob"
+)
+
+// Action is one elementary VM context switch. Every action knows its
+// local cost (Table 1), whether it can begin in a given configuration,
+// and how to transform a configuration once it completes.
+type Action interface {
+	// VM returns the manipulated VM.
+	VM() *vjob.VM
+	// Cost returns the local cost of the action per Table 1 of the
+	// paper, in MiB of moved memory (0 for run and stop).
+	Cost() int
+	// FeasibleIn reports whether the action can start in the given
+	// configuration: the resources it requires on its destination node
+	// are free. Actions that only liberate resources are always
+	// feasible.
+	FeasibleIn(c *vjob.Configuration) bool
+	// Apply mutates the configuration to the state reached once the
+	// action has completed.
+	Apply(c *vjob.Configuration) error
+	// String renders the action the way the paper writes it, e.g.
+	// "migrate(vm2,n1,n3)".
+	String() string
+}
+
+// Migration moves a running VM from node Src to node Dst with live
+// migration; the VM stays in the Running state throughout.
+type Migration struct {
+	Machine *vjob.VM
+	Src     string
+	Dst     string
+}
+
+// VM returns the migrated VM.
+func (a *Migration) VM() *vjob.VM { return a.Machine }
+
+// Cost is the VM memory demand (Table 1).
+func (a *Migration) Cost() int { return a.Machine.MemoryDemand }
+
+// FeasibleIn reports whether Dst currently offers the VM's demands.
+func (a *Migration) FeasibleIn(c *vjob.Configuration) bool {
+	return c.Fits(a.Machine, a.Dst)
+}
+
+// Apply re-hosts the VM on Dst.
+func (a *Migration) Apply(c *vjob.Configuration) error {
+	if c.StateOf(a.Machine.Name) != vjob.Running || c.HostOf(a.Machine.Name) != a.Src {
+		return fmt.Errorf("plan: %s: VM not running on %s", a, a.Src)
+	}
+	return c.SetRunning(a.Machine.Name, a.Dst)
+}
+
+func (a *Migration) String() string {
+	return fmt.Sprintf("migrate(%s,%s,%s)", a.Machine.Name, a.Src, a.Dst)
+}
+
+// Run boots a waiting VM on node On.
+type Run struct {
+	Machine *vjob.VM
+	On      string
+}
+
+// VM returns the booted VM.
+func (a *Run) VM() *vjob.VM { return a.Machine }
+
+// Cost is constant, arbitrarily 0 (Table 1): boot duration does not
+// depend on the VM demands.
+func (a *Run) Cost() int { return 0 }
+
+// FeasibleIn reports whether On currently offers the VM's demands.
+func (a *Run) FeasibleIn(c *vjob.Configuration) bool {
+	return c.Fits(a.Machine, a.On)
+}
+
+// Apply sets the VM running on On.
+func (a *Run) Apply(c *vjob.Configuration) error {
+	if c.StateOf(a.Machine.Name) != vjob.Waiting {
+		return fmt.Errorf("plan: %s: VM not waiting", a)
+	}
+	return c.SetRunning(a.Machine.Name, a.On)
+}
+
+func (a *Run) String() string { return fmt.Sprintf("run(%s,%s)", a.Machine.Name, a.On) }
+
+// Stop shuts a running VM down and removes it from the system; the
+// owning vjob is on its way to the Terminated state.
+type Stop struct {
+	Machine *vjob.VM
+	On      string
+}
+
+// VM returns the stopped VM.
+func (a *Stop) VM() *vjob.VM { return a.Machine }
+
+// Cost is constant, arbitrarily 0 (Table 1).
+func (a *Stop) Cost() int { return 0 }
+
+// FeasibleIn always reports true: stopping only liberates resources.
+func (a *Stop) FeasibleIn(*vjob.Configuration) bool { return true }
+
+// Apply removes the VM from the configuration.
+func (a *Stop) Apply(c *vjob.Configuration) error {
+	if c.StateOf(a.Machine.Name) != vjob.Running || c.HostOf(a.Machine.Name) != a.On {
+		return fmt.Errorf("plan: %s: VM not running on %s", a, a.On)
+	}
+	c.RemoveVM(a.Machine.Name)
+	return nil
+}
+
+func (a *Stop) String() string { return fmt.Sprintf("stop(%s,%s)", a.Machine.Name, a.On) }
+
+// Suspend writes the memory and state of a VM running on node On to
+// the persistent storage of node To, liberating On's resources; the VM
+// goes Sleeping.
+type Suspend struct {
+	Machine *vjob.VM
+	On      string
+	To      string
+}
+
+// VM returns the suspended VM.
+func (a *Suspend) VM() *vjob.VM { return a.Machine }
+
+// Cost is the VM memory demand (Table 1).
+func (a *Suspend) Cost() int { return a.Machine.MemoryDemand }
+
+// FeasibleIn always reports true: suspending only liberates resources.
+func (a *Suspend) FeasibleIn(*vjob.Configuration) bool { return true }
+
+// Apply moves the VM to the Sleeping state with its image on To.
+func (a *Suspend) Apply(c *vjob.Configuration) error {
+	if c.StateOf(a.Machine.Name) != vjob.Running || c.HostOf(a.Machine.Name) != a.On {
+		return fmt.Errorf("plan: %s: VM not running on %s", a, a.On)
+	}
+	return c.SetSleeping(a.Machine.Name, a.To)
+}
+
+func (a *Suspend) String() string {
+	return fmt.Sprintf("suspend(%s,%s,%s)", a.Machine.Name, a.On, a.To)
+}
+
+// Resume restores a sleeping VM whose image lies on node From onto
+// node On. When From != On the image must first be moved, which
+// doubles the cost (Table 1) and roughly doubles the duration (§2.3).
+type Resume struct {
+	Machine *vjob.VM
+	From    string
+	On      string
+}
+
+// VM returns the resumed VM.
+func (a *Resume) VM() *vjob.VM { return a.Machine }
+
+// Local reports whether the resume happens on the node already holding
+// the suspended image.
+func (a *Resume) Local() bool { return a.From == a.On }
+
+// Cost is Dm for a local resume and 2·Dm for a remote one (Table 1).
+func (a *Resume) Cost() int {
+	if a.Local() {
+		return a.Machine.MemoryDemand
+	}
+	return 2 * a.Machine.MemoryDemand
+}
+
+// FeasibleIn reports whether On currently offers the VM's demands.
+func (a *Resume) FeasibleIn(c *vjob.Configuration) bool {
+	return c.Fits(a.Machine, a.On)
+}
+
+// Apply sets the VM running on On.
+func (a *Resume) Apply(c *vjob.Configuration) error {
+	if c.StateOf(a.Machine.Name) != vjob.Sleeping {
+		return fmt.Errorf("plan: %s: VM not sleeping", a)
+	}
+	return c.SetRunning(a.Machine.Name, a.On)
+}
+
+func (a *Resume) String() string {
+	return fmt.Sprintf("resume(%s,%s,%s)", a.Machine.Name, a.From, a.On)
+}

@@ -1,0 +1,167 @@
+package plan
+
+import (
+	"testing"
+
+	"cwcs/internal/vjob"
+)
+
+func cluster(t *testing.T, nodes int, cpu, mem int) *vjob.Configuration {
+	t.Helper()
+	c := vjob.NewConfiguration()
+	for i := 0; i < nodes; i++ {
+		c.AddNode(vjob.NewNode(nodeName(i), cpu, mem))
+	}
+	return c
+}
+
+func nodeName(i int) string { return "N" + string(rune('1'+i)) }
+
+// TestTable1Costs checks every row of Table 1 of the paper.
+func TestTable1Costs(t *testing.T) {
+	vm := vjob.NewVM("vm", "j", 1, 1024)
+	cases := []struct {
+		a    Action
+		want int
+	}{
+		{&Migration{Machine: vm, Src: "N1", Dst: "N2"}, 1024},
+		{&Run{Machine: vm, On: "N1"}, 0},
+		{&Stop{Machine: vm, On: "N1"}, 0},
+		{&Suspend{Machine: vm, On: "N1", To: "N1"}, 1024},
+		{&Resume{Machine: vm, From: "N1", On: "N1"}, 1024},     // local
+		{&Resume{Machine: vm, From: "N1", On: "N2"}, 2 * 1024}, // remote
+	}
+	for _, tc := range cases {
+		if got := tc.a.Cost(); got != tc.want {
+			t.Errorf("%s cost = %d, want %d", tc.a, got, tc.want)
+		}
+		if tc.a.VM() != vm {
+			t.Errorf("%s VM() wrong", tc.a)
+		}
+	}
+}
+
+func TestResumeLocal(t *testing.T) {
+	vm := vjob.NewVM("vm", "j", 1, 512)
+	if !(&Resume{Machine: vm, From: "N1", On: "N1"}).Local() {
+		t.Fatal("same-node resume not local")
+	}
+	if (&Resume{Machine: vm, From: "N1", On: "N2"}).Local() {
+		t.Fatal("cross-node resume reported local")
+	}
+}
+
+func TestActionApplyAndFeasibility(t *testing.T) {
+	c := cluster(t, 2, 1, 2048)
+	vm := vjob.NewVM("vm1", "j", 1, 1024)
+	c.AddVM(vm)
+
+	run := &Run{Machine: vm, On: "N1"}
+	if !run.FeasibleIn(c) {
+		t.Fatal("run on empty node not feasible")
+	}
+	if err := run.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.HostOf("vm1") != "N1" {
+		t.Fatal("run did not place the VM")
+	}
+	if err := run.Apply(c); err == nil {
+		t.Fatal("run applied twice")
+	}
+
+	mig := &Migration{Machine: vm, Src: "N1", Dst: "N2"}
+	if !mig.FeasibleIn(c) {
+		t.Fatal("migration to empty node not feasible")
+	}
+	if err := mig.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.HostOf("vm1") != "N2" {
+		t.Fatal("migration did not move the VM")
+	}
+	if err := mig.Apply(c); err == nil {
+		t.Fatal("migration applied from wrong host")
+	}
+
+	sus := &Suspend{Machine: vm, On: "N2", To: "N2"}
+	if !sus.FeasibleIn(c) {
+		t.Fatal("suspend must always be feasible")
+	}
+	if err := sus.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.StateOf("vm1") != vjob.Sleeping || c.ImageHostOf("vm1") != "N2" {
+		t.Fatal("suspend did not sleep the VM")
+	}
+	if err := sus.Apply(c); err == nil {
+		t.Fatal("suspend applied to sleeping VM")
+	}
+
+	res := &Resume{Machine: vm, From: "N2", On: "N1"}
+	if !res.FeasibleIn(c) {
+		t.Fatal("resume on empty node not feasible")
+	}
+	if err := res.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.HostOf("vm1") != "N1" {
+		t.Fatal("resume did not place the VM")
+	}
+	if err := res.Apply(c); err == nil {
+		t.Fatal("resume applied to running VM")
+	}
+
+	stop := &Stop{Machine: vm, On: "N1"}
+	if !stop.FeasibleIn(c) {
+		t.Fatal("stop must always be feasible")
+	}
+	if err := stop.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.VM("vm1") != nil {
+		t.Fatal("stop did not remove the VM")
+	}
+	if err := stop.Apply(c); err == nil {
+		t.Fatal("stop applied to removed VM")
+	}
+}
+
+func TestDemandFeasibilityAgainstLoad(t *testing.T) {
+	c := cluster(t, 2, 1, 2048)
+	busy := vjob.NewVM("busy", "j", 1, 1024)
+	c.AddVM(busy)
+	if err := c.SetRunning("busy", "N2"); err != nil {
+		t.Fatal(err)
+	}
+	vm := vjob.NewVM("vm1", "j", 1, 512)
+	c.AddVM(vm)
+	run := &Run{Machine: vm, On: "N2"}
+	if run.FeasibleIn(c) {
+		t.Fatal("run feasible on CPU-full node")
+	}
+	vm2 := vjob.NewVM("vm2", "j", 0, 1536)
+	c.AddVM(vm2)
+	if (&Run{Machine: vm2, On: "N2"}).FeasibleIn(c) {
+		t.Fatal("run feasible on memory-full node")
+	}
+	if !(&Run{Machine: vm2, On: "N1"}).FeasibleIn(c) {
+		t.Fatal("run not feasible on empty node")
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	vm := vjob.NewVM("vm2", "j", 1, 512)
+	cases := map[Action]string{
+		&Migration{Machine: vm, Src: "N1", Dst: "N3"}: "migrate(vm2,N1,N3)",
+		&Run{Machine: vm, On: "N1"}:                   "run(vm2,N1)",
+		&Stop{Machine: vm, On: "N1"}:                  "stop(vm2,N1)",
+		&Suspend{Machine: vm, On: "N1", To: "N2"}:     "suspend(vm2,N1,N2)",
+		&Resume{Machine: vm, From: "N1", On: "N2"}:    "resume(vm2,N1,N2)",
+	}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Errorf("String() = %q, want %q", a.String(), want)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+
+	"cwcs/internal/vjob"
+)
+
+// ErrNoProgress is returned when no action is feasible, no
+// inter-dependent migration cycle can be broken with a pivot node, and
+// actions remain: the destination configuration is not reachable.
+var ErrNoProgress = errors.New("plan: no feasible action and no breakable migration cycle")
+
+// Builder turns a reconfiguration graph into a reconfiguration plan.
+// The zero value is ready to use and applies the paper's defaults.
+type Builder struct {
+	// DisableVJobGrouping skips the consistency pass that regroups the
+	// suspends and resumes of a vjob into a single pool (§4.1). Only
+	// useful for ablation studies; production callers keep it false.
+	DisableVJobGrouping bool
+}
+
+// Build is a convenience wrapper: it diffs the two configurations and
+// plans the resulting graph with the default builder.
+func Build(src, dst *vjob.Configuration) (*Plan, error) {
+	g, err := BuildGraph(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return Builder{}.Plan(g)
+}
+
+// Plan builds the reconfiguration plan for the graph: it iteratively
+// extracts pools of actions feasible in parallel, breaking
+// inter-dependent migration cycles with bypass migrations through
+// pivot nodes when no action is directly feasible (§4.1).
+func (b Builder) Plan(g *Graph) (*Plan, error) {
+	p := &Plan{Src: g.Src}
+	cur := g.Src.Clone()
+	remaining := append([]Action(nil), g.Actions...)
+
+	for len(remaining) > 0 {
+		pool, rest := extractPool(cur, remaining)
+		if len(pool) == 0 {
+			bypass, rewritten, err := breakCycle(cur, remaining)
+			if err != nil {
+				return nil, err
+			}
+			p.Bypass++
+			pool = Pool{bypass}
+			remaining = rewritten
+		} else {
+			remaining = rest
+		}
+		pool.sortDeterministic()
+		for _, a := range pool {
+			if err := a.Apply(cur); err != nil {
+				return nil, fmt.Errorf("plan: applying %s: %w", a, err)
+			}
+		}
+		p.Pools = append(p.Pools, pool)
+	}
+
+	if !b.DisableVJobGrouping {
+		groupVJobResumes(p)
+	}
+	return p, nil
+}
+
+// extractPool selects a maximal set of actions feasible in parallel
+// against the configuration at pool start. Resource-demanding actions
+// reserve their demands so two actions cannot share the same free
+// space; resources released by actions of the pool are NOT credited,
+// because a parallel action cannot rely on a concurrent completion.
+func extractPool(cur *vjob.Configuration, remaining []Action) (Pool, []Action) {
+	freeCPU := make(map[string]int)
+	freeMem := make(map[string]int)
+	for _, n := range cur.Nodes() {
+		freeCPU[n.Name] = cur.FreeCPU(n.Name)
+		freeMem[n.Name] = cur.FreeMemory(n.Name)
+	}
+	var pool Pool
+	var rest []Action
+	for _, a := range remaining {
+		node, cpu, mem := demandOf(a)
+		if node == "" { // pure release: always feasible
+			pool = append(pool, a)
+			continue
+		}
+		if freeCPU[node] >= cpu && freeMem[node] >= mem {
+			pool = append(pool, a)
+			freeCPU[node] -= cpu
+			freeMem[node] -= mem
+		} else {
+			rest = append(rest, a)
+		}
+	}
+	return pool, rest
+}
+
+// demandOf returns the node an action consumes resources on, with the
+// amounts, or "" for pure-release actions (suspend, stop).
+func demandOf(a Action) (node string, cpu, mem int) {
+	switch a := a.(type) {
+	case *Migration:
+		return a.Dst, a.Machine.CPUDemand, a.Machine.MemoryDemand
+	case *Run:
+		return a.On, a.Machine.CPUDemand, a.Machine.MemoryDemand
+	case *Resume:
+		return a.On, a.Machine.CPUDemand, a.Machine.MemoryDemand
+	default:
+		return "", 0, 0
+	}
+}
+
+// breakCycle handles the inter-dependent constraint of §4.1: a set of
+// non-feasible migrations forming a cycle (Figure 8). It locates a
+// cycle in the directed graph src->dst of the pending migrations,
+// chooses a pivot node outside the cycle with room for one of the
+// cycle's VMs, and splits that VM's migration into a bypass migration
+// to the pivot followed by a migration from the pivot to the original
+// destination. The bypass is feasible immediately.
+func breakCycle(cur *vjob.Configuration, remaining []Action) (Action, []Action, error) {
+	// Adjacency: for each node, the pending migrations leaving it.
+	out := make(map[string][]*Migration)
+	for _, a := range remaining {
+		if m, ok := a.(*Migration); ok {
+			out[m.Src] = append(out[m.Src], m)
+		}
+	}
+	cycle := findMigrationCycle(out)
+	if cycle == nil {
+		return nil, nil, ErrNoProgress
+	}
+	inCycle := make(map[string]bool)
+	for _, m := range cycle {
+		inCycle[m.Src] = true
+		inCycle[m.Dst] = true
+	}
+	for _, m := range cycle {
+		for _, n := range cur.Nodes() {
+			if inCycle[n.Name] || n.Name == m.Src {
+				continue
+			}
+			if cur.Fits(m.Machine, n.Name) {
+				bypass := &Migration{Machine: m.Machine, Src: m.Src, Dst: n.Name}
+				rewritten := make([]Action, 0, len(remaining))
+				for _, a := range remaining {
+					if a == Action(m) {
+						rewritten = append(rewritten, &Migration{Machine: m.Machine, Src: n.Name, Dst: m.Dst})
+					} else {
+						rewritten = append(rewritten, a)
+					}
+				}
+				return bypass, rewritten, nil
+			}
+		}
+	}
+	return nil, nil, ErrNoProgress
+}
+
+// findMigrationCycle walks the src->dst edges of the pending
+// migrations and returns the first cycle found, as the list of
+// migrations composing it, or nil.
+func findMigrationCycle(out map[string][]*Migration) []*Migration {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []*Migration
+	var cycle []*Migration
+
+	var dfs func(node string) bool
+	dfs = func(node string) bool {
+		color[node] = gray
+		for _, m := range out[node] {
+			switch color[m.Dst] {
+			case white:
+				stack = append(stack, m)
+				if dfs(m.Dst) {
+					return true
+				}
+				stack = stack[:len(stack)-1]
+			case gray:
+				// Found a back edge: extract the cycle from the stack.
+				cycle = append(cycle, m)
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i].Src == m.Dst {
+						break
+					}
+				}
+				return true
+			}
+		}
+		color[node] = black
+		return false
+	}
+	// Deterministic start order.
+	starts := make([]string, 0, len(out))
+	for n := range out {
+		starts = append(starts, n)
+	}
+	sortStrings(starts)
+	for _, n := range starts {
+		if color[n] == white {
+			stack = stack[:0]
+			if dfs(n) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// groupVJobResumes implements the consistency pass of §4.1: the VMs of
+// a vjob must be suspended or resumed in parallel, within a short
+// period. Suspends are naturally grouped in the first pool (they are
+// always feasible); the resumes of a vjob are moved into the pool that
+// initially contains the LAST resume of that vjob, so they start
+// together. The move is kept only when the plan still validates, since
+// delaying a resume may no longer be viable if later pools re-used the
+// space.
+func groupVJobResumes(p *Plan) {
+	lastPool := make(map[string]int)
+	count := make(map[string]int)
+	for i, pool := range p.Pools {
+		for _, a := range pool {
+			if r, ok := a.(*Resume); ok && r.Machine.VJob != "" {
+				lastPool[r.Machine.VJob] = i
+				count[r.Machine.VJob]++
+			}
+		}
+	}
+	for job, target := range lastPool {
+		if count[job] < 2 {
+			continue
+		}
+		moved := tryMoveResumes(p, job, target)
+		if moved != nil && moved.Validate() == nil {
+			p.Pools = moved.Pools
+		}
+	}
+	// Drop pools emptied by the moves.
+	pools := p.Pools[:0]
+	for _, pool := range p.Pools {
+		if len(pool) > 0 {
+			pools = append(pools, pool)
+		}
+	}
+	p.Pools = pools
+}
+
+// tryMoveResumes returns a copy of the plan with every resume of the
+// vjob moved into the target pool, or nil when nothing moved.
+func tryMoveResumes(p *Plan, job string, target int) *Plan {
+	out := &Plan{Src: p.Src, Bypass: p.Bypass}
+	out.Pools = make([]Pool, len(p.Pools))
+	changed := false
+	var grouped Pool
+	for i, pool := range p.Pools {
+		for _, a := range pool {
+			if r, ok := a.(*Resume); ok && r.Machine.VJob == job && i != target {
+				grouped = append(grouped, a)
+				changed = true
+				continue
+			}
+			out.Pools[i] = append(out.Pools[i], a)
+		}
+	}
+	if !changed {
+		return nil
+	}
+	out.Pools[target] = append(out.Pools[target], grouped...)
+	out.Pools[target].sortDeterministic()
+	return out
+}

@@ -1,0 +1,58 @@
+package plan_test
+
+import (
+	"fmt"
+
+	"cwcs/internal/plan"
+	"cwcs/internal/vjob"
+)
+
+// Example reproduces Figure 7 of the paper: the migration of vm1 to N2
+// can only begin once the suspend of vm2 has liberated N2's memory, so
+// the plan sequences them into two pools.
+func Example() {
+	src := vjob.NewConfiguration()
+	src.AddNode(vjob.NewNode("N1", 2, 3072))
+	src.AddNode(vjob.NewNode("N2", 2, 3072))
+	vm1 := vjob.NewVM("vm1", "a", 1, 2048)
+	vm2 := vjob.NewVM("vm2", "b", 1, 2048)
+	src.AddVM(vm1)
+	src.AddVM(vm2)
+	_ = src.SetRunning("vm1", "N1")
+	_ = src.SetRunning("vm2", "N2")
+
+	dst := src.Clone()
+	_ = dst.SetSleeping("vm2", "N2")
+	_ = dst.SetRunning("vm1", "N2")
+
+	p, err := plan.Build(src, dst)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(p)
+	// Output:
+	// pool 0 (cost 2048):
+	//   suspend(vm2,N2,N2) (local 2048, total 2048)
+	// pool 1 (cost 2048):
+	//   migrate(vm1,N1,N2) (local 2048, total 4096)
+	// plan cost: 6144
+}
+
+// ExampleBuildGraph shows the action diff between two configurations.
+func ExampleBuildGraph() {
+	src := vjob.NewConfiguration()
+	src.AddNode(vjob.NewNode("N1", 2, 4096))
+	src.AddNode(vjob.NewNode("N2", 2, 4096))
+	vm := vjob.NewVM("web-0", "web", 1, 1024)
+	src.AddVM(vm)
+	_ = src.SetRunning("web-0", "N1")
+
+	dst := src.Clone()
+	_ = dst.SetRunning("web-0", "N2")
+
+	g, _ := plan.BuildGraph(src, dst)
+	fmt.Print(g)
+	// Output:
+	// migrate(web-0,N1,N2)
+}

@@ -1,0 +1,176 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cwcs/internal/vjob"
+)
+
+// Pool is a set of actions that are feasible in parallel: every action
+// of a pool can start as soon as the previous pool has completed.
+type Pool []Action
+
+// Cost of a pool is the cost of its most expensive action (§4.2).
+func (p Pool) Cost() int {
+	max := 0
+	for _, a := range p {
+		if c := a.Cost(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// sortDeterministic orders the actions of the pool by kind then VM
+// name, which both stabilizes output and matches the paper's
+// "sorted using the hostname of the VMs" pipelining rule (our VM names
+// embed their vjob, giving the same grouping effect).
+func (p Pool) sortDeterministic() {
+	sort.SliceStable(p, func(i, j int) bool {
+		ki, kj := actionKind(p[i]), actionKind(p[j])
+		if ki != kj {
+			return ki < kj
+		}
+		return p[i].VM().Name < p[j].VM().Name
+	})
+}
+
+func actionKind(a Action) int {
+	switch a.(type) {
+	case *Suspend:
+		return 0
+	case *Stop:
+		return 1
+	case *Migration:
+		return 2
+	case *Resume:
+		return 3
+	case *Run:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// Plan is a reconfiguration plan: a sequence of pools executed one
+// after the other, the actions inside a pool running in parallel. A
+// valid plan guarantees that each action is feasible at the time it
+// starts and that the final configuration equals the destination of
+// the reconfiguration graph it was built from.
+type Plan struct {
+	// Src is the configuration the plan starts from.
+	Src *vjob.Configuration
+	// Pools are the sequential steps of the plan.
+	Pools []Pool
+	// Bypass counts the extra migrations inserted to break
+	// inter-dependent migration cycles.
+	Bypass int
+}
+
+// NumActions returns the total number of actions across pools.
+func (p *Plan) NumActions() int {
+	n := 0
+	for _, pool := range p.Pools {
+		n += len(pool)
+	}
+	return n
+}
+
+// Actions returns all actions in execution order (pool by pool).
+func (p *Plan) Actions() []Action {
+	out := make([]Action, 0, p.NumActions())
+	for _, pool := range p.Pools {
+		out = append(out, pool...)
+	}
+	return out
+}
+
+// Cost evaluates the plan with the model of §4.2: the cost of the plan
+// is the sum of the total costs of its actions; the total cost of an
+// action is the sum of the costs of the preceding pools plus the local
+// cost of the action; the cost of a pool is the cost of its most
+// expensive action. The model conservatively assumes that delaying an
+// action degrades the context switch.
+func (p *Plan) Cost() int {
+	total := 0
+	elapsed := 0
+	for _, pool := range p.Pools {
+		for _, a := range pool {
+			total += elapsed + a.Cost()
+		}
+		elapsed += pool.Cost()
+	}
+	return total
+}
+
+// Result replays the plan on a clone of Src and returns the final
+// configuration.
+func (p *Plan) Result() (*vjob.Configuration, error) {
+	cur := p.Src.Clone()
+	for i, pool := range p.Pools {
+		for _, a := range pool {
+			if err := a.Apply(cur); err != nil {
+				return nil, fmt.Errorf("plan: pool %d: %w", i, err)
+			}
+		}
+	}
+	return cur, nil
+}
+
+// Validate replays the plan checking, pool by pool, that every action
+// is feasible when its pool starts and that every intermediate
+// configuration stays viable. It returns the first problem found.
+func (p *Plan) Validate() error {
+	cur := p.Src.Clone()
+	if !cur.Viable() {
+		// A context switch may legitimately start from a non-viable
+		// configuration (that is often why it happens); the constraint
+		// bears on what the plan itself creates, so start counting
+		// overloads from the source configuration's own.
+		_ = cur
+	}
+	srcViolations := violationSet(cur)
+	for i, pool := range p.Pools {
+		for _, a := range pool {
+			if !a.FeasibleIn(cur) {
+				return fmt.Errorf("plan: pool %d: action %s not feasible at pool start", i, a)
+			}
+		}
+		for _, a := range pool {
+			if err := a.Apply(cur); err != nil {
+				return fmt.Errorf("plan: pool %d: %w", i, err)
+			}
+		}
+		for _, v := range cur.Violations() {
+			if !srcViolations[v] {
+				return fmt.Errorf("plan: pool %d introduces violation: %v", i, v)
+			}
+		}
+	}
+	return nil
+}
+
+func violationSet(c *vjob.Configuration) map[vjob.Violation]bool {
+	m := make(map[vjob.Violation]bool)
+	for _, v := range c.Violations() {
+		m[v] = true
+	}
+	return m
+}
+
+// String renders the plan pool by pool, with per-pool and total costs.
+func (p *Plan) String() string {
+	var b strings.Builder
+	elapsed := 0
+	for i, pool := range p.Pools {
+		fmt.Fprintf(&b, "pool %d (cost %d):\n", i, pool.Cost())
+		for _, a := range pool {
+			fmt.Fprintf(&b, "  %s (local %d, total %d)\n", a, a.Cost(), elapsed+a.Cost())
+		}
+		elapsed += pool.Cost()
+	}
+	fmt.Fprintf(&b, "plan cost: %d\n", p.Cost())
+	return b.String()
+}

@@ -1,0 +1,165 @@
+// Package sched provides the decision modules of the paper: the sample
+// FCFS dynamic-consolidation module that solves the Running Job
+// Selection Problem (§3.2, Figure 6), a static FCFS allocator used as
+// the §5.2 baseline, and a small batch-scheduling model (FCFS, EASY
+// backfilling, EASY + preemption) that regenerates the Figure 1
+// schematic.
+package sched
+
+import (
+	"sort"
+
+	"cwcs/internal/packing"
+	"cwcs/internal/vjob"
+)
+
+// SortQueue orders vjobs by priority (ascending: earlier submissions
+// first), breaking ties by submission time then name — the FCFS queue
+// of §3.2.
+func SortQueue(queue []*vjob.VJob) []*vjob.VJob {
+	out := append([]*vjob.VJob(nil), queue...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority < out[j].Priority
+		}
+		if out[i].Submitted != out[j].Submitted {
+			return out[i].Submitted < out[j].Submitted
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Consolidation is the sample decision module of §3.2: every round it
+// walks the whole FCFS queue and selects the maximum prefix-priority
+// set of vjobs that can run simultaneously, using First-Fit-Decrease
+// to test each candidate against a hypothetical configuration. Running
+// vjobs that no longer fit are sent to Sleeping; ready vjobs that now
+// fit are selected for Running. The placement is hypothetical — the
+// optimizer recomputes the real one — only the states matter here.
+type Consolidation struct{}
+
+// Decide returns the target state for every vjob in the queue.
+func (Consolidation) Decide(cfg *vjob.Configuration, queue []*vjob.VJob) map[string]vjob.State {
+	target := make(map[string]vjob.State, len(queue))
+	temp := emptyClusterLike(cfg)
+	for _, j := range SortQueue(queue) {
+		cur := cfg.VJobState(j)
+		if cur == vjob.Terminated {
+			continue
+		}
+		if tryPlace(temp, j) {
+			target[j.Name] = vjob.Running
+			continue
+		}
+		// Cannot run this round: running and sleeping vjobs sleep,
+		// waiting vjobs keep waiting.
+		if cur == vjob.Running || cur == vjob.Sleeping {
+			target[j.Name] = vjob.Sleeping
+		} else {
+			target[j.Name] = vjob.Waiting
+		}
+	}
+	return target
+}
+
+// StaticFCFS is the baseline of §5.2: vjobs are started in FCFS order
+// when (and only when) all their VMs fit, and once running they are
+// never preempted. Backfill additionally lets later vjobs start ahead
+// of a blocked head-of-queue (the EASY behaviour); without it the scan
+// stops at the first vjob that does not fit.
+//
+// With ReserveFullCPU (the realistic RMS behaviour) every VM counts as
+// one full processing unit whether or not it is computing right now —
+// users book resources for the whole walltime. This static reservation
+// is exactly the under-use the paper's dynamic consolidation recovers.
+type StaticFCFS struct {
+	// Backfill enables starting later vjobs past a blocked one.
+	Backfill bool
+	// ReserveFullCPU makes placement use the booked one-CPU-per-VM
+	// reservation instead of the instantaneous demand.
+	ReserveFullCPU bool
+}
+
+// Decide returns the target states: running vjobs stay running,
+// waiting vjobs start when they fit.
+func (s StaticFCFS) Decide(cfg *vjob.Configuration, queue []*vjob.VJob) map[string]vjob.State {
+	target := make(map[string]vjob.State, len(queue))
+	temp := emptyClusterLike(cfg)
+	// Reserve resources of the already-running vjobs first: they are
+	// immovable under static allocation.
+	for _, j := range SortQueue(queue) {
+		if cfg.VJobState(j) == vjob.Running {
+			target[j.Name] = vjob.Running
+			for _, v := range j.VMs {
+				if h := cfg.HostOf(v.Name); h != "" {
+					// Mirror the real placement so fragmentation is
+					// honoured, as a static RMS would.
+					sv := s.shadow(v)
+					temp.AddVM(sv)
+					_ = temp.SetRunning(sv.Name, h)
+				}
+			}
+		}
+	}
+	for _, j := range SortQueue(queue) {
+		cur := cfg.VJobState(j)
+		if cur != vjob.Waiting {
+			continue
+		}
+		if tryPlace(temp, s.shadowJob(j)) {
+			target[j.Name] = vjob.Running
+			continue
+		}
+		target[j.Name] = vjob.Waiting
+		if !s.Backfill {
+			break // strict FCFS: nobody jumps the queue
+		}
+	}
+	return target
+}
+
+// shadow returns the VM as the RMS accounts for it: the booked
+// reservation when ReserveFullCPU is set, the live demand otherwise.
+func (s StaticFCFS) shadow(v *vjob.VM) *vjob.VM {
+	if !s.ReserveFullCPU {
+		return v
+	}
+	return vjob.NewVM(v.Name, v.VJob, 1, v.MemoryDemand)
+}
+
+func (s StaticFCFS) shadowJob(j *vjob.VJob) *vjob.VJob {
+	if !s.ReserveFullCPU {
+		return j
+	}
+	out := &vjob.VJob{Name: j.Name, Priority: j.Priority, Submitted: j.Submitted}
+	for _, v := range j.VMs {
+		out.VMs = append(out.VMs, s.shadow(v))
+	}
+	return out
+}
+
+// emptyClusterLike returns a configuration with cfg's nodes and no
+// VMs.
+func emptyClusterLike(cfg *vjob.Configuration) *vjob.Configuration {
+	out := vjob.NewConfiguration()
+	for _, n := range cfg.Nodes() {
+		out.AddNode(n)
+	}
+	return out
+}
+
+// tryPlace adds the vjob's VMs to temp with FFD; on success the
+// placement is kept and true is returned.
+func tryPlace(temp *vjob.Configuration, j *vjob.VJob) bool {
+	for _, v := range j.VMs {
+		temp.AddVM(v)
+	}
+	if err := packing.FirstFitDecrease(temp, j.VMs); err != nil {
+		for _, v := range j.VMs {
+			temp.RemoveVM(v.Name)
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"sort"
+
+	"cwcs/internal/vjob"
+)
+
+// WeightedConsolidation generalizes the sample module with vjob
+// weights (§3.2 suggests "common approaches such as vjob weights or
+// priority queues"): instead of walking the queue in plain FCFS order,
+// vjobs are ranked by descending weight — ties broken FCFS — and the
+// highest-value set that fits is selected. Weights model job
+// importance (paying customers, deadlines); the FCFS module is the
+// special case where every weight is equal.
+//
+// An optional Starvation guard promotes any vjob that has been ready
+// (waiting or sleeping) for more than StarvationRounds consecutive
+// decisions to the front, bounding how long a heavy queue can starve a
+// light job.
+type WeightedConsolidation struct {
+	// Weight returns the weight of a vjob; nil means uniform weights
+	// (pure FCFS behaviour).
+	Weight func(*vjob.VJob) float64
+	// StarvationRounds, when positive, is the number of consecutive
+	// rounds a ready vjob may be passed over before it is promoted to
+	// the head of the ranking. Zero disables the guard.
+	StarvationRounds int
+
+	// passedOver counts consecutive rounds each vjob was left ready.
+	passedOver map[string]int
+}
+
+// Decide ranks the queue by weight and selects greedily, like the FCFS
+// module but in weight order.
+func (w *WeightedConsolidation) Decide(cfg *vjob.Configuration, queue []*vjob.VJob) map[string]vjob.State {
+	if w.passedOver == nil {
+		w.passedOver = make(map[string]int)
+	}
+	ranked := w.rank(queue)
+	target := make(map[string]vjob.State, len(ranked))
+	temp := emptyClusterLike(cfg)
+	for _, j := range ranked {
+		cur := cfg.VJobState(j)
+		if cur == vjob.Terminated {
+			delete(w.passedOver, j.Name)
+			continue
+		}
+		if tryPlace(temp, j) {
+			target[j.Name] = vjob.Running
+			delete(w.passedOver, j.Name)
+			continue
+		}
+		if cur == vjob.Running || cur == vjob.Sleeping {
+			target[j.Name] = vjob.Sleeping
+		} else {
+			target[j.Name] = vjob.Waiting
+		}
+		w.passedOver[j.Name]++
+	}
+	return target
+}
+
+// rank orders the queue by (starvation promotion, weight desc, FCFS).
+func (w *WeightedConsolidation) rank(queue []*vjob.VJob) []*vjob.VJob {
+	out := SortQueue(queue) // FCFS base order for stable ties
+	weight := func(j *vjob.VJob) float64 {
+		if w.Weight == nil {
+			return 0
+		}
+		return w.Weight(j)
+	}
+	starving := func(j *vjob.VJob) bool {
+		return w.StarvationRounds > 0 && w.passedOver[j.Name] >= w.StarvationRounds
+	}
+	sort.SliceStable(out, func(i, k int) bool {
+		si, sk := starving(out[i]), starving(out[k])
+		if si != sk {
+			return si
+		}
+		return weight(out[i]) > weight(out[k])
+	})
+	return out
+}

@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"testing"
+
+	"cwcs/internal/vjob"
+)
+
+func weightedCluster(t *testing.T) (*vjob.Configuration, []*vjob.VJob) {
+	t.Helper()
+	c := mkCluster(1, 1, 4096) // room for exactly one busy VM
+	var jobs []*vjob.VJob
+	for _, name := range []string{"cheap", "gold"} {
+		j := vjob.NewVJob(name, len(jobs), vjob.NewVM(name+"-1", "", 1, 1024))
+		c.AddVM(j.VMs[0])
+		jobs = append(jobs, j)
+	}
+	return c, jobs
+}
+
+func TestWeightedPrefersHeavyJob(t *testing.T) {
+	c, jobs := weightedCluster(t)
+	w := &WeightedConsolidation{Weight: func(j *vjob.VJob) float64 {
+		if j.Name == "gold" {
+			return 10
+		}
+		return 1
+	}}
+	target := w.Decide(c, jobs)
+	// "gold" outweighs "cheap" despite arriving later.
+	if target["gold"] != vjob.Running || target["cheap"] != vjob.Waiting {
+		t.Fatalf("target = %v", target)
+	}
+}
+
+func TestWeightedUniformMatchesFCFS(t *testing.T) {
+	c, jobs := weightedCluster(t)
+	w := &WeightedConsolidation{}
+	plain := Consolidation{}.Decide(c, jobs)
+	weighted := w.Decide(c, jobs)
+	for name, st := range plain {
+		if weighted[name] != st {
+			t.Fatalf("uniform weighted differs from FCFS: %v vs %v", weighted, plain)
+		}
+	}
+}
+
+func TestWeightedPreemptsLighterRunningJob(t *testing.T) {
+	c, jobs := weightedCluster(t)
+	// cheap runs; gold (heavier) arrives: cheap is suspended.
+	if err := c.SetRunning("cheap-1", "n00"); err != nil {
+		t.Fatal(err)
+	}
+	w := &WeightedConsolidation{Weight: func(j *vjob.VJob) float64 {
+		if j.Name == "gold" {
+			return 10
+		}
+		return 1
+	}}
+	target := w.Decide(c, jobs)
+	if target["gold"] != vjob.Running {
+		t.Fatalf("gold -> %v", target["gold"])
+	}
+	if target["cheap"] != vjob.Sleeping {
+		t.Fatalf("cheap -> %v, want sleeping (preempted)", target["cheap"])
+	}
+}
+
+func TestStarvationGuardPromotes(t *testing.T) {
+	c, jobs := weightedCluster(t)
+	w := &WeightedConsolidation{
+		Weight: func(j *vjob.VJob) float64 {
+			if j.Name == "gold" {
+				return 10
+			}
+			return 1
+		},
+		StarvationRounds: 3,
+	}
+	// For three rounds gold wins; on the fourth, cheap has starved
+	// long enough and is promoted.
+	for round := 0; round < 3; round++ {
+		target := w.Decide(c, jobs)
+		if target["cheap"] != vjob.Waiting {
+			t.Fatalf("round %d: cheap = %v", round, target["cheap"])
+		}
+	}
+	target := w.Decide(c, jobs)
+	if target["cheap"] != vjob.Running {
+		t.Fatalf("starved vjob not promoted: %v", target)
+	}
+	if target["gold"] != vjob.Waiting && target["gold"] != vjob.Sleeping {
+		t.Fatalf("gold = %v", target["gold"])
+	}
+	// Once it runs, its counter resets: gold wins again next round
+	// (cheap keeps running is also acceptable FCFS-wise; what matters
+	// is the counter reset, observable via no immediate re-promotion).
+	if w.passedOver["cheap"] != 0 {
+		t.Fatal("starvation counter not reset")
+	}
+}
+
+func TestWeightedSkipsTerminated(t *testing.T) {
+	c, _ := weightedCluster(t)
+	gone := vjob.NewVJob("gone", 9, vjob.NewVM("gone-1", "", 1, 512))
+	w := &WeightedConsolidation{}
+	target := w.Decide(c, []*vjob.VJob{gone})
+	if _, ok := target["gone"]; ok {
+		t.Fatal("terminated vjob targeted")
+	}
+}

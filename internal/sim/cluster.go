@@ -1,0 +1,359 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"cwcs/internal/duration"
+	"cwcs/internal/plan"
+	"cwcs/internal/vjob"
+)
+
+// Phase is one step of a VM's embedded workload: it demands CPU
+// processing units and represents Seconds of work at full speed. A
+// phase with CPU = 0 models a communication/idle stage that simply
+// elapses (at full speed) without consuming a processing unit.
+type Phase struct {
+	CPU     int
+	Seconds float64
+}
+
+// workload tracks a VM's progress through its phases.
+type workload struct {
+	phases    []Phase
+	idx       int
+	remaining float64 // seconds of work left in the current phase
+	done      bool
+	frozen    bool // a suspend/stop is in flight: no progress
+}
+
+// operation is an in-flight context-switch action.
+type operation struct {
+	action plan.Action
+	nodes  map[string]bool // nodes whose VMs are decelerated
+	tr     duration.Transfer
+}
+
+// Cluster is the simulated cluster.
+type Cluster struct {
+	cfg   *vjob.Configuration
+	model duration.Model
+	now   float64
+	seq   int64
+	queue eventQueue
+
+	workloads map[string]*workload
+	ops       map[*operation]bool
+
+	// SuspendToRAM switches suspend/resume to the §7 future-work
+	// fast path (no disk image) in the duration model.
+	SuspendToRAM bool
+
+	// telemetry
+	actionsRun map[string]int
+	localOps   int
+	remoteOps  int
+}
+
+// New wraps a configuration into a simulator. The configuration is
+// owned by the simulator afterwards: use Config to observe it.
+func New(cfg *vjob.Configuration, m duration.Model) *Cluster {
+	return &Cluster{
+		cfg:        cfg,
+		model:      m,
+		workloads:  make(map[string]*workload),
+		ops:        make(map[*operation]bool),
+		actionsRun: make(map[string]int),
+	}
+}
+
+// Now returns the virtual time in seconds.
+func (c *Cluster) Now() float64 { return c.now }
+
+// Config returns the live cluster configuration. Callers that need a
+// stable view must Clone it.
+func (c *Cluster) Config() *vjob.Configuration { return c.cfg }
+
+// Snapshot returns an independent copy of the configuration, the
+// monitoring view of the cluster.
+func (c *Cluster) Snapshot() *vjob.Configuration { return c.cfg.Clone() }
+
+// Schedule registers fn to run at the given virtual time (clamped to
+// now if in the past).
+func (c *Cluster) Schedule(at float64, fn func()) {
+	if at < c.now {
+		at = c.now
+	}
+	c.seq++
+	heap.Push(&c.queue, &event{at: at, seq: c.seq, fn: fn})
+}
+
+// SetWorkload installs the phases a VM will execute once running. The
+// VM's CPU demand is updated as phases begin, which is how monitoring
+// observes changing requirements.
+func (c *Cluster) SetWorkload(vm string, phases []Phase) {
+	w := &workload{phases: phases}
+	if len(phases) > 0 {
+		w.remaining = phases[0].Seconds
+	} else {
+		w.done = true
+	}
+	c.workloads[vm] = w
+	c.applyPhaseDemand(vm, w)
+}
+
+func (c *Cluster) applyPhaseDemand(vm string, w *workload) {
+	v := c.cfg.VM(vm)
+	if v == nil {
+		return
+	}
+	if w.done || w.idx >= len(w.phases) {
+		v.CPUDemand = 0
+		return
+	}
+	v.CPUDemand = w.phases[w.idx].CPU
+}
+
+// WorkloadDone reports whether the VM finished all its phases (VMs
+// without a workload are never done: they are service VMs).
+func (c *Cluster) WorkloadDone(vm string) bool {
+	w, ok := c.workloads[vm]
+	return ok && w.done
+}
+
+// VJobDone reports whether every VM of the vjob completed its
+// workload.
+func (c *Cluster) VJobDone(j *vjob.VJob) bool {
+	for _, v := range j.VMs {
+		if !c.WorkloadDone(v.Name) {
+			return false
+		}
+	}
+	return len(j.VMs) > 0
+}
+
+// StartAction launches a context-switch action; done(err) fires at the
+// virtual instant the action completes, after the configuration has
+// been updated. The manipulated VM freezes during suspends and stops,
+// keeps computing (decelerated) during live migration, and starts
+// computing only at completion for run/resume.
+func (c *Cluster) StartAction(a plan.Action, done func(error)) {
+	d, tr := c.actionTiming(a)
+	op := &operation{action: a, nodes: map[string]bool{}, tr: tr}
+	switch a := a.(type) {
+	case *plan.Migration:
+		op.nodes[a.Src] = true
+		op.nodes[a.Dst] = true
+	case *plan.Run:
+		op.nodes[a.On] = true
+	case *plan.Stop:
+		op.nodes[a.On] = true
+		c.freeze(a.Machine.Name)
+	case *plan.Suspend:
+		op.nodes[a.On] = true
+		op.nodes[a.To] = true
+		c.freeze(a.Machine.Name)
+	case *plan.Resume:
+		op.nodes[a.From] = true
+		op.nodes[a.On] = true
+	}
+	if tr == duration.Local {
+		c.localOps++
+	} else {
+		c.remoteOps++
+	}
+	c.ops[op] = true
+	c.Schedule(c.now+d.Seconds(), func() {
+		delete(c.ops, op)
+		err := a.Apply(c.cfg)
+		if err == nil {
+			c.actionsRun[kindOf(a)]++
+			if w, ok := c.workloads[a.VM().Name]; ok {
+				w.frozen = false
+			}
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+// actionTiming resolves the duration and transfer mode, honouring the
+// suspend-to-RAM mode.
+func (c *Cluster) actionTiming(a plan.Action) (d time.Duration, tr duration.Transfer) {
+	if c.SuspendToRAM {
+		switch a.(type) {
+		case *plan.Suspend, *plan.Resume:
+			return c.model.SuspendToRAM(), duration.Local
+		}
+	}
+	return c.model.ActionDuration(a)
+}
+
+func (c *Cluster) freeze(vm string) {
+	if w, ok := c.workloads[vm]; ok {
+		w.frozen = true
+	}
+}
+
+func kindOf(a plan.Action) string {
+	switch a.(type) {
+	case *plan.Migration:
+		return "migrate"
+	case *plan.Run:
+		return "run"
+	case *plan.Stop:
+		return "stop"
+	case *plan.Suspend:
+		return "suspend"
+	case *plan.Resume:
+		return "resume"
+	default:
+		return "unknown"
+	}
+}
+
+// ActionCounts returns how many actions of each kind completed.
+func (c *Cluster) ActionCounts() map[string]int {
+	out := make(map[string]int, len(c.actionsRun))
+	for k, v := range c.actionsRun {
+		out[k] = v
+	}
+	return out
+}
+
+// TransferCounts returns how many operations ran locally vs. remotely
+// (the paper reports 21 of 28 resumes were local).
+func (c *Cluster) TransferCounts() (local, remote int) { return c.localOps, c.remoteOps }
+
+// rates computes, for every running busy unfrozen VM with work left,
+// its progress rate in work-seconds per second: the node's CPU share
+// divided by the deceleration imposed by in-flight operations.
+func (c *Cluster) rates() map[string]float64 {
+	decel := map[string]float64{}
+	for op := range c.ops {
+		f := c.model.Deceleration(op.tr)
+		for n := range op.nodes {
+			if f > decel[n] {
+				decel[n] = f
+			}
+		}
+	}
+	out := make(map[string]float64)
+	for _, n := range c.cfg.Nodes() {
+		demand := 0
+		var active []*vjob.VM
+		for _, v := range c.cfg.RunningOn(n.Name) {
+			w, ok := c.workloads[v.Name]
+			if !ok || w.done || w.frozen {
+				continue
+			}
+			active = append(active, v)
+			demand += v.CPUDemand
+		}
+		share := 1.0
+		if demand > n.CPU && demand > 0 {
+			share = float64(n.CPU) / float64(demand)
+		}
+		f := decel[n.Name]
+		if f == 0 {
+			f = 1
+		}
+		for _, v := range active {
+			r := share / f
+			if v.CPUDemand == 0 {
+				// Communication phases elapse in real time, modulo
+				// operation deceleration.
+				r = 1 / f
+			}
+			out[v.Name] = r
+		}
+	}
+	return out
+}
+
+// Run processes events and workload progress until the virtual clock
+// reaches `until` or nothing remains to happen.
+func (c *Cluster) Run(until float64) {
+	const eps = 1e-9
+	for c.now < until-eps {
+		rates := c.rates()
+		tEvent := math.Inf(1)
+		if len(c.queue) > 0 {
+			tEvent = c.queue[0].at
+		}
+		tPhase := math.Inf(1)
+		for vm, r := range rates {
+			w := c.workloads[vm]
+			if r > 0 {
+				if t := c.now + w.remaining/r; t < tPhase {
+					tPhase = t
+				}
+			}
+		}
+		if math.IsInf(math.Min(tEvent, tPhase), 1) {
+			return // quiescent: no event and no progressing workload
+		}
+		t := math.Min(math.Min(tEvent, tPhase), until)
+		// Advance progress to t.
+		dt := t - c.now
+		if dt > 0 {
+			for vm, r := range rates {
+				c.workloads[vm].remaining -= dt * r
+			}
+			c.now = t
+		}
+		// Phase completions due now.
+		for vm, r := range rates {
+			if r <= 0 {
+				continue
+			}
+			w := c.workloads[vm]
+			if w.remaining <= eps {
+				c.advancePhase(vm, w)
+			}
+		}
+		// Events due now.
+		for len(c.queue) > 0 && c.queue[0].at <= c.now+eps {
+			e := heap.Pop(&c.queue).(*event)
+			e.fn()
+		}
+		if dt == 0 && tEvent > c.now+eps && tPhase > c.now+eps {
+			// Nothing progressed and nothing fired: avoid spinning.
+			return
+		}
+	}
+}
+
+// advancePhase moves a VM to its next workload phase.
+func (c *Cluster) advancePhase(vm string, w *workload) {
+	w.idx++
+	if w.idx >= len(w.phases) {
+		w.done = true
+		w.remaining = 0
+	} else {
+		w.remaining = w.phases[w.idx].Seconds
+	}
+	c.applyPhaseDemand(vm, w)
+}
+
+// RemainingWork returns the seconds of work (at full speed) the VM
+// still has across all phases, for tests and progress reports.
+func (c *Cluster) RemainingWork(vm string) float64 {
+	w, ok := c.workloads[vm]
+	if !ok || w.done {
+		return 0
+	}
+	total := w.remaining
+	for i := w.idx + 1; i < len(w.phases); i++ {
+		total += w.phases[i].Seconds
+	}
+	return total
+}
+
+// String summarizes the simulator state.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("sim[t=%.1fs, %d events, %d ops in flight]", c.now, len(c.queue), len(c.ops))
+}

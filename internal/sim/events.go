@@ -1,0 +1,40 @@
+// Package sim is the discrete-event cluster simulator standing in for
+// the paper's Xen 3.2 testbed. It advances a virtual clock over a
+// cluster configuration, executes context-switch actions with the
+// calibrated durations of internal/duration, slows down busy VMs
+// co-hosted with in-flight operations (the §2.3 deceleration), shares
+// processing units among over-committed VMs, and tracks the progress
+// of per-VM workload phases so vjob completion times can be measured.
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq int64 // tie-breaker preserving scheduling order
+	fn  func()
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+var _ heap.Interface = (*eventQueue)(nil)

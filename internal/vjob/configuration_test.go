@@ -1,0 +1,435 @@
+package vjob
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestConfig() *Configuration {
+	c := NewConfiguration()
+	for i := 0; i < 3; i++ {
+		c.AddNode(NewNode(fmt.Sprintf("n%d", i+1), 1, 3072))
+	}
+	return c
+}
+
+func TestAddAndLookup(t *testing.T) {
+	c := newTestConfig()
+	v := NewVM("vm1", "j1", 1, 1024)
+	c.AddVM(v)
+	if got := c.VM("vm1"); got != v {
+		t.Fatalf("VM lookup = %v, want %v", got, v)
+	}
+	if got := c.Node("n2"); got == nil || got.Name != "n2" {
+		t.Fatalf("Node lookup = %v", got)
+	}
+	if s := c.StateOf("vm1"); s != Waiting {
+		t.Fatalf("fresh VM state = %v, want waiting", s)
+	}
+	if c.NumNodes() != 3 || c.NumVMs() != 1 {
+		t.Fatalf("counts = %d nodes, %d vms", c.NumNodes(), c.NumVMs())
+	}
+}
+
+func TestStateTransitions(t *testing.T) {
+	c := newTestConfig()
+	c.AddVM(NewVM("vm1", "j1", 1, 1024))
+	if err := c.SetRunning("vm1", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if c.StateOf("vm1") != Running || c.HostOf("vm1") != "n1" {
+		t.Fatalf("after SetRunning: state=%v host=%q", c.StateOf("vm1"), c.HostOf("vm1"))
+	}
+	if err := c.SetSleeping("vm1", "n2"); err != nil {
+		t.Fatal(err)
+	}
+	if c.StateOf("vm1") != Sleeping || c.ImageHostOf("vm1") != "n2" {
+		t.Fatalf("after SetSleeping: state=%v image=%q", c.StateOf("vm1"), c.ImageHostOf("vm1"))
+	}
+	if c.HostOf("vm1") != "" {
+		t.Fatalf("sleeping VM reports host %q", c.HostOf("vm1"))
+	}
+	if err := c.SetWaiting("vm1"); err != nil {
+		t.Fatal(err)
+	}
+	if c.LocationOf("vm1") != "" {
+		t.Fatalf("waiting VM keeps location %q", c.LocationOf("vm1"))
+	}
+}
+
+func TestSetErrors(t *testing.T) {
+	c := newTestConfig()
+	c.AddVM(NewVM("vm1", "j1", 1, 1024))
+	if err := c.SetRunning("ghost", "n1"); err == nil {
+		t.Fatal("SetRunning accepted unknown VM")
+	}
+	if err := c.SetRunning("vm1", "ghost"); err == nil {
+		t.Fatal("SetRunning accepted unknown node")
+	}
+	if err := c.SetWaiting("ghost"); err == nil {
+		t.Fatal("SetWaiting accepted unknown VM")
+	}
+}
+
+func TestRemoveVM(t *testing.T) {
+	c := newTestConfig()
+	c.AddVM(NewVM("vm1", "j1", 1, 1024))
+	c.AddVM(NewVM("vm2", "j1", 1, 1024))
+	if err := c.SetRunning("vm1", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RemoveVM("vm1")
+	if c.VM("vm1") != nil {
+		t.Fatal("vm1 still present after RemoveVM")
+	}
+	if c.StateOf("vm1") != Terminated {
+		t.Fatalf("removed VM state = %v, want terminated", c.StateOf("vm1"))
+	}
+	if got := len(c.VMs()); got != 1 {
+		t.Fatalf("VMs() length = %d, want 1", got)
+	}
+	c.RemoveVM("vm1") // idempotent
+}
+
+func TestResourceAccounting(t *testing.T) {
+	c := newTestConfig()
+	c.AddVM(NewVM("vm1", "j1", 1, 1024))
+	c.AddVM(NewVM("vm2", "j1", 0, 512))
+	mustRun(t, c, "vm1", "n1")
+	mustRun(t, c, "vm2", "n1")
+	if got := c.UsedCPU("n1"); got != 1 {
+		t.Fatalf("UsedCPU = %d, want 1", got)
+	}
+	if got := c.UsedMemory("n1"); got != 1536 {
+		t.Fatalf("UsedMemory = %d, want 1536", got)
+	}
+	if got := c.FreeCPU("n1"); got != 0 {
+		t.Fatalf("FreeCPU = %d, want 0", got)
+	}
+	if got := c.FreeMemory("n1"); got != 1536 {
+		t.Fatalf("FreeMemory = %d, want 1536", got)
+	}
+	if c.Fits(NewVM("x", "", 1, 100), "n1") {
+		t.Fatal("Fits accepted a CPU-hungry VM on a full node")
+	}
+	if !c.Fits(NewVM("x", "", 0, 1536), "n1") {
+		t.Fatal("Fits rejected a VM that exactly fits")
+	}
+	if c.FreeCPU("ghost") != 0 || c.FreeMemory("ghost") != 0 {
+		t.Fatal("free resources of unknown node should be 0")
+	}
+}
+
+func TestViability(t *testing.T) {
+	// Reproduces Figure 5: 3 uniprocessor nodes; VM2 and VM3 demand a
+	// whole CPU. Hosting both on one node is non-viable.
+	c := newTestConfig()
+	c.AddVM(NewVM("vm1", "", 0, 1024))
+	c.AddVM(NewVM("vm2", "", 1, 1024))
+	c.AddVM(NewVM("vm3", "", 1, 1024))
+	mustRun(t, c, "vm2", "n1")
+	mustRun(t, c, "vm3", "n1")
+	mustRun(t, c, "vm1", "n2")
+	if c.Viable() {
+		t.Fatal("two busy VMs on one uniprocessor node reported viable")
+	}
+	vio := c.Violations()
+	if len(vio) != 1 || vio[0].Node != "n1" || vio[0].Resource != "cpu" {
+		t.Fatalf("violations = %+v", vio)
+	}
+	if vio[0].Error() == "" {
+		t.Fatal("violation error string empty")
+	}
+	// Figure 5(b): spreading the busy VMs is viable.
+	mustRun(t, c, "vm3", "n3")
+	if !c.Viable() {
+		t.Fatalf("spread configuration not viable: %+v", c.Violations())
+	}
+}
+
+func TestMemoryViolation(t *testing.T) {
+	c := NewConfiguration()
+	c.AddNode(NewNode("n1", 4, 1024))
+	c.AddVM(NewVM("vm1", "", 1, 800))
+	c.AddVM(NewVM("vm2", "", 1, 800))
+	mustRun(t, c, "vm1", "n1")
+	mustRun(t, c, "vm2", "n1")
+	vio := c.Violations()
+	if len(vio) != 1 || vio[0].Resource != "memory" {
+		t.Fatalf("violations = %+v", vio)
+	}
+}
+
+func TestSleepingConsumesNothing(t *testing.T) {
+	c := NewConfiguration()
+	c.AddNode(NewNode("n1", 1, 1024))
+	c.AddVM(NewVM("vm1", "", 1, 1024))
+	c.AddVM(NewVM("vm2", "", 1, 1024))
+	mustRun(t, c, "vm1", "n1")
+	if err := c.SetSleeping("vm2", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Viable() {
+		t.Fatal("sleeping VM should not consume resources")
+	}
+	if got := len(c.SleepingOn("n1")); got != 1 {
+		t.Fatalf("SleepingOn = %d, want 1", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := newTestConfig()
+	c.AddVM(NewVM("vm1", "j1", 1, 1024))
+	mustRun(t, c, "vm1", "n1")
+	d := c.Clone()
+	if !c.Equal(d) {
+		t.Fatal("clone not equal to original")
+	}
+	mustRun(t, d, "vm1", "n2")
+	if c.HostOf("vm1") != "n1" {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.Equal(d) {
+		t.Fatal("Equal missed a placement difference")
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	a := newTestConfig()
+	b := newTestConfig()
+	if !a.Equal(b) {
+		t.Fatal("empty configs differ")
+	}
+	a.AddVM(NewVM("vm1", "", 1, 512))
+	if a.Equal(b) {
+		t.Fatal("Equal missed a VM count difference")
+	}
+	b.AddVM(NewVM("vm2", "", 1, 512))
+	if a.Equal(b) {
+		t.Fatal("Equal missed a VM name difference")
+	}
+	b2 := newTestConfig()
+	b2.AddVM(NewVM("vm1", "", 1, 512))
+	mustRun(t, a, "vm1", "n1")
+	if err := b2.SetSleeping("vm1", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b2) {
+		t.Fatal("Equal missed a state difference")
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	c := NewConfiguration()
+	for _, n := range []string{"n3", "n1", "n2"} {
+		c.AddNode(NewNode(n, 2, 4096))
+	}
+	for _, v := range []string{"vmB", "vmA", "vmC"} {
+		c.AddVM(NewVM(v, "", 0, 256))
+	}
+	nodes := c.Nodes()
+	for i, want := range []string{"n1", "n2", "n3"} {
+		if nodes[i].Name != want {
+			t.Fatalf("node order %v", nodes)
+		}
+	}
+	vms := c.VMs()
+	for i, want := range []string{"vmA", "vmB", "vmC"} {
+		if vms[i].Name != want {
+			t.Fatalf("vm order %v", vms)
+		}
+	}
+}
+
+func TestVJobStateDerivation(t *testing.T) {
+	c := newTestConfig()
+	j := NewVJob("j1", 0, NewVM("a", "", 1, 512), NewVM("b", "", 1, 512))
+	for _, v := range j.VMs {
+		c.AddVM(v)
+	}
+	if s := c.VJobState(j); s != Waiting {
+		t.Fatalf("fresh vjob state = %v", s)
+	}
+	mustRun(t, c, "a", "n1")
+	if s := c.VJobState(j); s != Running {
+		t.Fatalf("partially running vjob state = %v, want running", s)
+	}
+	mustRun(t, c, "b", "n2")
+	if s := c.VJobState(j); s != Running {
+		t.Fatalf("running vjob state = %v", s)
+	}
+	if err := c.SetSleeping("a", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetSleeping("b", "n2"); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.VJobState(j); s != Sleeping {
+		t.Fatalf("sleeping vjob state = %v", s)
+	}
+	c.RemoveVM("a")
+	c.RemoveVM("b")
+	if s := c.VJobState(j); s != Terminated {
+		t.Fatalf("terminated vjob state = %v", s)
+	}
+	if s := c.VJobState(NewVJob("empty", 0)); s != Terminated {
+		t.Fatalf("empty vjob state = %v", s)
+	}
+}
+
+func TestLifeCycleTransitions(t *testing.T) {
+	cases := []struct {
+		from, to State
+		ok       bool
+	}{
+		{Waiting, Running, true},
+		{Waiting, Sleeping, false},
+		{Waiting, Terminated, false},
+		{Running, Sleeping, true},
+		{Running, Running, true}, // migration
+		{Running, Terminated, true},
+		{Running, Waiting, false},
+		{Sleeping, Running, true},
+		{Sleeping, Terminated, false},
+		{Sleeping, Waiting, false},
+		{Terminated, Running, false},
+		{Terminated, Terminated, true},
+	}
+	for _, tc := range cases {
+		if got := ValidTransition(tc.from, tc.to); got != tc.ok {
+			t.Errorf("ValidTransition(%v,%v) = %v, want %v", tc.from, tc.to, got, tc.ok)
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		Waiting: "waiting", Running: "running", Sleeping: "sleeping",
+		Terminated: "terminated", State(42): "invalid",
+	} {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if !Waiting.Ready() || !Sleeping.Ready() || Running.Ready() || Terminated.Ready() {
+		t.Fatal("Ready() pseudo-state wrong")
+	}
+}
+
+func TestVJobAggregates(t *testing.T) {
+	j := NewVJob("j", 3, NewVM("a", "", 1, 512), NewVM("b", "", 0, 2048))
+	if j.TotalCPU() != 1 {
+		t.Fatalf("TotalCPU = %d", j.TotalCPU())
+	}
+	if j.TotalMemory() != 2560 {
+		t.Fatalf("TotalMemory = %d", j.TotalMemory())
+	}
+	for _, v := range j.VMs {
+		if v.VJob != "j" {
+			t.Fatalf("VM %s not stamped with vjob name", v.Name)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := newTestConfig()
+	c.AddVM(NewVM("vm1", "", 1, 512))
+	c.AddVM(NewVM("vm2", "", 1, 512))
+	c.AddVM(NewVM("vm3", "", 1, 512))
+	mustRun(t, c, "vm1", "n1")
+	if err := c.SetSleeping("vm2", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	s := c.String()
+	for _, want := range []string{"n1: vm1 (vm2)", "waiting: vm3"} {
+		if !contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	if NewNode("n", 1, 2).String() != "n[cpu=1,mem=2]" {
+		t.Fatal("node String format changed")
+	}
+	if NewVM("v", "", 1, 2).String() != "v[cpu=1,mem=2]" {
+		t.Fatal("vm String format changed")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewNode accepted negative capacity")
+		}
+	}()
+	NewNode("bad", -1, 0)
+}
+
+func TestNegativeDemandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewVM accepted negative demand")
+		}
+	}()
+	NewVM("bad", "", 0, -5)
+}
+
+// Property: placements never make accounting negative, clones stay
+// equal until mutated, and viability matches a brute-force check.
+func TestViabilityMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewConfiguration()
+		nNodes := 1 + rng.Intn(5)
+		for i := 0; i < nNodes; i++ {
+			c.AddNode(NewNode(fmt.Sprintf("n%d", i), 1+rng.Intn(4), 512*(1+rng.Intn(8))))
+		}
+		nVMs := rng.Intn(12)
+		for i := 0; i < nVMs; i++ {
+			v := NewVM(fmt.Sprintf("v%d", i), "", rng.Intn(3), 256*(1+rng.Intn(8)))
+			c.AddVM(v)
+			node := fmt.Sprintf("n%d", rng.Intn(nNodes))
+			switch rng.Intn(3) {
+			case 0:
+				if err := c.SetRunning(v.Name, node); err != nil {
+					return false
+				}
+			case 1:
+				if err := c.SetSleeping(v.Name, node); err != nil {
+					return false
+				}
+			}
+		}
+		// Brute-force viability.
+		viable := true
+		for _, n := range c.Nodes() {
+			cpu, mem := 0, 0
+			for _, v := range c.VMs() {
+				if c.StateOf(v.Name) == Running && c.HostOf(v.Name) == n.Name {
+					cpu += v.CPUDemand
+					mem += v.MemoryDemand
+				}
+			}
+			if cpu > n.CPU || mem > n.Memory {
+				viable = false
+			}
+		}
+		return viable == c.Viable() && c.Equal(c.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

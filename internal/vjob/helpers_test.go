@@ -1,0 +1,11 @@
+package vjob
+
+import "testing"
+
+// mustRun places a VM in the Running state or fails the test.
+func mustRun(t *testing.T, c *Configuration, vm, node string) {
+	t.Helper()
+	if err := c.SetRunning(vm, node); err != nil {
+		t.Fatal(err)
+	}
+}

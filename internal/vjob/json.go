@@ -1,0 +1,84 @@
+package vjob
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// configJSON is the serialized form of a Configuration, the format
+// understood by cmd/planviz and cmd/entropyd.
+type configJSON struct {
+	Nodes []nodeJSON `json:"nodes"`
+	VMs   []vmJSON   `json:"vms"`
+}
+
+type nodeJSON struct {
+	Name   string `json:"name"`
+	CPU    int    `json:"cpu"`
+	Memory int    `json:"memory"`
+}
+
+type vmJSON struct {
+	Name   string `json:"name"`
+	VJob   string `json:"vjob,omitempty"`
+	CPU    int    `json:"cpu"`
+	Memory int    `json:"memory"`
+	State  string `json:"state"`
+	Node   string `json:"node,omitempty"`
+}
+
+// MarshalJSON encodes the configuration with nodes and VMs in
+// deterministic order.
+func (c *Configuration) MarshalJSON() ([]byte, error) {
+	out := configJSON{}
+	for _, n := range c.Nodes() {
+		out.Nodes = append(out.Nodes, nodeJSON{Name: n.Name, CPU: n.CPU, Memory: n.Memory})
+	}
+	for _, v := range c.VMs() {
+		out.VMs = append(out.VMs, vmJSON{
+			Name:   v.Name,
+			VJob:   v.VJob,
+			CPU:    v.CPUDemand,
+			Memory: v.MemoryDemand,
+			State:  c.StateOf(v.Name).String(),
+			Node:   c.LocationOf(v.Name),
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a configuration previously produced by
+// MarshalJSON (or written by hand; see cmd/planviz -example).
+func (c *Configuration) UnmarshalJSON(data []byte) error {
+	var in configJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*c = *NewConfiguration()
+	for _, n := range in.Nodes {
+		if n.CPU < 0 || n.Memory < 0 {
+			return fmt.Errorf("vjob: node %s has negative capacity", n.Name)
+		}
+		c.AddNode(NewNode(n.Name, n.CPU, n.Memory))
+	}
+	for _, v := range in.VMs {
+		if v.CPU < 0 || v.Memory < 0 {
+			return fmt.Errorf("vjob: VM %s has negative demand", v.Name)
+		}
+		c.AddVM(NewVM(v.Name, v.VJob, v.CPU, v.Memory))
+		switch v.State {
+		case "running":
+			if err := c.SetRunning(v.Name, v.Node); err != nil {
+				return err
+			}
+		case "sleeping":
+			if err := c.SetSleeping(v.Name, v.Node); err != nil {
+				return err
+			}
+		case "waiting", "":
+		default:
+			return fmt.Errorf("vjob: VM %s has unknown state %q", v.Name, v.State)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package vjob
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := NewConfiguration()
+	c.AddNode(NewNode("n1", 2, 4096))
+	c.AddNode(NewNode("n2", 2, 4096))
+	c.AddVM(NewVM("a", "j1", 1, 1024))
+	c.AddVM(NewVM("b", "j1", 0, 512))
+	c.AddVM(NewVM("w", "j2", 1, 256))
+	mustRun(t, c, "a", "n1")
+	if err := c.SetSleeping("b", "n2"); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Configuration
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(&back) {
+		t.Fatalf("round trip lost state:\n%s\nvs\n%s", c, &back)
+	}
+	if back.VM("a").VJob != "j1" || back.VM("a").MemoryDemand != 1024 {
+		t.Fatal("VM attributes lost")
+	}
+	if back.StateOf("w") != Waiting {
+		t.Fatal("waiting state lost")
+	}
+	if back.ImageHostOf("b") != "n2" {
+		t.Fatal("image host lost")
+	}
+}
+
+func TestJSONDeterministic(t *testing.T) {
+	c := NewConfiguration()
+	for _, n := range []string{"n3", "n1", "n2"} {
+		c.AddNode(NewNode(n, 1, 1024))
+	}
+	a, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("marshalling not deterministic")
+	}
+	if !strings.Contains(string(a), `"n1"`) {
+		t.Fatalf("json = %s", a)
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	cases := []string{
+		`{`, // syntax
+		`{"nodes":[{"name":"n","cpu":-1,"memory":0}]}`,
+		`{"vms":[{"name":"v","cpu":0,"memory":-1}]}`,
+		`{"nodes":[{"name":"n","cpu":1,"memory":10}],"vms":[{"name":"v","cpu":1,"memory":1,"state":"flying"}]}`,
+		`{"vms":[{"name":"v","cpu":1,"memory":1,"state":"running","node":"ghost"}]}`,
+	}
+	for _, tc := range cases {
+		var c Configuration
+		if err := json.Unmarshal([]byte(tc), &c); err == nil {
+			t.Errorf("accepted %s", tc)
+		}
+	}
+}
+
+func TestJSONOverwritesReceiver(t *testing.T) {
+	var c Configuration
+	if err := json.Unmarshal([]byte(`{"nodes":[{"name":"x","cpu":1,"memory":2}]}`), &c); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(`{"nodes":[{"name":"y","cpu":1,"memory":2}]}`), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Node("x") != nil || c.Node("y") == nil {
+		t.Fatal("receiver not reset on unmarshal")
+	}
+}

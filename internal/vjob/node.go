@@ -1,0 +1,39 @@
+// Package vjob defines the data model of the cluster-wide context
+// switch: nodes, virtual machines, virtualized jobs (vjobs), the vjob
+// life cycle, and cluster configurations with their viability rules.
+//
+// The terminology follows Hermenier et al., "Cluster-Wide Context
+// Switch of Virtualized Jobs": a configuration maps every VM either to
+// a hosting node (running), to a node holding its suspended image
+// (sleeping), or to the waiting queue. A configuration is viable when
+// every running VM has access to the CPU and memory it demands.
+package vjob
+
+import "fmt"
+
+// Node is a working node of the cluster. Capacities use the paper's
+// units: CPU in processing units (a computing VM demands a whole one)
+// and memory in MiB.
+type Node struct {
+	// Name identifies the node (e.g. "node-3"). Names must be unique
+	// within a configuration.
+	Name string
+	// CPU is the number of processing units the node offers.
+	CPU int
+	// Memory is the node memory capacity available to VMs, in MiB.
+	Memory int
+}
+
+// NewNode returns a node with the given capacities. It panics when a
+// capacity is negative, since such a node cannot exist.
+func NewNode(name string, cpu, memory int) *Node {
+	if cpu < 0 || memory < 0 {
+		panic(fmt.Sprintf("vjob: node %s with negative capacity (cpu=%d, mem=%d)", name, cpu, memory))
+	}
+	return &Node{Name: name, CPU: cpu, Memory: memory}
+}
+
+// String returns a compact human-readable description of the node.
+func (n *Node) String() string {
+	return fmt.Sprintf("%s[cpu=%d,mem=%d]", n.Name, n.CPU, n.Memory)
+}

@@ -1,0 +1,87 @@
+package vjob
+
+import "fmt"
+
+// Violation describes one node whose running VMs over-commit a
+// resource, making the configuration non-viable.
+type Violation struct {
+	// Node is the overloaded node's name.
+	Node string
+	// Resource is "cpu" or "memory".
+	Resource string
+	// Demand is the aggregated demand of the running VMs.
+	Demand int
+	// Capacity is the node capacity for the resource.
+	Capacity int
+}
+
+// Error renders the violation; Violation satisfies the error interface
+// so callers can wrap a non-viable configuration into an error chain.
+func (v Violation) Error() string {
+	return fmt.Sprintf("node %s overloaded on %s: demand %d > capacity %d",
+		v.Node, v.Resource, v.Demand, v.Capacity)
+}
+
+// Violations returns every capacity violation of the configuration, in
+// node order. An empty slice means the configuration is viable: every
+// running VM has access to sufficient memory and processing units
+// (Section 3.2 of the paper). Waiting and sleeping VMs consume nothing.
+func (c *Configuration) Violations() []Violation {
+	var out []Violation
+	for _, n := range c.Nodes() {
+		cpu, mem := 0, 0
+		for _, v := range c.RunningOn(n.Name) {
+			cpu += v.CPUDemand
+			mem += v.MemoryDemand
+		}
+		if cpu > n.CPU {
+			out = append(out, Violation{Node: n.Name, Resource: "cpu", Demand: cpu, Capacity: n.CPU})
+		}
+		if mem > n.Memory {
+			out = append(out, Violation{Node: n.Name, Resource: "memory", Demand: mem, Capacity: n.Memory})
+		}
+	}
+	return out
+}
+
+// Viable reports whether every running VM has access to sufficient
+// memory and CPU resources.
+func (c *Configuration) Viable() bool { return len(c.Violations()) == 0 }
+
+// VJobState derives the state of a vjob from the states of its VMs. A
+// vjob is Running (resp. Sleeping, Waiting) when all its VMs are; it is
+// Terminated when none of its VMs remain. During a context switch the
+// VMs of a vjob may transiently disagree; in that case the function
+// returns the state of the majority-progress rule used by the paper's
+// monitoring: Running if any VM runs, else Sleeping if any sleeps, else
+// Waiting.
+func (c *Configuration) VJobState(j *VJob) State {
+	if len(j.VMs) == 0 {
+		return Terminated
+	}
+	counts := map[State]int{}
+	present := 0
+	for _, v := range j.VMs {
+		if c.VM(v.Name) == nil {
+			continue
+		}
+		present++
+		counts[c.StateOf(v.Name)]++
+	}
+	switch {
+	case present == 0:
+		return Terminated
+	case counts[Running] == present:
+		return Running
+	case counts[Sleeping] == present:
+		return Sleeping
+	case counts[Waiting] == present:
+		return Waiting
+	case counts[Running] > 0:
+		return Running
+	case counts[Sleeping] > 0:
+		return Sleeping
+	default:
+		return Waiting
+	}
+}

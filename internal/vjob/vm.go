@@ -1,0 +1,34 @@
+package vjob
+
+import "fmt"
+
+// VM is a virtual machine. Demands are what the VM currently asks for:
+// CPUDemand in processing units (1 while the embedded task computes, 0
+// otherwise) and MemoryDemand in MiB. MemoryDemand also drives the cost
+// of the actions that manipulate the VM (Table 1 of the paper).
+type VM struct {
+	// Name identifies the VM (e.g. "vjob2-vm4"). Names must be unique
+	// within a configuration.
+	Name string
+	// VJob is the name of the virtualized job this VM belongs to, or
+	// empty for a standalone VM.
+	VJob string
+	// CPUDemand is the current processing-unit demand.
+	CPUDemand int
+	// MemoryDemand is the current memory demand in MiB.
+	MemoryDemand int
+}
+
+// NewVM returns a VM owned by the named vjob. It panics on negative
+// demands.
+func NewVM(name, job string, cpu, memory int) *VM {
+	if cpu < 0 || memory < 0 {
+		panic(fmt.Sprintf("vjob: VM %s with negative demand (cpu=%d, mem=%d)", name, cpu, memory))
+	}
+	return &VM{Name: name, VJob: job, CPUDemand: cpu, MemoryDemand: memory}
+}
+
+// String returns a compact human-readable description of the VM.
+func (v *VM) String() string {
+	return fmt.Sprintf("%s[cpu=%d,mem=%d]", v.Name, v.CPUDemand, v.MemoryDemand)
+}

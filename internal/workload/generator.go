@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cwcs/internal/vjob"
+)
+
+// Generated is a random cluster configuration for the §5.1 scalability
+// study: 200 working nodes (2 CPUs, 4 GiB each) hosting vjobs built
+// from the NGB trace set, each vjob in a random initial state with a
+// memory-viable assignment.
+type Generated struct {
+	// Cfg is the initial configuration.
+	Cfg *vjob.Configuration
+	// Jobs are the vjobs, in queue (priority) order.
+	Jobs []*vjob.VJob
+	// Specs carries the workload phases per vjob (index-aligned with
+	// Jobs).
+	Specs []Spec
+}
+
+// GenerateOptions parameterizes GenerateConfiguration.
+type GenerateOptions struct {
+	// Nodes is the number of working nodes (paper: 200).
+	Nodes int
+	// NodeCPU and NodeMemory are per-node capacities (paper: 2 CPUs,
+	// 4096 MiB).
+	NodeCPU, NodeMemory int
+	// VMs is the target number of VMs; vjobs of 9 or 18 VMs are added
+	// until the target is reached.
+	VMs int
+}
+
+// DefaultGenerateOptions returns the paper's §5.1 parameters.
+func DefaultGenerateOptions(vms int) GenerateOptions {
+	return GenerateOptions{Nodes: 200, NodeCPU: 2, NodeMemory: 4096, VMs: vms}
+}
+
+// GenerateConfiguration builds one random sample. Running vjobs are
+// placed with a memory-only first-fit (the paper guarantees the
+// initial assignment satisfies the memory requirement; CPUs may be
+// over-committed, which is what the context switch will fix), sleeping
+// vjobs get their images on random nodes, and the rest wait.
+func GenerateConfiguration(rng *rand.Rand, opts GenerateOptions) Generated {
+	cfg := vjob.NewConfiguration()
+	for i := 0; i < opts.Nodes; i++ {
+		cfg.AddNode(vjob.NewNode(fmt.Sprintf("node%03d", i), opts.NodeCPU, opts.NodeMemory))
+	}
+	g := Generated{Cfg: cfg}
+	placed := 0
+	for i := 0; placed < opts.VMs; i++ {
+		n := 9
+		if rng.Intn(2) == 1 {
+			n = 18
+		}
+		if placed+n > opts.VMs {
+			n = opts.VMs - placed
+			if n == 0 {
+				break
+			}
+		}
+		bench := Benchmarks[rng.Intn(len(Benchmarks))]
+		class := Classes[rng.Intn(len(Classes))]
+		spec := NewSpec(fmt.Sprintf("job%03d", i), bench, class, n, i, rng)
+		// Roughly 60% of the VMs are computing right now (demanding an
+		// entire processing unit); the others are staging or in
+		// communication phases and release their CPU.
+		for _, v := range spec.Job.VMs {
+			if rng.Float64() < 0.6 {
+				v.CPUDemand = 1
+			} else {
+				v.CPUDemand = 0
+			}
+		}
+		for _, v := range spec.Job.VMs {
+			cfg.AddVM(v)
+		}
+		switch rng.Intn(3) {
+		case 0: // running, memory-first-fit
+			if !placeByMemory(rng, cfg, spec.Job) {
+				// Cluster memory exhausted: leave the vjob waiting.
+				break
+			}
+		case 1: // sleeping with images on random nodes
+			nodes := cfg.Nodes()
+			for _, v := range spec.Job.VMs {
+				_ = cfg.SetSleeping(v.Name, nodes[rng.Intn(len(nodes))].Name)
+			}
+		}
+		g.Jobs = append(g.Jobs, spec.Job)
+		g.Specs = append(g.Specs, spec)
+		placed += n
+	}
+	return g
+}
+
+// placeByMemory assigns every VM of the vjob to a node with free
+// memory (CPU ignored), scanning nodes from a random offset so load
+// spreads. Returns false when memory runs out (nothing is rolled
+// back: the caller treats the vjob as waiting, and SetWaiting resets
+// the placed VMs).
+func placeByMemory(rng *rand.Rand, cfg *vjob.Configuration, j *vjob.VJob) bool {
+	nodes := cfg.Nodes()
+	off := rng.Intn(len(nodes))
+	for _, v := range j.VMs {
+		placed := false
+		for k := 0; k < len(nodes); k++ {
+			n := nodes[(off+k)%len(nodes)]
+			if cfg.FreeMemory(n.Name) >= v.MemoryDemand {
+				if err := cfg.SetRunning(v.Name, n.Name); err == nil {
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			for _, u := range j.VMs {
+				_ = cfg.SetWaiting(u.Name)
+			}
+			return false
+		}
+	}
+	return true
+}
