@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt-check bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# A short benchmark pass over every suite: catches bit-rot in the
+# harness without paying for full measurement runs.
+bench-smoke:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+# The one-command gate every PR must pass.
+ci: build vet fmt-check test race bench-smoke

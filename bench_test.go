@@ -149,7 +149,7 @@ func BenchmarkFig11ContextSwitch(b *testing.B) {
 	var res *core.Result
 	for i := 0; i < b.N; i++ {
 		p := fig11Problem(int64(i + 1))
-		r, err := core.Optimizer{Timeout: 2 * time.Second}.Solve(p)
+		r, err := core.Optimizer{Timeout: 2 * time.Second, Workers: 1}.Solve(p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,6 +165,7 @@ func benchClusterOpts() experiments.ClusterOptions {
 	o := experiments.DefaultClusterOptions()
 	o.WorkScale = 0.5
 	o.Timeout = time.Second
+	o.Workers = 1 // sequential: keep figures comparable across hosts
 	return o
 }
 
@@ -194,30 +195,77 @@ func BenchmarkFig13Consolidation(b *testing.B) {
 	b.ReportMetric(float64(len(res.Records)), "switches")
 }
 
+// --- Portfolio scaling (DESIGN.md §2) ---
+
+// BenchmarkPortfolioWorkers races the parallel portfolio against the
+// sequential search on the §5.1-style context-switch instance the
+// ablations use: one sub-benchmark per worker count. On multi-core
+// hardware the wider portfolios finish the optimality proof in less
+// wall-clock time (or find an equally cheap plan within the same
+// budget); on a single core they fall back to time-slicing the same
+// search effort.
+func BenchmarkPortfolioWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchOptimizer(b, core.Optimizer{Timeout: 2 * time.Second, Workers: workers})
+		})
+	}
+}
+
+// BenchmarkPortfolioWorkersSpread scales the worker count over several
+// §5.1-style instances, so the scaling numbers are not tied to one
+// seed.
+func BenchmarkPortfolioWorkersSpread(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *core.Result
+			solved := 0
+			for i := 0; i < b.N; i++ {
+				r, err := core.Optimizer{Timeout: 2 * time.Second, Workers: workers}.Solve(fig11Problem(int64(i%5 + 1)))
+				if err != nil {
+					continue
+				}
+				solved++
+				res = r
+			}
+			b.ReportMetric(float64(solved)/float64(b.N), "solved-ratio")
+			if res != nil {
+				b.ReportMetric(float64(res.Cost), "plan-cost")
+				b.ReportMetric(float64(res.Nodes), "search-nodes")
+			}
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md §4) ---
+//
+// All ablations pin Workers to 1: with the default GOMAXPROCS-wide
+// portfolio, sibling workers would re-enable the very heuristics an
+// ablation disables and the comparison would measure the portfolio,
+// not the knob. BenchmarkPortfolioWorkers is the parallel measurement.
 
 // BenchmarkAblationNoBound disables the plan-cost lower-bound
 // propagator: the solver enumerates viable configurations without
 // guidance.
 func BenchmarkAblationNoBound(b *testing.B) {
-	benchOptimizer(b, core.Optimizer{DisableCostBound: true, Timeout: 2 * time.Second})
+	benchOptimizer(b, core.Optimizer{DisableCostBound: true, Timeout: 2 * time.Second, Workers: 1})
 }
 
 // BenchmarkAblationNaiveOrdering disables first-fail and
 // prefer-current-host.
 func BenchmarkAblationNaiveOrdering(b *testing.B) {
-	benchOptimizer(b, core.Optimizer{NaiveOrdering: true, Timeout: 2 * time.Second})
+	benchOptimizer(b, core.Optimizer{NaiveOrdering: true, Timeout: 2 * time.Second, Workers: 1})
 }
 
 // BenchmarkAblationKnapsack enables the DP subset-sum pruning.
 func BenchmarkAblationKnapsack(b *testing.B) {
-	benchOptimizer(b, core.Optimizer{UseKnapsack: true, Timeout: 2 * time.Second})
+	benchOptimizer(b, core.Optimizer{UseKnapsack: true, Timeout: 2 * time.Second, Workers: 1})
 }
 
 // BenchmarkAblationBaseline is the paper's configuration, for
 // comparing the ablations against.
 func BenchmarkAblationBaseline(b *testing.B) {
-	benchOptimizer(b, core.Optimizer{Timeout: 2 * time.Second})
+	benchOptimizer(b, core.Optimizer{Timeout: 2 * time.Second, Workers: 1})
 }
 
 func benchOptimizer(b *testing.B, o core.Optimizer) {
@@ -269,7 +317,7 @@ func BenchmarkAblationVJobGrouping(b *testing.B) {
 
 func mustSolve(b *testing.B, p core.Problem) *core.Result {
 	b.Helper()
-	r, err := core.Optimizer{Timeout: 2 * time.Second}.Solve(p)
+	r, err := core.Optimizer{Timeout: 2 * time.Second, Workers: 1}.Solve(p)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -7,8 +7,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os/signal"
+	"runtime"
+	"syscall"
 	"time"
 
 	"cwcs/internal/core"
@@ -31,9 +35,15 @@ func main() {
 	nvms := flag.Int("vms", 9, "VMs per vjob")
 	interval := flag.Float64("interval", 30, "loop interval (virtual seconds)")
 	timeout := flag.Duration("timeout", 2*time.Second, "optimizer budget per iteration")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel portfolio workers per optimization (1 = sequential)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	horizon := flag.Float64("horizon", 100_000, "simulation cut-off (virtual seconds)")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the in-flight optimization and stop the
+	// loop at the next iteration instead of killing the run mid-plan.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	rng := rand.New(rand.NewSource(*seed))
 	cfg := vjob.NewConfiguration()
@@ -55,7 +65,8 @@ func main() {
 
 	loop := &core.Loop{
 		Decision:  reaper{inner: sched.Consolidation{}, c: c, jobs: jobs},
-		Optimizer: core.Optimizer{Timeout: *timeout},
+		Ctx:       ctx,
+		Optimizer: core.Optimizer{Timeout: *timeout, Workers: *workers},
 		Interval:  *interval,
 		Queue:     func() []*vjob.VJob { return jobs },
 		Done: func() bool {

@@ -35,6 +35,10 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced samples/budgets for a fast run")
 	seed := fs.Int64("seed", 42, "workload seed")
+	// Defaults to sequential: the portfolio race's outcome depends on
+	// goroutine timing, and the published figures must reproduce from a
+	// seed alone. Opt in with -workers N (or 0 for GOMAXPROCS).
+	workers := fs.Int("workers", 1, "parallel portfolio workers per optimization (1 = sequential/reproducible, 0 = GOMAXPROCS)")
 	csvDir := fs.String("csv", "", "also write <figure>.csv files into this directory")
 	_ = fs.Parse(os.Args[2:])
 
@@ -48,19 +52,19 @@ func main() {
 		fmt.Print(experiments.Fig3Table(rows))
 		writeCSV(*csvDir, "fig3.csv", experiments.Fig3CSV(rows))
 	case "fig10":
-		rows := experiments.Fig10(fig10Options(*quick, *seed))
+		rows := experiments.Fig10(fig10Options(*quick, *seed, *workers))
 		fmt.Print(experiments.Fig10Table(rows))
 		writeCSV(*csvDir, "fig10.csv", experiments.Fig10CSV(rows))
 	case "fig11":
-		_, ent := clusterRuns(*quick, *seed, false)
+		_, ent := clusterRuns(*quick, *seed, *workers, false)
 		fmt.Print(experiments.Fig11Table(ent))
 		writeCSV(*csvDir, "fig11.csv", experiments.Fig11CSV(ent))
 	case "fig12":
-		fcfs, _ := clusterRuns(*quick, *seed, true)
+		fcfs, _ := clusterRuns(*quick, *seed, *workers, true)
 		fmt.Println("Figure 12 — allocation diagram, static FCFS scheduler")
 		fmt.Print(fcfs.Gantt.Render(72))
 	case "fig13":
-		fcfs, ent := clusterRuns(*quick, *seed, false)
+		fcfs, ent := clusterRuns(*quick, *seed, *workers, false)
 		fmt.Print(experiments.Fig13Table(fcfs, ent))
 		writeCSV(*csvDir, "fig13.csv", experiments.Fig13CSV(fcfs, ent))
 	case "all":
@@ -70,9 +74,9 @@ func main() {
 		fmt.Println()
 		fmt.Print(experiments.Fig3Table(experiments.Fig3(512, 1024, 2048)))
 		fmt.Println()
-		fmt.Print(experiments.Fig10Table(experiments.Fig10(fig10Options(*quick, *seed))))
+		fmt.Print(experiments.Fig10Table(experiments.Fig10(fig10Options(*quick, *seed, *workers))))
 		fmt.Println()
-		fcfs, ent := clusterRuns(*quick, *seed, false)
+		fcfs, ent := clusterRuns(*quick, *seed, *workers, false)
 		fmt.Print(experiments.Fig11Table(ent))
 		fmt.Println()
 		fmt.Println("Figure 12 — allocation diagram, static FCFS scheduler")
@@ -85,9 +89,10 @@ func main() {
 	}
 }
 
-func fig10Options(quick bool, seed int64) experiments.Fig10Options {
+func fig10Options(quick bool, seed int64, workers int) experiments.Fig10Options {
 	o := experiments.DefaultFig10Options()
 	o.Seed = seed
+	o.Workers = workers
 	if quick {
 		o.VMCounts = []int{54, 108, 162, 216}
 		o.Samples = 3
@@ -98,9 +103,10 @@ func fig10Options(quick bool, seed int64) experiments.Fig10Options {
 
 // clusterRuns executes the §5.2 experiment under both decision
 // modules. fcfsOnly skips the Entropy run (for fig12).
-func clusterRuns(quick bool, seed int64, fcfsOnly bool) (fcfs, entropy experiments.ClusterResult) {
+func clusterRuns(quick bool, seed int64, workers int, fcfsOnly bool) (fcfs, entropy experiments.ClusterResult) {
 	opts := experiments.DefaultClusterOptions()
 	opts.Seed = seed
+	opts.Workers = workers
 	if quick {
 		opts.WorkScale = 0.5
 		opts.Timeout = time.Second
@@ -132,5 +138,5 @@ func writeCSV(dir, name, content string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|all> [-quick] [-seed N] [-csv DIR]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|all> [-quick] [-seed N] [-workers N] [-csv DIR]`)
 }

@@ -8,14 +8,17 @@ import (
 )
 
 func TestFig10Options(t *testing.T) {
-	full := fig10Options(false, 7)
+	full := fig10Options(false, 7, 2)
 	if full.Samples != 30 || full.Timeout != 40*time.Second {
 		t.Fatalf("full options = %+v, want the paper's 30 samples x 40s", full)
 	}
 	if full.Seed != 7 {
 		t.Fatal("seed not forwarded")
 	}
-	quick := fig10Options(true, 7)
+	if full.Workers != 2 {
+		t.Fatal("workers not forwarded")
+	}
+	quick := fig10Options(true, 7, 2)
 	if quick.Samples >= full.Samples || quick.Timeout >= full.Timeout {
 		t.Fatal("quick options not reduced")
 	}
@@ -28,7 +31,7 @@ func TestClusterRunsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the reduced cluster experiment")
 	}
-	fcfs, entropy := clusterRuns(true, 42, false)
+	fcfs, entropy := clusterRuns(true, 42, 1, false)
 	if fcfs.Completion <= 0 || entropy.Completion <= 0 {
 		t.Fatalf("completions = %v / %v", fcfs.Completion, entropy.Completion)
 	}
@@ -36,7 +39,7 @@ func TestClusterRunsQuick(t *testing.T) {
 		t.Fatalf("entropy (%v) not faster than fcfs (%v)", entropy.Completion, fcfs.Completion)
 	}
 	// fcfsOnly skips the entropy run.
-	onlyF, none := clusterRuns(true, 42, true)
+	onlyF, none := clusterRuns(true, 42, 1, true)
 	if onlyF.Completion <= 0 {
 		t.Fatal("fcfs-only run missing")
 	}

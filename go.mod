@@ -1,0 +1,3 @@
+module cwcs
+
+go 1.24

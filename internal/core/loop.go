@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"cwcs/internal/plan"
 	"cwcs/internal/vjob"
 )
@@ -51,6 +53,10 @@ type SwitchRecord struct {
 type Loop struct {
 	// Decision chooses vjob states; required.
 	Decision DecisionModule
+	// Ctx, when non-nil, cancels the loop: in-flight optimizations
+	// stop (returning their best result so far) and no further
+	// iteration is scheduled once it is done.
+	Ctx context.Context
 	// Optimizer computes the context switch; the zero value works.
 	Optimizer Optimizer
 	// Interval is the pause between iterations in seconds (the
@@ -87,8 +93,15 @@ func (l *Loop) interval() float64 {
 	return l.Interval
 }
 
+func (l *Loop) ctx() context.Context {
+	if l.Ctx != nil {
+		return l.Ctx
+	}
+	return context.Background()
+}
+
 func (l *Loop) iterate(a Actuator) {
-	if l.stopped || (l.Done != nil && l.Done()) {
+	if l.stopped || l.ctx().Err() != nil || (l.Done != nil && l.Done()) {
 		return
 	}
 	next := func() {
@@ -97,7 +110,7 @@ func (l *Loop) iterate(a Actuator) {
 	cfg := a.Observe()
 	queue := l.Queue()
 	target := l.Decision.Decide(cfg, queue)
-	res, err := l.Optimizer.Solve(Problem{Src: cfg, Target: target})
+	res, err := l.Optimizer.SolveContext(l.ctx(), Problem{Src: cfg, Target: target})
 	if err != nil || res.Plan.NumActions() == 0 {
 		next()
 		return

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"cwcs/internal/cp"
@@ -29,6 +32,14 @@ var ErrNoViableConfiguration = errors.New("core: no viable configuration for the
 type Optimizer struct {
 	// Timeout bounds the whole optimization; zero means none.
 	Timeout time.Duration
+	// Workers is the number of parallel portfolio workers racing the
+	// branch-and-bound: each worker owns an independent copy of the
+	// model with a diverse search strategy (ordering, value choice,
+	// knapsack bound, shuffled restarts) and all workers share the
+	// incumbent bound, so the fixed time budget buys more explored
+	// nodes on multi-core hardware. Zero defaults to
+	// runtime.GOMAXPROCS(0); 1 forces the sequential search.
+	Workers int
 	// UseKnapsack enables the DP subset-sum bound inside the packing
 	// constraints (slower per node, stronger pruning).
 	UseKnapsack bool
@@ -48,35 +59,95 @@ type Optimizer struct {
 	Builder plan.Builder
 }
 
-// Solve runs the optimization. It returns ErrNoViableConfiguration
-// when even one solution cannot be found (within the timeout).
-func (o Optimizer) Solve(p Problem) (*Result, error) {
+// workers resolves the effective portfolio width.
+func (o Optimizer) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// searchStrategy is the per-worker model and heuristic configuration:
+// the cp-level ordering strategy plus the model-level knapsack toggle
+// (which lives in the Packing constraints, not in cp.Options).
+type searchStrategy struct {
+	cp.Strategy
+	useKnapsack bool
+}
+
+// baseStrategy is the configuration the Optimizer's own flags ask for.
+func (o Optimizer) baseStrategy() searchStrategy {
+	return searchStrategy{
+		Strategy:    cp.Strategy{FirstFail: !o.NaiveOrdering, PreferValue: !o.NaiveOrdering},
+		useKnapsack: o.UseKnapsack,
+	}
+}
+
+// strategies builds the diverse portfolio lineup: the configured
+// strategy first, then the knapsack-bound toggle and the two ordering
+// variants, then deterministically seeded shuffled-restart workers
+// (the same tail cp.DefaultStrategies uses).
+func (o Optimizer) strategies(n int) []searchStrategy {
+	base := o.baseStrategy()
+	out := make([]searchStrategy, 0, n)
+	out = append(out, base)
+	alts := []searchStrategy{
+		{Strategy: base.Strategy, useKnapsack: !base.useKnapsack},
+		{Strategy: cp.Strategy{FirstFail: true}, useKnapsack: base.useKnapsack},
+		{Strategy: cp.Strategy{PreferValue: true}, useKnapsack: base.useKnapsack},
+	}
+	for i := 1; i < n; i++ {
+		if i-1 < len(alts) {
+			out = append(out, alts[i-1])
+			continue
+		}
+		st := base
+		st.ShuffleSeed = int64(i)
+		out = append(out, st)
+	}
+	return out
+}
+
+// compiled is the strategy-independent compilation of a Problem,
+// shared read-only by every portfolio worker.
+type compiled struct {
+	goals   []vmGoal
+	runners []vmGoal // hardest first; one assignment variable each
+	fixed   int      // cost incurred regardless of placement
+	nodes   []*vjob.Node
+	nodeIdx map[string]int
+	model   *costModel
+	allowed [][]int // per runner: candidate node indices
+	prefs   []int   // per runner: preferred node index, -1 when none
+	maxObj  int
+}
+
+// compile expands the problem into the shared model ingredients.
+func (o Optimizer) compile(p Problem) (*compiled, error) {
 	goals, err := p.compile()
 	if err != nil {
 		return nil, err
 	}
-	model := newCostModel(p.Src, goals)
-	nodes := p.Src.Nodes()
-	nodeIdx := make(map[string]int, len(nodes))
-	for i, n := range nodes {
-		nodeIdx[n.Name] = i
+	c := &compiled{goals: goals, model: newCostModel(p.Src, goals)}
+	c.nodes = p.Src.Nodes()
+	c.nodeIdx = make(map[string]int, len(c.nodes))
+	for i, n := range c.nodes {
+		c.nodeIdx[n.Name] = i
 	}
 
 	// Runners: every VM whose destination state is Running gets an
 	// assignment variable; everything else contributes fixed costs.
-	var runners []vmGoal
-	fixed := 0
 	for _, g := range goals {
 		if g.want == vjob.Running {
-			runners = append(runners, g)
+			c.runners = append(c.runners, g)
 		} else {
-			fixed += g.fixedCost()
+			c.fixed += g.fixedCost()
 		}
 	}
 	// Hardest VMs first (§4.3 first-fail flavor): decreasing memory
 	// then CPU demand.
-	sort.SliceStable(runners, func(i, j int) bool {
-		a, b := runners[i].vm, runners[j].vm
+	sort.SliceStable(c.runners, func(i, j int) bool {
+		a, b := c.runners[i].vm, c.runners[j].vm
 		if a.MemoryDemand != b.MemoryDemand {
 			return a.MemoryDemand > b.MemoryDemand
 		}
@@ -86,101 +157,158 @@ func (o Optimizer) Solve(p Problem) (*Result, error) {
 		return a.Name < b.Name
 	})
 
-	s := cp.NewSolver()
-	vars := make([]*cp.IntVar, len(runners))
-	maxObj := fixed
-	for i, g := range runners {
+	c.allowed = make([][]int, len(c.runners))
+	c.prefs = make([]int, len(c.runners))
+	c.maxObj = c.fixed
+	for i, g := range c.runners {
 		var allowed []int
-		for j, n := range nodes {
+		for j, n := range c.nodes {
 			if n.CPU >= g.vm.CPUDemand && n.Memory >= g.vm.MemoryDemand {
 				allowed = append(allowed, j)
 			}
 		}
 		if o.PinRunning && g.cur == vjob.Running {
-			if idx, ok := nodeIdx[g.curLoc]; ok {
+			if idx, ok := c.nodeIdx[g.curLoc]; ok {
 				allowed = []int{idx}
 			}
 		}
 		if len(allowed) == 0 {
 			return nil, fmt.Errorf("%w: %s fits on no node", ErrNoViableConfiguration, g.vm.Name)
 		}
-		vars[i] = s.NewEnumVar(g.vm.Name, allowed)
-		if idx, ok := nodeIdx[g.curLoc]; ok {
-			vars[i].SetPreferred(idx)
+		c.allowed[i] = allowed
+		c.prefs[i] = -1
+		if idx, ok := c.nodeIdx[g.curLoc]; ok {
+			c.prefs[i] = idx
 		}
 		worst := 0
 		for _, j := range allowed {
-			if c := model.contribution(g, nodes[j].Name); c > worst {
-				worst = c
+			if cost := c.model.contribution(g, c.nodes[j].Name); cost > worst {
+				worst = cost
 			}
 		}
-		maxObj += worst
+		c.maxObj += worst
+	}
+	return c, nil
+}
+
+// searchModel is one solver instance over a compiled problem.
+type searchModel struct {
+	s    *cp.Solver
+	vars []*cp.IntVar
+	obj  *cp.IntVar
+	opts cp.Options
+}
+
+// buildModel instantiates the §4.3 model under one strategy. Each
+// portfolio worker gets its own build, so no solver state is shared.
+func (o Optimizer) buildModel(p Problem, c *compiled, strat searchStrategy) (*searchModel, error) {
+	s := cp.NewSolver()
+	vars := make([]*cp.IntVar, len(c.runners))
+	for i, g := range c.runners {
+		vars[i] = s.NewEnumVar(g.vm.Name, c.allowed[i])
+		if c.prefs[i] >= 0 {
+			vars[i].SetPreferred(c.prefs[i])
+		}
 	}
 
-	cpuW := make([]int, len(runners))
-	memW := make([]int, len(runners))
-	cpuC := make([]int, len(nodes))
-	memC := make([]int, len(nodes))
-	for i, g := range runners {
+	cpuW := make([]int, len(c.runners))
+	memW := make([]int, len(c.runners))
+	cpuC := make([]int, len(c.nodes))
+	memC := make([]int, len(c.nodes))
+	for i, g := range c.runners {
 		cpuW[i] = g.vm.CPUDemand
 		memW[i] = g.vm.MemoryDemand
 	}
-	for j, n := range nodes {
+	for j, n := range c.nodes {
 		cpuC[j] = n.CPU
 		memC[j] = n.Memory
 	}
-	if len(runners) > 0 {
-		s.Post(&cp.Packing{Name: "cpu", Items: vars, Weights: cpuW, Capacity: cpuC, UseKnapsack: o.UseKnapsack})
-		s.Post(&cp.Packing{Name: "memory", Items: vars, Weights: memW, Capacity: memC, UseKnapsack: o.UseKnapsack})
+	if len(c.runners) > 0 {
+		s.Post(&cp.Packing{Name: "cpu", Items: vars, Weights: cpuW, Capacity: cpuC, UseKnapsack: strat.useKnapsack})
+		s.Post(&cp.Packing{Name: "memory", Items: vars, Weights: memW, Capacity: memC, UseKnapsack: strat.useKnapsack})
 	}
 
-	varByName := make(map[string]*cp.IntVar, len(runners))
-	for i, g := range runners {
+	varByName := make(map[string]*cp.IntVar, len(c.runners))
+	for i, g := range c.runners {
 		varByName[g.vm.Name] = vars[i]
 	}
 	for _, rule := range p.Rules {
-		if err := rule.Apply(s, varByName, nodeIdx); err != nil {
+		if err := rule.Apply(s, varByName, c.nodeIdx); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrNoViableConfiguration, err)
 		}
 	}
 
-	obj := s.NewIntVar("cost", 0, maxObj)
+	obj := s.NewIntVar("cost", 0, c.maxObj)
 	if !o.DisableCostBound {
-		s.Post(o.costBound(model, runners, vars, nodes, obj, fixed))
+		s.Post(o.costBound(c.model, c.runners, vars, c.nodes, obj, c.fixed))
 	}
 
-	opts := cp.Options{
-		Vars:        vars,
-		FirstFail:   !o.NaiveOrdering,
-		PreferValue: !o.NaiveOrdering,
+	opts := strat.Apply(cp.Options{Vars: vars})
+	return &searchModel{s: s, vars: vars, obj: obj, opts: opts}, nil
+}
+
+// Solve runs the optimization. It returns ErrNoViableConfiguration
+// when even one solution cannot be found (within the timeout).
+func (o Optimizer) Solve(p Problem) (*Result, error) {
+	return o.SolveContext(context.Background(), p)
+}
+
+// SolveContext runs the optimization under ctx: canceling it stops the
+// search and returns the best result found so far (or
+// ErrNoViableConfiguration when there is none yet), exactly like the
+// Timeout. With Workers > 1 the branch-and-bound races a portfolio of
+// diverse workers that share the incumbent bound.
+func (o Optimizer) SolveContext(ctx context.Context, p Problem) (*Result, error) {
+	c, err := o.compile(p)
+	if err != nil {
+		return nil, err
 	}
 	if o.Timeout != 0 {
-		opts.Deadline = time.Now().Add(o.Timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Now().Add(o.Timeout))
+		defer cancel()
 	}
 
 	// Warm start: the FFD heuristic's plan seeds the incumbent, so the
 	// optimizer never returns anything worse than the baseline and the
 	// branch-and-bound starts with a meaningful ceiling.
-	var best *Result
-	bound := maxObj
-	if seed, err := FFDPlan(p); err == nil && rulesHold(p.Rules, seed.Dst) && o.seedRespectsPins(p, seed) {
-		best = seed
-		if best.Cost-1 < bound {
-			bound = best.Cost - 1
-		}
+	var seed *Result
+	if sd, err := FFDPlan(p); err == nil && rulesHold(p.Rules, sd.Dst) && o.seedRespectsPins(p, sd) {
+		seed = sd
 	}
-	root := s.SaveState()
+
+	if w := o.workers(); w > 1 && len(c.runners) > 0 {
+		return o.solvePortfolio(ctx, p, c, seed, w)
+	}
+	return o.solveSequential(ctx, p, c, seed)
+}
+
+// solveSequential is the single-worker branch-and-bound driven by the
+// true §4.2 plan cost.
+func (o Optimizer) solveSequential(ctx context.Context, p Problem, c *compiled, seed *Result) (*Result, error) {
+	m, err := o.buildModel(p, c, o.baseStrategy())
+	if err != nil {
+		return nil, err
+	}
+	m.opts.Ctx = ctx
+
+	best := seed
+	bound := c.maxObj
+	if best != nil && best.Cost-1 < bound {
+		bound = best.Cost - 1
+	}
+	root := m.s.SaveState()
 	for {
-		s.RestoreState(root)
-		if err := s.RemoveAbove(obj, bound); err != nil {
+		m.s.RestoreState(root)
+		if err := m.s.RemoveAbove(m.obj, bound); err != nil {
 			break // cost floor reached: optimality proven
 		}
-		sol, err := s.Solve(opts)
-		if errors.Is(err, cp.ErrDeadline) {
+		sol, err := m.s.Solve(m.opts)
+		if cp.Stopped(err) {
 			if best == nil {
 				return nil, fmt.Errorf("%w: timeout before first solution", ErrNoViableConfiguration)
 			}
-			best.finishStats(s)
+			best.finishStats(m.s)
 			return best, nil
 		}
 		if errors.Is(err, cp.ErrFailed) {
@@ -189,11 +317,8 @@ func (o Optimizer) Solve(p Problem) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		lb := fixed
-		for i, g := range runners {
-			lb += model.contribution(g, nodes[sol.MustValue(vars[i])].Name)
-		}
-		dst, derr := o.decode(p, goals, runners, vars, nodes, sol)
+		lb := c.lowerBound(sol, m.vars)
+		dst, derr := o.decode(p, c.goals, c.runners, m.vars, c.nodes, sol)
 		if derr == nil {
 			if g, gerr := plan.BuildGraph(p.Src, dst); gerr == nil {
 				if pl, perr := o.Builder.Plan(g); perr == nil {
@@ -216,8 +341,159 @@ func (o Optimizer) Solve(p Problem) (*Result, error) {
 		return nil, ErrNoViableConfiguration
 	}
 	best.Optimal = true
-	best.finishStats(s)
+	best.finishStats(m.s)
 	return best, nil
+}
+
+// lowerBound sums the admissible per-VM cost contributions of a
+// solution.
+func (c *compiled) lowerBound(sol cp.Solution, vars []*cp.IntVar) int {
+	lb := c.fixed
+	for i, g := range c.runners {
+		lb += c.model.contribution(g, c.nodes[sol.MustValue(vars[i])].Name)
+	}
+	return lb
+}
+
+// portfolioState is the shared incumbent of a portfolio run: the best
+// result under a mutex, the bound under an atomic (read by every
+// worker's inner search loop), and the aggregate run flags.
+type portfolioState struct {
+	bound *cp.Incumbent
+
+	mu           sync.Mutex
+	best         *Result
+	solutions    int
+	proven       bool
+	err          error // first non-interruption worker error
+	nodes, fails int64 // aggregated search counters
+}
+
+// offer publishes a decoded solution; the caller then tightens the
+// bound with the returned incumbent cost.
+func (sh *portfolioState) offer(r *Result) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.solutions++
+	if sh.best == nil || r.Cost < sh.best.Cost {
+		sh.best = r
+	}
+	return sh.best.Cost
+}
+
+// solvePortfolio races diverse workers over independent copies of the
+// model. Every worker runs the same outer branch-and-bound loop as the
+// sequential search, but restarts against the shared incumbent bound;
+// the first worker to exhaust the space below the incumbent proves
+// optimality (with respect to the bound, like the sequential search)
+// and cancels the rest.
+func (o Optimizer) solvePortfolio(ctx context.Context, p Problem, c *compiled, seed *Result, workers int) (*Result, error) {
+	bound := c.maxObj
+	if seed != nil && seed.Cost-1 < bound {
+		bound = seed.Cost - 1
+	}
+	sh := &portfolioState{bound: cp.NewIncumbent(bound), best: seed}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, st := range o.strategies(workers) {
+		wg.Add(1)
+		// Each worker builds its own model inside its goroutine: model
+		// construction overlaps across cores instead of eating into
+		// the solve deadline serially.
+		go func() {
+			defer wg.Done()
+			o.runPortfolioWorker(ctx, cancel, p, c, st, sh)
+		}()
+	}
+	wg.Wait()
+
+	if sh.err != nil {
+		return nil, sh.err
+	}
+	if sh.best == nil {
+		if sh.proven {
+			return nil, ErrNoViableConfiguration
+		}
+		return nil, fmt.Errorf("%w: timeout before first solution", ErrNoViableConfiguration)
+	}
+	best := sh.best
+	best.Optimal = sh.proven
+	best.Solutions = sh.solutions
+	best.Nodes, best.Fails = sh.nodes, sh.fails
+	return best, nil
+}
+
+// runPortfolioWorker drives one worker's branch-and-bound loop until a
+// definitive answer or an interruption. cancel is invoked on
+// definitive answers so sibling workers stop immediately. The loop
+// mirrors cp's minimizeWorker restart scheme deliberately — it cannot
+// reuse it because the bound here is driven by the true §4.2 plan
+// cost, which only this package can evaluate (decode + Builder.Plan).
+func (o Optimizer) runPortfolioWorker(ctx context.Context, cancel context.CancelFunc, p Problem, c *compiled, st searchStrategy, sh *portfolioState) {
+	m, err := o.buildModel(p, c, st)
+	if err != nil {
+		sh.mu.Lock()
+		if sh.err == nil {
+			sh.err = err
+		}
+		sh.mu.Unlock()
+		cancel()
+		return
+	}
+	defer func() {
+		n, f, _, _ := m.s.Stats()
+		sh.mu.Lock()
+		sh.nodes += n
+		sh.fails += f
+		sh.mu.Unlock()
+	}()
+	opts := m.opts
+	opts.Ctx = ctx
+	opts.SharedBound = sh.bound
+	opts.SharedObj = m.obj
+	root := m.s.SaveState()
+	for {
+		b := sh.bound.Bound()
+		m.s.RestoreState(root)
+		if err := m.s.RemoveAbove(m.obj, b); err != nil {
+			sh.mu.Lock()
+			sh.proven = true
+			sh.mu.Unlock()
+			cancel()
+			return
+		}
+		sol, err := m.s.Solve(opts)
+		switch {
+		case cp.Stopped(err):
+			return
+		case errors.Is(err, cp.ErrFailed):
+			sh.mu.Lock()
+			sh.proven = true
+			sh.mu.Unlock()
+			cancel()
+			return
+		case err != nil:
+			sh.mu.Lock()
+			if sh.err == nil {
+				sh.err = err
+			}
+			sh.mu.Unlock()
+			cancel()
+			return
+		}
+		lb := c.lowerBound(sol, m.vars)
+		if dst, derr := o.decode(p, c.goals, c.runners, m.vars, c.nodes, sol); derr == nil {
+			if g, gerr := plan.BuildGraph(p.Src, dst); gerr == nil {
+				if pl, perr := o.Builder.Plan(g); perr == nil {
+					incumbent := sh.offer(&Result{Dst: dst, Plan: pl, Cost: pl.Cost(), LowerBound: lb})
+					sh.bound.Tighten(incumbent - 1)
+				}
+			}
+		}
+		sh.bound.Tighten(lb - 1)
+	}
 }
 
 // seedRespectsPins rejects a heuristic seed that migrates a running VM
@@ -250,6 +526,16 @@ func (o Optimizer) costBound(model *costModel, runners []vmGoal, vars []*cp.IntV
 	watched := append([]*cp.IntVar{obj}, vars...)
 	return &cp.FuncConstraint{
 		On: watched,
+		// Rebind keeps the model cloneable (cp.Solver.Clone): the Run
+		// closure captures this solver's variables, so a clone rebuilds
+		// the constraint over the remapped ones.
+		Rebind: func(remap func(*cp.IntVar) *cp.IntVar) cp.Constraint {
+			nv := make([]*cp.IntVar, len(vars))
+			for i, v := range vars {
+				nv[i] = remap(v)
+			}
+			return o.costBound(model, runners, nv, nodes, remap(obj), fixed)
+		},
 		Run: func(s *cp.Solver) error {
 			lb := fixed
 			mins := make([]int, len(vars))

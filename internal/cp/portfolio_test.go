@@ -1,0 +1,251 @@
+package cp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// buildBinPacking builds a §4.3-flavoured instance: items with weights
+// packed onto bins under capacity, minimizing a weighted placement
+// cost. Hard enough to keep several workers busy, small enough for the
+// suite to prove optimality quickly.
+func buildBinPacking(seed int64, items, bins int) (*Solver, []*IntVar, *IntVar) {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSolver()
+	vars := make([]*IntVar, items)
+	weights := make([]int, items)
+	coefs := make([]int, items)
+	all := make([]int, bins)
+	for b := range all {
+		all[b] = b
+	}
+	for i := range vars {
+		vars[i] = s.NewEnumVar(fmt.Sprintf("item%d", i), all)
+		vars[i].SetPreferred(rng.Intn(bins))
+		weights[i] = 1 + rng.Intn(4)
+		coefs[i] = rng.Intn(3)
+	}
+	capacity := make([]int, bins)
+	for b := range capacity {
+		capacity[b] = 4 + rng.Intn(4)
+	}
+	s.Post(&Packing{Name: "cap", Items: vars, Weights: weights, Capacity: capacity, UseKnapsack: true})
+	maxObj := 0
+	for i := range vars {
+		maxObj += coefs[i] * (bins - 1)
+	}
+	obj := s.NewIntVar("obj", 0, maxObj)
+	s.Post(weightedSum(vars, coefs, obj))
+	return s, vars, obj
+}
+
+// TestPortfolioDeterministicOptimum: the optimal objective value is
+// independent of the worker count and of scheduling interleavings.
+func TestPortfolioDeterministicOptimum(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		want, unsat, first := -1, false, true
+		for _, workers := range []int{1, 2, 4, 8} {
+			s, vars, obj := buildBinPacking(seed, 8, 4)
+			best, err := s.MinimizePortfolio(obj, PortfolioOptions{Workers: workers, Base: Options{Vars: vars}})
+			switch {
+			case errors.Is(err, ErrFailed):
+				if !first && !unsat {
+					t.Fatalf("seed %d workers %d: unsat, but another width found optimum %d", seed, workers, want)
+				}
+				unsat = true
+			case err != nil:
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			case unsat:
+				t.Fatalf("seed %d workers %d: found %d, but another width proved unsat", seed, workers, best.Objective)
+			case first:
+				want = best.Objective
+			case best.Objective != want:
+				t.Fatalf("seed %d workers %d: optimum %d, other widths found %d", seed, workers, best.Objective, want)
+			}
+			first = false
+		}
+	}
+}
+
+// TestPortfolioStatsAggregate: the parent solver's counters reflect
+// the whole portfolio's effort.
+func TestPortfolioStatsAggregate(t *testing.T) {
+	s, vars, obj := buildBinPacking(3, 8, 4)
+	if _, err := s.MinimizePortfolio(obj, PortfolioOptions{Workers: 4, Base: Options{Vars: vars}}); err != nil {
+		t.Fatal(err)
+	}
+	nodes, _, solutions, props := func() (int64, int64, int64, int64) {
+		n, f, so, pr := s.Stats()
+		return n, f, so, pr
+	}()
+	if nodes == 0 || props == 0 || solutions == 0 {
+		t.Fatalf("portfolio stats not merged: nodes=%d solutions=%d propagations=%d", nodes, solutions, props)
+	}
+}
+
+// TestPortfolioCancel: a pre-canceled context stops the portfolio
+// immediately with ErrCanceled.
+func TestPortfolioCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, vars, obj := buildBinPacking(1, 8, 4)
+	_, err := s.MinimizePortfolio(obj, PortfolioOptions{Workers: 4, Base: Options{Vars: vars, Ctx: ctx}})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	s2, vars2, _ := buildBinPacking(1, 8, 4)
+	if _, err := s2.SolvePortfolio(PortfolioOptions{Workers: 4, Base: Options{Vars: vars2, Ctx: ctx}}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("SolvePortfolio err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestSequentialCancel: cancellation reaches the plain sequential
+// search too (the context is polled alongside the deadline).
+func TestSequentialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, vars, _ := buildBinPacking(1, 8, 4)
+	if _, err := s.Solve(Options{Vars: vars, Ctx: ctx}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestPortfolioDeadline: an expired deadline surfaces as ErrDeadline,
+// matching the sequential contract.
+func TestPortfolioDeadline(t *testing.T) {
+	s, vars, obj := buildBinPacking(2, 8, 4)
+	_, err := s.MinimizePortfolio(obj, PortfolioOptions{
+		Workers: 2,
+		Base:    Options{Vars: vars, Deadline: time.Now().Add(-time.Second)},
+	})
+	if !Stopped(err) {
+		t.Fatalf("err = %v, want an interruption", err)
+	}
+}
+
+// TestCloneIndependence: solving a clone leaves the original domains
+// untouched, and the clone solves to the same optimum.
+func TestCloneIndependence(t *testing.T) {
+	s, vars, obj := buildBinPacking(5, 8, 4)
+	clone, remap, err := s.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvars := make([]*IntVar, len(vars))
+	for i, v := range vars {
+		cvars[i] = remap(v)
+	}
+	before := make([]int, len(vars))
+	for i, v := range vars {
+		before[i] = v.Size()
+	}
+	if _, err := clone.Minimize(remap(obj), Options{Vars: cvars, FirstFail: true}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vars {
+		if v.Size() != before[i] {
+			t.Fatalf("original var %d domain changed by clone's search", i)
+		}
+	}
+}
+
+// TestCloneRejectsUncloneable: a FuncConstraint without Rebind blocks
+// cloning with a descriptive error.
+func TestCloneRejectsUncloneable(t *testing.T) {
+	s := NewSolver()
+	v := s.NewEnumVar("v", []int{0, 1})
+	s.Post(&FuncConstraint{On: []*IntVar{v}, Run: func(*Solver) error { return nil }})
+	if _, _, err := s.Clone(); err == nil {
+		t.Fatal("Clone accepted a FuncConstraint without Rebind")
+	}
+}
+
+// TestIncumbent covers the atomic bound.
+func TestIncumbent(t *testing.T) {
+	b := NewIncumbent(10)
+	if b.Bound() != 10 {
+		t.Fatalf("bound = %d", b.Bound())
+	}
+	if !b.Tighten(7) || b.Bound() != 7 {
+		t.Fatal("Tighten(7) should improve")
+	}
+	if b.Tighten(9) || b.Bound() != 7 {
+		t.Fatal("Tighten(9) must not loosen")
+	}
+	if b.Tighten(7) {
+		t.Fatal("equal value is not an improvement")
+	}
+}
+
+// TestPortfolioBaseValueRandNotShared: a caller-supplied shuffle
+// stream must not leak into the workers — rand.Rand is not
+// goroutine-safe, so sharing it across workers would be a data race
+// (this test guards the override under -race).
+func TestPortfolioBaseValueRandNotShared(t *testing.T) {
+	s, vars, obj := buildBinPacking(4, 8, 4)
+	_, err := s.MinimizePortfolio(obj, PortfolioOptions{
+		Workers: 4,
+		Base:    Options{Vars: vars, ValueRand: rand.New(rand.NewSource(1))},
+	})
+	if err != nil && !errors.Is(err, ErrFailed) {
+		t.Fatal(err)
+	}
+}
+
+// TestDefaultStrategies: the lineup is diverse and deterministic.
+func TestDefaultStrategies(t *testing.T) {
+	sts := DefaultStrategies(6)
+	if len(sts) != 6 {
+		t.Fatalf("len = %d", len(sts))
+	}
+	if !sts[0].FirstFail || !sts[0].PreferValue {
+		t.Fatal("strategy 0 must be the paper's pairing")
+	}
+	if sts[4].ShuffleSeed == 0 || sts[5].ShuffleSeed == 0 || sts[4].ShuffleSeed == sts[5].ShuffleSeed {
+		t.Fatal("extra workers must get distinct deterministic shuffle seeds")
+	}
+	again := DefaultStrategies(6)
+	for i := range sts {
+		if sts[i] != again[i] {
+			t.Fatal("lineup must be deterministic")
+		}
+	}
+}
+
+// TestSolvePortfolioUnsat: a complete worker proof of unsatisfiability
+// settles the race with ErrFailed.
+func TestSolvePortfolioUnsat(t *testing.T) {
+	s := NewSolver()
+	items := []*IntVar{
+		s.NewEnumVar("a", []int{0, 1}),
+		s.NewEnumVar("b", []int{0, 1}),
+		s.NewEnumVar("c", []int{0, 1}),
+	}
+	s.Post(&AllDifferent{Items: items}) // 3 vars, 2 values: pigeonhole
+	if _, err := s.SolvePortfolio(PortfolioOptions{Workers: 4, Base: Options{Vars: items}}); !errors.Is(err, ErrFailed) {
+		t.Fatalf("err = %v, want ErrFailed", err)
+	}
+}
+
+// BenchmarkMinimizePortfolioWorkers measures the cp-level scaling of
+// the portfolio on a packing instance.
+func BenchmarkMinimizePortfolioWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var objective int
+			for i := 0; i < b.N; i++ {
+				s, vars, obj := buildBinPacking(9, 10, 5)
+				best, err := s.MinimizePortfolio(obj, PortfolioOptions{Workers: workers, Base: Options{Vars: vars}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				objective = best.Objective
+			}
+			b.ReportMetric(float64(objective), "optimum")
+		})
+	}
+}

@@ -1,7 +1,10 @@
 package cp
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"math/rand"
 	"time"
 )
 
@@ -9,6 +12,11 @@ import (
 type Options struct {
 	// Deadline stops the search when reached; zero means no deadline.
 	Deadline time.Time
+	// Ctx cancels the search cooperatively: the search polls it
+	// alongside the deadline and returns ErrCanceled once it is done.
+	// nil means no cancellation. Portfolio workers use it so the first
+	// worker to prove optimality stops the rest.
+	Ctx context.Context
 	// Vars are the decision variables, all of which must be bound in a
 	// solution. Defaults to every enumerated variable of the solver.
 	Vars []*IntVar
@@ -22,6 +30,36 @@ type Options struct {
 	// first (the paper assigns running VMs to their current node in
 	// priority); remaining values are tried in ascending order.
 	PreferValue bool
+	// ValueRand, when non-nil, shuffles the value order at every node
+	// (the preferred value keeps priority under PreferValue). Portfolio
+	// workers use deterministically seeded streams for shuffled-restart
+	// diversification; the stream advances across restarts, so each
+	// restart explores a differently ordered tree.
+	ValueRand *rand.Rand
+	// SharedBound and SharedObj connect the search to a portfolio-wide
+	// incumbent: at the same cadence as the deadline poll, the upper
+	// bound of SharedObj is tightened to the shared bound, so every
+	// worker prunes with the global best even mid-search. Both must be
+	// set together.
+	SharedBound *Incumbent
+	SharedObj   *IntVar
+}
+
+// interrupted reports why the search must stop right now: ErrCanceled
+// when the context is done, ErrDeadline past the deadline, nil
+// otherwise.
+func (o Options) interrupted() error {
+	if o.Ctx != nil {
+		select {
+		case <-o.Ctx.Done():
+			return fmt.Errorf("%w: %v", ErrCanceled, context.Cause(o.Ctx))
+		default:
+		}
+	}
+	if !o.Deadline.IsZero() && time.Now().After(o.Deadline) {
+		return ErrDeadline
+	}
+	return nil
 }
 
 // Solution is an immutable assignment of the decision variables.
@@ -66,6 +104,9 @@ func (s *Solver) decisionVars(opts Options) []*IntVar {
 // problem is unsatisfiable and ErrDeadline on timeout.
 func (s *Solver) Solve(opts Options) (Solution, error) {
 	vars := s.decisionVars(opts)
+	if err := opts.interrupted(); err != nil {
+		return Solution{}, err
+	}
 	if err := s.propagate(); err != nil {
 		return Solution{}, err
 	}
@@ -79,9 +120,10 @@ func (s *Solver) Solve(opts Options) (Solution, error) {
 // Minimize runs branch-and-bound on obj: it repeatedly searches for a
 // solution, then constrains obj below the incumbent and restarts,
 // until the space is exhausted (proving optimality) or the deadline
-// expires. It returns the best solution found; the error is nil when
-// optimality was proven, ErrDeadline when the deadline cut the proof
-// short, and ErrFailed when no solution exists at all.
+// expires or the context is canceled. It returns the best solution
+// found; the error is nil when optimality was proven, ErrDeadline or
+// ErrCanceled when the interruption cut the proof short, and ErrFailed
+// when no solution exists at all.
 func (s *Solver) Minimize(obj *IntVar, opts Options) (Solution, error) {
 	vars := s.decisionVars(opts)
 	best := Solution{}
@@ -109,11 +151,11 @@ func (s *Solver) Minimize(obj *IntVar, opts Options) (Solution, error) {
 			best.Objective = obj.Min()
 			found = true
 			bound = best.Objective - 1
-		case errors.Is(err, ErrDeadline):
+		case Stopped(err):
 			if found {
-				return best, ErrDeadline
+				return best, err
 			}
-			return Solution{}, ErrDeadline
+			return Solution{}, err
 		case errors.Is(err, ErrFailed):
 			if found {
 				return best, nil // optimality proven
@@ -134,11 +176,28 @@ func (s *Solver) capture(vars []*IntVar) Solution {
 }
 
 // search runs depth-first search until all vars are bound (nil) or the
-// subtree fails (ErrFailed) or the deadline passes (ErrDeadline).
-// Domains are assumed propagated to fixpoint on entry.
+// subtree fails (ErrFailed) or the deadline passes (ErrDeadline) or the
+// context is canceled (ErrCanceled). Domains are assumed propagated to
+// fixpoint on entry.
 func (s *Solver) search(vars []*IntVar, opts Options) error {
-	if !opts.Deadline.IsZero() && s.nodes&63 == 0 && time.Now().After(opts.Deadline) {
-		return ErrDeadline
+	if s.nodes&63 == 0 {
+		if err := opts.interrupted(); err != nil {
+			return err
+		}
+		// Adopt the portfolio-wide incumbent: tightening the objective
+		// here prunes the rest of this subtree with bounds discovered
+		// by other workers. Backtracking undoes the cut, but the next
+		// poll reinstates it — the shared bound only ever decreases.
+		if opts.SharedBound != nil && opts.SharedObj != nil {
+			if b := opts.SharedBound.Bound(); opts.SharedObj.Max() > b {
+				if err := s.RemoveAbove(opts.SharedObj, b); err != nil {
+					return err
+				}
+				if err := s.propagate(); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	s.nodes++
 	v := s.pick(vars, opts)
@@ -162,7 +221,7 @@ func (s *Solver) search(vars []*IntVar, opts Options) error {
 		if err == nil {
 			return nil
 		}
-		if errors.Is(err, ErrDeadline) {
+		if Stopped(err) {
 			return err
 		}
 		s.fails++
@@ -197,6 +256,9 @@ func (s *Solver) pick(vars []*IntVar, opts Options) *IntVar {
 
 func (s *Solver) valueOrder(v *IntVar, opts Options) []int {
 	vals := v.Values()
+	if opts.ValueRand != nil {
+		opts.ValueRand.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	}
 	if !opts.PreferValue || v.pref < 0 || !v.Contains(v.pref) {
 		return vals
 	}

@@ -15,6 +15,18 @@ var ErrFailed = errors.New("cp: inconsistent")
 // found so far alongside it.
 var ErrDeadline = errors.New("cp: deadline exceeded")
 
+// ErrCanceled is returned when the search context (Options.Ctx) is
+// canceled before the search space is exhausted. Like ErrDeadline,
+// Minimize still reports the best solution found so far alongside it.
+var ErrCanceled = errors.New("cp: canceled")
+
+// Stopped reports whether err is a search interruption — deadline or
+// context cancellation — rather than a definitive answer (solution
+// found or space exhausted).
+func Stopped(err error) bool {
+	return errors.Is(err, ErrDeadline) || errors.Is(err, ErrCanceled)
+}
+
 // Constraint is a propagator: Propagate prunes the domains of the
 // variables it watches and returns ErrFailed (possibly wrapped) when
 // it detects an inconsistency.
@@ -177,6 +189,52 @@ func (s *Solver) restore(snap []domain) {
 // and propagator runs.
 func (s *Solver) Stats() (nodes, fails, solutions, propagations int64) {
 	return s.nodes, s.fails, s.solutions, s.propagates
+}
+
+// CloneableConstraint is a Constraint that can be copied into a cloned
+// solver. remap translates a variable of the original solver into its
+// counterpart in the clone; implementations must rebuild themselves
+// over the remapped variables (immutable payload such as weight or
+// capacity slices may be shared — propagation never mutates it).
+type CloneableConstraint interface {
+	Constraint
+	CloneFor(remap func(*IntVar) *IntVar) Constraint
+}
+
+// Clone copies the solver — variables, current domains, preferred
+// values and constraints — into an independent instance, so portfolio
+// workers can search the same model concurrently without sharing any
+// mutable state. It returns the clone and the variable remap function.
+// Every posted constraint must implement CloneableConstraint (a
+// FuncConstraint additionally needs its Rebind hook); otherwise Clone
+// reports an error.
+func (s *Solver) Clone() (*Solver, func(*IntVar) *IntVar, error) {
+	c := NewSolver()
+	c.vars = make([]*IntVar, len(s.vars))
+	for i, v := range s.vars {
+		c.vars[i] = &IntVar{solver: c, id: v.id, name: v.name, dom: v.dom.clone(), pref: v.pref}
+	}
+	remap := func(v *IntVar) *IntVar {
+		if v == nil {
+			return nil
+		}
+		if v.solver != s {
+			panic("cp: remap of a variable from another solver")
+		}
+		return c.vars[v.id]
+	}
+	for _, con := range s.constraints {
+		cc, ok := con.(CloneableConstraint)
+		if !ok {
+			return nil, nil, fmt.Errorf("cp: constraint %T is not cloneable", con)
+		}
+		nc := cc.CloneFor(remap)
+		if nc == nil {
+			return nil, nil, fmt.Errorf("cp: constraint %T cannot be cloned (missing rebind)", con)
+		}
+		c.Post(nc)
+	}
+	return c, remap, nil
 }
 
 // State is an opaque snapshot of every variable domain, used by

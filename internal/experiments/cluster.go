@@ -46,6 +46,8 @@ type ClusterOptions struct {
 	// PinRunning forbids migrations, as a static RMS would (set it
 	// for the FCFS baseline).
 	PinRunning bool
+	// Workers is the optimizer's portfolio width (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultClusterOptions returns the paper's §5.2 setup.
@@ -178,7 +180,7 @@ func RunCluster(decision core.DecisionModule, opts ClusterOptions) ClusterResult
 
 	loop := &core.Loop{
 		Decision:  terminator{inner: decision, c: c, jobs: jobs},
-		Optimizer: core.Optimizer{Timeout: opts.Timeout, PinRunning: opts.PinRunning},
+		Optimizer: core.Optimizer{Timeout: opts.Timeout, PinRunning: opts.PinRunning, Workers: opts.Workers},
 		Interval:  opts.Interval,
 		Queue:     func() []*vjob.VJob { return jobs },
 		Done: func() bool {

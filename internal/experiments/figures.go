@@ -199,6 +199,8 @@ type Fig10Options struct {
 	Nodes, NodeCPU, NodeMemory int
 	// Seed makes the study reproducible.
 	Seed int64
+	// Workers is the optimizer's portfolio width (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultFig10Options returns the paper's parameters.
@@ -239,7 +241,7 @@ func Fig10(opts Fig10Options) []Fig10Row {
 			target := sched.Consolidation{}.Decide(g.Cfg, g.Jobs)
 			problem := core.Problem{Src: g.Cfg, Target: target}
 			ffd, err1 := core.FFDPlan(problem)
-			ent, err2 := core.Optimizer{Timeout: opts.Timeout}.Solve(problem)
+			ent, err2 := core.Optimizer{Timeout: opts.Timeout, Workers: opts.Workers}.Solve(problem)
 			if err1 != nil || err2 != nil {
 				continue
 			}
