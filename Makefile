@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt-check bench-smoke ci
+.PHONY: all build test race vet fmt-check bench-smoke fuzz-smoke ci
 
 all: build
 
@@ -26,5 +27,12 @@ fmt-check:
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
+# A short run of every fuzz harness (go test -fuzz accepts one target
+# per invocation). Override FUZZTIME for longer campaigns.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzConfigurationJSON -fuzztime=$(FUZZTIME) ./internal/vjob
+	$(GO) test -run=^$$ -fuzz=FuzzDomainOps$$ -fuzztime=$(FUZZTIME) ./internal/cp
+	$(GO) test -run=^$$ -fuzz=FuzzBoundsDomainOps -fuzztime=$(FUZZTIME) ./internal/cp
+
 # The one-command gate every PR must pass.
-ci: build vet fmt-check test race bench-smoke
+ci: build vet fmt-check test race bench-smoke fuzz-smoke

@@ -90,7 +90,8 @@ func BenchmarkFig10EntropyVsFFD(b *testing.B) {
 					Samples:  1,
 					Timeout:  2 * time.Second,
 					Nodes:    200, NodeCPU: 2, NodeMemory: 4096,
-					Seed: int64(i + 1),
+					Seed:       int64(i + 1),
+					Partitions: 1, // the published figure is monolithic
 				})
 				row = rows[0]
 			}
@@ -235,6 +236,49 @@ func BenchmarkPortfolioWorkersSpread(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Partitioned decomposition (DESIGN.md §5) ---
+
+// BenchmarkPartitionedSolve compares the monolithic model with the
+// partitioned decomposition on synthetic clusters of 100/500/2000
+// nodes, at an equal per-solve budget (BENCH_partition.json records a
+// run). The partitioned side usually returns long before the budget —
+// every slice proves optimality — while the monolithic search burns the
+// whole budget on the larger instances without a proof.
+func BenchmarkPartitionedSolve(b *testing.B) {
+	for _, nodes := range []int{100, 500, 2000} {
+		rng := rand.New(rand.NewSource(1))
+		g := workload.GenerateConfiguration(rng, workload.GenerateOptions{
+			Nodes: nodes, NodeCPU: 2, NodeMemory: 4096, VMs: nodes * 3 / 2,
+		})
+		problem := core.Problem{Src: g.Cfg, Target: sched.Consolidation{}.Decide(g.Cfg, g.Jobs)}
+		for _, mode := range []struct {
+			name  string
+			parts int
+		}{{"monolithic", 1}, {"partitioned", 0}} {
+			b.Run(fmt.Sprintf("nodes=%d/%s", nodes, mode.name), func(b *testing.B) {
+				var res *core.Result
+				for i := 0; i < b.N; i++ {
+					r, err := core.Optimizer{Timeout: 2 * time.Second, Workers: 1, Partitions: mode.parts}.Solve(problem)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res = r
+				}
+				b.ReportMetric(float64(res.Cost), "plan-cost")
+				b.ReportMetric(float64(res.Partitions), "partitions")
+				b.ReportMetric(boolMetric(res.Optimal), "optimal")
+			})
+		}
+	}
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // --- Ablations (DESIGN.md §4) ---

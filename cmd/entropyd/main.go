@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +37,7 @@ func main() {
 	interval := flag.Float64("interval", 30, "loop interval (virtual seconds)")
 	timeout := flag.Duration("timeout", 2*time.Second, "optimizer budget per iteration")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel portfolio workers per optimization (1 = sequential)")
+	partitions := flag.Int("partitions", 0, "cluster partitions solved concurrently (0 = auto, 1 = monolithic)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	horizon := flag.Float64("horizon", 100_000, "simulation cut-off (virtual seconds)")
 	flag.Parse()
@@ -66,7 +68,7 @@ func main() {
 	loop := &core.Loop{
 		Decision:  reaper{inner: sched.Consolidation{}, c: c, jobs: jobs},
 		Ctx:       ctx,
-		Optimizer: core.Optimizer{Timeout: *timeout, Workers: *workers},
+		Optimizer: core.Optimizer{Timeout: *timeout, Workers: *workers, Partitions: *partitions},
 		Interval:  *interval,
 		Queue:     func() []*vjob.VJob { return jobs },
 		Done: func() bool {
@@ -84,8 +86,7 @@ func main() {
 			return true
 		},
 		OnSwitch: func(r core.SwitchRecord) {
-			fmt.Printf("[t=%7.0f] context switch: cost=%d actions=%d pools=%d duration=%.0fs\n",
-				r.At, r.Cost, r.Actions, r.Pools, r.Duration)
+			fmt.Println(switchLine(r))
 		},
 	}
 
@@ -107,13 +108,45 @@ func main() {
 	}
 	tick()
 
-	loop.Start(&drivers.Actuator{C: c})
+	act := &drivers.Actuator{C: c}
+	loop.Start(act)
 	c.Run(*horizon)
 
 	fmt.Printf("\nworkload complete at t=%.0f s (%.1f min); %d context switches, mean duration %.0f s\n",
 		c.Now(), c.Now()/60, len(loop.Records), meanDuration(loop.Records))
 	local, remote := c.TransferCounts()
 	fmt.Printf("actions: %v; transfers: %d local, %d remote\n", c.ActionCounts(), local, remote)
+	if s := errorSummary(act.Reports); s != "" {
+		fmt.Print(s)
+	}
+}
+
+// switchLine renders one context-switch record, surfacing action
+// failures instead of silently dropping them.
+func switchLine(r core.SwitchRecord) string {
+	line := fmt.Sprintf("[t=%7.0f] context switch: cost=%d actions=%d pools=%d duration=%.0fs",
+		r.At, r.Cost, r.Actions, r.Pools, r.Duration)
+	if r.Failures > 0 {
+		line += fmt.Sprintf(" FAILURES=%d", r.Failures)
+	}
+	return line
+}
+
+// errorSummary aggregates the per-action failures of every executed
+// switch; it returns "" when everything succeeded.
+func errorSummary(reports []drivers.Report) string {
+	var b strings.Builder
+	total := 0
+	for _, rep := range reports {
+		for _, err := range rep.Errs {
+			total++
+			fmt.Fprintf(&b, "  [t=%7.0f..%.0f] %v\n", rep.Start, rep.End, err)
+		}
+	}
+	if total == 0 {
+		return ""
+	}
+	return fmt.Sprintf("action failures: %d\n%s", total, b.String())
 }
 
 func meanDuration(recs []core.SwitchRecord) float64 {

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cwcs/internal/core"
+	"cwcs/internal/drivers"
+)
+
+// TestSwitchLineSurfacesFailures is the regression test for silently
+// dropped action failures: a record with failures must say so, and a
+// clean record must not cry wolf.
+func TestSwitchLineSurfacesFailures(t *testing.T) {
+	clean := switchLine(core.SwitchRecord{At: 30, Cost: 1024, Actions: 3, Pools: 2, Duration: 19})
+	if strings.Contains(clean, "FAILURES") {
+		t.Fatalf("clean switch reports failures: %q", clean)
+	}
+	bad := switchLine(core.SwitchRecord{At: 60, Cost: 2048, Actions: 4, Pools: 2, Duration: 25, Failures: 2})
+	if !strings.Contains(bad, "FAILURES=2") {
+		t.Fatalf("failures not surfaced: %q", bad)
+	}
+}
+
+func TestErrorSummaryListsEveryReportError(t *testing.T) {
+	if s := errorSummary(nil); s != "" {
+		t.Fatalf("summary of nothing: %q", s)
+	}
+	reports := []drivers.Report{
+		{Start: 30, End: 49},
+		{Start: 90, End: 120, Errs: []error{
+			errors.New("migrate(vm1,n1,n2): VM not running on n1"),
+			errors.New("resume(vm2,n3,n3): VM not sleeping"),
+		}},
+		{Start: 150, End: 160, Errs: []error{errors.New("stop(vm3,n4): VM not running on n4")}},
+	}
+	s := errorSummary(reports)
+	if !strings.Contains(s, "action failures: 3") {
+		t.Fatalf("missing total: %q", s)
+	}
+	for _, want := range []string{"migrate(vm1,n1,n2)", "resume(vm2,n3,n3)", "stop(vm3,n4)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary lost %q:\n%s", want, s)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	experiments fig11 [-quick]    cost & duration of the cluster run's context switches
 //	experiments fig12 [-quick]    allocation diagram under static FCFS
 //	experiments fig13 [-quick]    utilization & completion, Entropy vs FCFS
+//	experiments partition [-quick] partitioned vs monolithic solve scaling
 //	experiments all  [-quick]     everything above
 //
 // -quick shrinks sample counts, solver budgets and workload durations
@@ -39,8 +40,20 @@ func main() {
 	// goroutine timing, and the published figures must reproduce from a
 	// seed alone. Opt in with -workers N (or 0 for GOMAXPROCS).
 	workers := fs.Int("workers", 1, "parallel portfolio workers per optimization (1 = sequential/reproducible, 0 = GOMAXPROCS)")
+	// -1 = per-command default: the paper figures stay on the
+	// monolithic model they were published with (1); the partition
+	// study's partitioned side defaults to auto (0).
+	partitions := fs.Int("partitions", -1, "cluster partitions solved concurrently (0 = auto, 1 = monolithic)")
 	csvDir := fs.String("csv", "", "also write <figure>.csv files into this directory")
 	_ = fs.Parse(os.Args[2:])
+	figParts := *partitions
+	if figParts < 0 {
+		figParts = 1
+	}
+	studyParts := *partitions
+	if studyParts < 0 {
+		studyParts = 0
+	}
 
 	switch cmd {
 	case "fig1":
@@ -52,21 +65,25 @@ func main() {
 		fmt.Print(experiments.Fig3Table(rows))
 		writeCSV(*csvDir, "fig3.csv", experiments.Fig3CSV(rows))
 	case "fig10":
-		rows := experiments.Fig10(fig10Options(*quick, *seed, *workers))
+		rows := experiments.Fig10(fig10Options(*quick, *seed, *workers, figParts))
 		fmt.Print(experiments.Fig10Table(rows))
 		writeCSV(*csvDir, "fig10.csv", experiments.Fig10CSV(rows))
 	case "fig11":
-		_, ent := clusterRuns(*quick, *seed, *workers, false)
+		_, ent := clusterRuns(*quick, *seed, *workers, figParts, false)
 		fmt.Print(experiments.Fig11Table(ent))
 		writeCSV(*csvDir, "fig11.csv", experiments.Fig11CSV(ent))
 	case "fig12":
-		fcfs, _ := clusterRuns(*quick, *seed, *workers, true)
+		fcfs, _ := clusterRuns(*quick, *seed, *workers, figParts, true)
 		fmt.Println("Figure 12 — allocation diagram, static FCFS scheduler")
 		fmt.Print(fcfs.Gantt.Render(72))
 	case "fig13":
-		fcfs, ent := clusterRuns(*quick, *seed, *workers, false)
+		fcfs, ent := clusterRuns(*quick, *seed, *workers, figParts, false)
 		fmt.Print(experiments.Fig13Table(fcfs, ent))
 		writeCSV(*csvDir, "fig13.csv", experiments.Fig13CSV(fcfs, ent))
+	case "partition":
+		rows := experiments.PartitionStudy(partitionOptions(*quick, *seed, *workers, studyParts))
+		fmt.Print(experiments.PartitionTable(rows))
+		writeCSV(*csvDir, "partition.csv", experiments.PartitionCSV(rows))
 	case "all":
 		fmt.Print(experiments.Fig1())
 		fmt.Println()
@@ -74,25 +91,28 @@ func main() {
 		fmt.Println()
 		fmt.Print(experiments.Fig3Table(experiments.Fig3(512, 1024, 2048)))
 		fmt.Println()
-		fmt.Print(experiments.Fig10Table(experiments.Fig10(fig10Options(*quick, *seed, *workers))))
+		fmt.Print(experiments.Fig10Table(experiments.Fig10(fig10Options(*quick, *seed, *workers, figParts))))
 		fmt.Println()
-		fcfs, ent := clusterRuns(*quick, *seed, *workers, false)
+		fcfs, ent := clusterRuns(*quick, *seed, *workers, figParts, false)
 		fmt.Print(experiments.Fig11Table(ent))
 		fmt.Println()
 		fmt.Println("Figure 12 — allocation diagram, static FCFS scheduler")
 		fmt.Print(fcfs.Gantt.Render(72))
 		fmt.Println()
 		fmt.Print(experiments.Fig13Table(fcfs, ent))
+		fmt.Println()
+		fmt.Print(experiments.PartitionTable(experiments.PartitionStudy(partitionOptions(*quick, *seed, *workers, studyParts))))
 	default:
 		usage()
 		os.Exit(2)
 	}
 }
 
-func fig10Options(quick bool, seed int64, workers int) experiments.Fig10Options {
+func fig10Options(quick bool, seed int64, workers, partitions int) experiments.Fig10Options {
 	o := experiments.DefaultFig10Options()
 	o.Seed = seed
 	o.Workers = workers
+	o.Partitions = partitions
 	if quick {
 		o.VMCounts = []int{54, 108, 162, 216}
 		o.Samples = 3
@@ -101,12 +121,26 @@ func fig10Options(quick bool, seed int64, workers int) experiments.Fig10Options 
 	return o
 }
 
+// partitionOptions shapes the partitioned-vs-monolithic scaling sweep.
+func partitionOptions(quick bool, seed int64, workers, partitions int) experiments.PartitionOptions {
+	o := experiments.DefaultPartitionOptions()
+	o.Seed = seed
+	o.Workers = workers
+	o.Partitions = partitions
+	if quick {
+		o.NodeCounts = []int{50, 100, 200}
+		o.Timeout = 500 * time.Millisecond
+	}
+	return o
+}
+
 // clusterRuns executes the §5.2 experiment under both decision
 // modules. fcfsOnly skips the Entropy run (for fig12).
-func clusterRuns(quick bool, seed int64, workers int, fcfsOnly bool) (fcfs, entropy experiments.ClusterResult) {
+func clusterRuns(quick bool, seed int64, workers, partitions int, fcfsOnly bool) (fcfs, entropy experiments.ClusterResult) {
 	opts := experiments.DefaultClusterOptions()
 	opts.Seed = seed
 	opts.Workers = workers
+	opts.Partitions = partitions
 	if quick {
 		opts.WorkScale = 0.5
 		opts.Timeout = time.Second
@@ -138,5 +172,5 @@ func writeCSV(dir, name, content string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|all> [-quick] [-seed N] [-workers N] [-csv DIR]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|all> [-quick] [-seed N] [-workers N] [-partitions N] [-csv DIR]`)
 }

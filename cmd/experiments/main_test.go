@@ -8,7 +8,7 @@ import (
 )
 
 func TestFig10Options(t *testing.T) {
-	full := fig10Options(false, 7, 2)
+	full := fig10Options(false, 7, 2, 1)
 	if full.Samples != 30 || full.Timeout != 40*time.Second {
 		t.Fatalf("full options = %+v, want the paper's 30 samples x 40s", full)
 	}
@@ -18,7 +18,10 @@ func TestFig10Options(t *testing.T) {
 	if full.Workers != 2 {
 		t.Fatal("workers not forwarded")
 	}
-	quick := fig10Options(true, 7, 2)
+	if full.Partitions != 1 {
+		t.Fatal("partitions not forwarded")
+	}
+	quick := fig10Options(true, 7, 2, 1)
 	if quick.Samples >= full.Samples || quick.Timeout >= full.Timeout {
 		t.Fatal("quick options not reduced")
 	}
@@ -27,11 +30,26 @@ func TestFig10Options(t *testing.T) {
 	}
 }
 
+func TestPartitionOptions(t *testing.T) {
+	full := partitionOptions(false, 3, 2, 0)
+	if len(full.NodeCounts) != 3 || full.NodeCounts[2] != 2000 {
+		t.Fatalf("full sweep = %v, want 100/500/2000", full.NodeCounts)
+	}
+	if full.Seed != 3 || full.Workers != 2 || full.Partitions != 0 {
+		t.Fatalf("options not forwarded: %+v", full)
+	}
+	quick := partitionOptions(true, 3, 2, 0)
+	if quick.NodeCounts[len(quick.NodeCounts)-1] >= full.NodeCounts[len(full.NodeCounts)-1] ||
+		quick.Timeout >= full.Timeout {
+		t.Fatalf("quick sweep not reduced: %+v", quick)
+	}
+}
+
 func TestClusterRunsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the reduced cluster experiment")
 	}
-	fcfs, entropy := clusterRuns(true, 42, 1, false)
+	fcfs, entropy := clusterRuns(true, 42, 1, 1, false)
 	if fcfs.Completion <= 0 || entropy.Completion <= 0 {
 		t.Fatalf("completions = %v / %v", fcfs.Completion, entropy.Completion)
 	}
@@ -39,7 +57,7 @@ func TestClusterRunsQuick(t *testing.T) {
 		t.Fatalf("entropy (%v) not faster than fcfs (%v)", entropy.Completion, fcfs.Completion)
 	}
 	// fcfsOnly skips the entropy run.
-	onlyF, none := clusterRuns(true, 42, 1, true)
+	onlyF, none := clusterRuns(true, 42, 1, 1, true)
 	if onlyF.Completion <= 0 {
 		t.Fatal("fcfs-only run missing")
 	}

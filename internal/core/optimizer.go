@@ -32,6 +32,20 @@ var ErrNoViableConfiguration = errors.New("core: no viable configuration for the
 type Optimizer struct {
 	// Timeout bounds the whole optimization; zero means none.
 	Timeout time.Duration
+	// Partitions decomposes the problem into node-disjoint
+	// sub-problems solved concurrently and merged (see Partitioner and
+	// plan.Merge): 0 picks the partition count automatically from the
+	// cluster size (one slice per ~16 nodes, so clusters of 16 nodes
+	// or fewer stay monolithic), 1 forces the
+	// monolithic model, larger values request that many partitions
+	// (capped by the problem's decomposability). Partitioned solves
+	// trade global optimality for throughput: each slice is optimized
+	// independently, so cross-partition migrations are never
+	// considered, but the merged plan stays viable and honors every
+	// placement rule. When any partition turns out infeasible — a VM
+	// whose only hosts landed elsewhere — the optimizer falls back to
+	// the monolithic model within the same budget.
+	Partitions int
 	// Workers is the number of parallel portfolio workers racing the
 	// branch-and-bound: each worker owns an independent copy of the
 	// model with a diverse search strategy (ordering, value choice,
@@ -257,16 +271,34 @@ func (o Optimizer) Solve(p Problem) (*Result, error) {
 // search and returns the best result found so far (or
 // ErrNoViableConfiguration when there is none yet), exactly like the
 // Timeout. With Workers > 1 the branch-and-bound races a portfolio of
-// diverse workers that share the incumbent bound.
+// diverse workers that share the incumbent bound; with Partitions != 1
+// the problem may first be decomposed into node-disjoint sub-problems
+// solved concurrently.
 func (o Optimizer) SolveContext(ctx context.Context, p Problem) (*Result, error) {
-	c, err := o.compile(p)
-	if err != nil {
-		return nil, err
-	}
 	if o.Timeout != 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, time.Now().Add(o.Timeout))
 		defer cancel()
+	}
+	if parts, err := (Partitioner{Parts: o.Partitions}).Split(p); err == nil && len(parts) > 1 {
+		if res, perr := o.solvePartitioned(ctx, p, parts); perr == nil {
+			return res, nil
+		}
+		// An infeasible (or timed-out) partition falls back to the
+		// monolithic model under whatever budget remains: even with an
+		// expired deadline the FFD warm start gives it a plan to
+		// return, so asking for partitioning never yields less than the
+		// monolithic path would.
+	}
+	return o.solveMonolithic(ctx, p, o.workers())
+}
+
+// solveMonolithic runs the single-model optimization: compile, FFD warm
+// start, then the sequential branch-and-bound or the portfolio race.
+func (o Optimizer) solveMonolithic(ctx context.Context, p Problem, workers int) (*Result, error) {
+	c, err := o.compile(p)
+	if err != nil {
+		return nil, err
 	}
 
 	// Warm start: the FFD heuristic's plan seeds the incumbent, so the
@@ -277,10 +309,76 @@ func (o Optimizer) SolveContext(ctx context.Context, p Problem) (*Result, error)
 		seed = sd
 	}
 
-	if w := o.workers(); w > 1 && len(c.runners) > 0 {
-		return o.solvePortfolio(ctx, p, c, seed, w)
+	if workers > 1 && len(c.runners) > 0 {
+		return o.solvePortfolio(ctx, p, c, seed, workers)
 	}
 	return o.solveSequential(ctx, p, c, seed)
+}
+
+// solvePartitioned optimizes the node-disjoint sub-problems
+// concurrently — each through the usual portfolio machinery, with the
+// worker budget spread across partitions — then rebases the
+// per-partition destinations onto the full configuration and merges the
+// plans. All partitions share the caller's deadline; a partition that
+// cannot produce a plan fails the whole decomposition (the caller
+// falls back to the monolithic model).
+func (o Optimizer) solvePartitioned(ctx context.Context, p Problem, parts []Problem) (*Result, error) {
+	results := make([]*Result, len(parts))
+	errs := make([]error, len(parts))
+	w := o.workers()
+	share, extra := w/len(parts), w%len(parts)
+	var wg sync.WaitGroup
+	for i := range parts {
+		wi := share
+		if i < extra {
+			wi++
+		}
+		if wi < 1 {
+			wi = 1
+		}
+		wg.Add(1)
+		go func(i, wi int) {
+			defer wg.Done()
+			results[i], errs[i] = o.solveMonolithic(ctx, parts[i], wi)
+		}(i, wi)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d/%d: %w", i+1, len(parts), err)
+		}
+	}
+
+	dst := p.Src.Clone()
+	plans := make([]*plan.Plan, len(parts))
+	agg := &Result{Optimal: true, Partitions: len(parts)}
+	for i, r := range results {
+		if err := dst.Rebase(parts[i].Src, r.Dst); err != nil {
+			return nil, err
+		}
+		plans[i] = r.Plan
+		agg.LowerBound += r.LowerBound
+		agg.Solutions += r.Solutions
+		agg.Nodes += r.Nodes
+		agg.Fails += r.Fails
+		agg.Optimal = agg.Optimal && r.Optimal
+	}
+	if !dst.Viable() {
+		return nil, fmt.Errorf("core: merged configuration is non-viable: %v", dst.Violations())
+	}
+	for _, rule := range p.Rules {
+		if err := rule.Check(dst); err != nil {
+			return nil, fmt.Errorf("core: merged configuration violates rule: %w", err)
+		}
+	}
+	merged, err := plan.Merge(p.Src, plans...)
+	if err != nil {
+		return nil, err
+	}
+	agg.Dst = dst
+	agg.Plan = merged
+	agg.Cost = merged.Cost()
+	return agg, nil
 }
 
 // solveSequential is the single-worker branch-and-bound driven by the
@@ -299,6 +397,16 @@ func (o Optimizer) solveSequential(ctx context.Context, p Problem, c *compiled, 
 	}
 	root := m.s.SaveState()
 	for {
+		// The decode/plan-build work between CP solves is not
+		// interruptible and can be substantial on thousand-VM
+		// instances, so re-check the budget between iterations.
+		if ctx.Err() != nil {
+			if best == nil {
+				return nil, fmt.Errorf("%w: timeout before first solution", ErrNoViableConfiguration)
+			}
+			best.finishStats(m.s)
+			return best, nil
+		}
 		m.s.RestoreState(root)
 		if err := m.s.RemoveAbove(m.obj, bound); err != nil {
 			break // cost floor reached: optimality proven
@@ -455,6 +563,9 @@ func (o Optimizer) runPortfolioWorker(ctx context.Context, cancel context.Cancel
 	opts.SharedObj = m.obj
 	root := m.s.SaveState()
 	for {
+		if ctx.Err() != nil {
+			return // budget exhausted between iterations
+		}
 		b := sh.bound.Bound()
 		m.s.RestoreState(root)
 		if err := m.s.RemoveAbove(m.obj, b); err != nil {

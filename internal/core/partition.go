@@ -1,0 +1,401 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cwcs/internal/vjob"
+)
+
+// Partitioner splits a reconfiguration Problem into node-disjoint
+// sub-problems that can be optimized concurrently and whose plans merge
+// (plan.Merge) into one feasibility-preserving plan. The split follows
+// the structure of the paper's own model: a VM's placement choices only
+// interact through shared nodes, so once the node set is partitioned —
+// keeping every binding inside one slice — the §4.3 models of the
+// slices are fully independent.
+//
+// Two kinds of bindings are honored:
+//
+//   - hard: a VM and its current host (running) or image host
+//     (sleeping), and the scope of a placement rule (a Spread/Gather
+//     must see all its VMs; a Fence drags its node group along). Hard
+//     bindings are never cut.
+//   - soft: the VMs of one vjob. Keeping a gang together preserves the
+//     §4.1 grouping of its suspends/resumes into common pools, but the
+//     state consistency of the gang is already guaranteed by the shared
+//     Target map, so the link may be cut when it would chain too much
+//     of the cluster into one slice.
+//
+// Connected components of the full binding relation form the preferred
+// atoms. A component larger than the slice-size cap is decomposed along
+// its soft links into hard atoms (current placements scatter a vjob
+// across many nodes, transitively welding half the cluster together —
+// the very coupling the cap exists to break). Atoms are then packed
+// into the requested number of partitions along the viable/non-viable
+// seam: overloaded atoms (demand above capacity) spread across
+// partitions first, then atoms with headroom fill the neediest
+// partitions, so every partition mixes load to shed with room to
+// absorb it.
+type Partitioner struct {
+	// Parts is the requested partition count: 0 picks one partition per
+	// MaxNodes nodes, 1 disables partitioning, larger values are capped
+	// by the number of atoms.
+	Parts int
+	// MaxNodes is the auto-mode partition size target; 0 defaults to 16
+	// — the size up to which one slice typically proves optimality in
+	// milliseconds, so a whole sweep of slices completes well inside a
+	// budget that the monolithic model exhausts without a proof.
+	MaxNodes int
+}
+
+// defaultMaxPartitionNodes is the auto-mode slice size.
+const defaultMaxPartitionNodes = 16
+
+// atom is one indivisible slice of the cluster: a connected component
+// of the binding relation.
+type atom struct {
+	nodes          []string
+	vms            []string
+	capCPU, capMem int
+	demCPU, demMem int
+}
+
+// pressure is how far the atom's running demand exceeds its capacity,
+// normalized by cluster totals so CPU and memory compare; positive
+// means the atom cannot absorb its own load.
+func (a *atom) pressure(totCPU, totMem float64) float64 {
+	p := float64(a.demCPU-a.capCPU) / totCPU
+	if m := float64(a.demMem-a.capMem) / totMem; m > p {
+		p = m
+	}
+	return p
+}
+
+// Split decomposes the problem. It returns nil (no error) when the
+// problem should stay monolithic: fewer than two partitions asked or
+// achievable, or a rule whose scope the partitioner cannot introspect.
+func (pt Partitioner) Split(p Problem) ([]Problem, error) {
+	nodes := p.Src.Nodes()
+	maxNodes := pt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = defaultMaxPartitionNodes
+	}
+	want := pt.Parts
+	sliceCap := maxNodes
+	if want == 0 {
+		want = (len(nodes) + maxNodes - 1) / maxNodes
+	} else if want > 1 {
+		sliceCap = (len(nodes) + want - 1) / want
+	}
+	if want <= 1 || len(nodes) < 2 {
+		return nil, nil
+	}
+
+	// Hard bindings: every VM to its current location, every rule to
+	// its covered VMs and bound nodes.
+	hard := newUnionFind()
+	nodeKey := func(n string) string { return "n\x00" + n }
+	vmKey := func(v *vjob.VM) string { return "v\x00" + v.Name }
+	for _, n := range nodes {
+		hard.add(nodeKey(n.Name))
+	}
+	for _, v := range p.Src.VMs() {
+		hard.add(vmKey(v))
+		if loc := p.Src.LocationOf(v.Name); loc != "" {
+			hard.union(vmKey(v), nodeKey(loc))
+		}
+	}
+	ruleKeys := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		sr, ok := r.(ScopedRule)
+		if !ok {
+			return nil, nil // opaque rule: cannot prove decomposability
+		}
+		ruleKeys[i] = fmt.Sprintf("r\x00%d", i)
+		hard.add(ruleKeys[i])
+		for _, name := range sr.ScopeVMs() {
+			if v := p.Src.VM(name); v != nil {
+				hard.union(ruleKeys[i], vmKey(v))
+			}
+		}
+		for _, n := range sr.BindNodes() {
+			if p.Src.Node(n) != nil {
+				hard.union(ruleKeys[i], nodeKey(n))
+			}
+		}
+	}
+
+	// Soft bindings on top: the gang links of each vjob.
+	soft := hard.clone()
+	gang := make(map[string]string) // vjob -> key of first member
+	for _, v := range p.Src.VMs() {
+		if v.VJob == "" {
+			continue
+		}
+		if first, ok := gang[v.VJob]; ok {
+			soft.union(first, vmKey(v))
+		} else {
+			gang[v.VJob] = vmKey(v)
+		}
+	}
+	softNodes := make(map[string]int) // soft root -> node count
+	for _, n := range nodes {
+		softNodes[soft.find(nodeKey(n.Name))]++
+	}
+	// rootOf keeps a whole soft component together when it fits the
+	// slice cap and falls back to the hard component otherwise,
+	// cutting only gang links.
+	rootOf := func(key string) string {
+		if sr := soft.find(key); softNodes[sr] <= sliceCap {
+			return sr
+		}
+		return "h\x00" + hard.find(key)
+	}
+
+	// Collect atoms (components holding nodes) and floating cohorts
+	// (components of waiting VMs bound to no node yet). Floating VMs of
+	// one vjob always cohere: with no placement there is no reason to
+	// cut their gang.
+	atoms := make(map[string]*atom)
+	var order []string
+	get := func(root string) *atom {
+		a := atoms[root]
+		if a == nil {
+			a = &atom{}
+			atoms[root] = a
+			order = append(order, root)
+		}
+		return a
+	}
+	totCPU, totMem := 0.0, 0.0
+	for _, n := range nodes {
+		a := get(rootOf(nodeKey(n.Name)))
+		a.nodes = append(a.nodes, n.Name)
+		a.capCPU += n.CPU
+		a.capMem += n.Memory
+		totCPU += float64(n.CPU)
+		totMem += float64(n.Memory)
+	}
+	if totCPU == 0 || totMem == 0 {
+		return nil, nil
+	}
+	covered := make(map[string]bool)
+	for _, r := range p.Rules {
+		for _, name := range r.(ScopedRule).ScopeVMs() {
+			covered[name] = true
+		}
+	}
+	floatRoot := make(map[string]string) // vjob -> floating atom root
+	for _, v := range p.Src.VMs() {
+		root := rootOf(vmKey(v))
+		if ex := atoms[root]; (ex == nil || len(ex.nodes) == 0) && v.VJob != "" && !covered[v.Name] {
+			// A waiting VM whose gang was cut would land in a singleton
+			// cohort; regroup uncovered floaters of one vjob (covered
+			// ones must stay with their rule's atom).
+			if fr, ok := floatRoot[v.VJob]; ok {
+				root = fr
+			} else {
+				floatRoot[v.VJob] = root
+			}
+		}
+		a := get(root)
+		a.vms = append(a.vms, v.Name)
+		if wantOf(p, v) == vjob.Running {
+			a.demCPU += v.CPUDemand
+			a.demMem += v.MemoryDemand
+		}
+	}
+
+	var nodeAtoms, floating []string
+	for _, root := range order {
+		if len(atoms[root].nodes) > 0 {
+			nodeAtoms = append(nodeAtoms, root)
+		} else {
+			floating = append(floating, root)
+		}
+	}
+	if want > len(nodeAtoms) {
+		want = len(nodeAtoms)
+	}
+	if want <= 1 {
+		return nil, nil
+	}
+
+	// Pack atoms into bins along the viable/non-viable seam.
+	sort.SliceStable(nodeAtoms, func(i, j int) bool {
+		a, b := atoms[nodeAtoms[i]], atoms[nodeAtoms[j]]
+		pa, pb := a.pressure(totCPU, totMem), b.pressure(totCPU, totMem)
+		if pa != pb {
+			return pa > pb
+		}
+		return a.nodes[0] < b.nodes[0]
+	})
+	sort.SliceStable(floating, func(i, j int) bool {
+		a, b := atoms[floating[i]], atoms[floating[j]]
+		if a.demMem != b.demMem {
+			return a.demMem > b.demMem
+		}
+		return a.vms[0] < b.vms[0]
+	})
+
+	bins := make([]*atom, want)
+	for i := range bins {
+		bins[i] = &atom{}
+	}
+	binOf := make(map[string]int)
+	for _, root := range nodeAtoms {
+		// Overloaded atoms spread to the roomiest bins; headroom atoms
+		// backfill the neediest (most overloaded, then still-empty)
+		// ones.
+		assignAtom(atoms, bins, binOf, root, atoms[root].pressure(totCPU, totMem) > 0, totCPU, totMem)
+	}
+	// Drop bins the greedy pass left without nodes (possible when a few
+	// giant atoms absorbed everything).
+	kept := bins[:0]
+	remap := make([]int, len(bins))
+	for i, b := range bins {
+		if len(b.nodes) > 0 {
+			remap[i] = len(kept)
+			kept = append(kept, b)
+		} else {
+			remap[i] = -1
+		}
+	}
+	bins = kept
+	for root, i := range binOf {
+		binOf[root] = remap[i]
+	}
+	if len(bins) <= 1 {
+		return nil, nil
+	}
+	// Floating cohorts (all-waiting vjobs) go where the room is.
+	for _, root := range floating {
+		assignAtom(atoms, bins, binOf, root, true, totCPU, totMem)
+	}
+
+	// Materialize the sub-problems.
+	out := make([]Problem, len(bins))
+	for bi, b := range bins {
+		sub, err := p.Src.Extract(b.nodes, b.vms)
+		if err != nil {
+			return nil, err
+		}
+		target := make(map[string]vjob.State)
+		vmSet := make(map[string]bool, len(b.vms))
+		for _, name := range b.vms {
+			vmSet[name] = true
+			if job := p.Src.VM(name).VJob; job != "" {
+				if st, ok := p.Target[job]; ok {
+					target[job] = st
+				}
+			}
+		}
+		nodeSet := make(map[string]bool, len(b.nodes))
+		for _, n := range b.nodes {
+			nodeSet[n] = true
+		}
+		var rules []PlacementRule
+		for i, r := range p.Rules {
+			at, ok := binOf[rootOf(ruleKeys[i])]
+			if !ok || at != bi {
+				continue
+			}
+			if rr := r.(ScopedRule).Rescope(vmSet, nodeSet); rr != nil {
+				rules = append(rules, rr)
+			}
+		}
+		out[bi] = Problem{Src: sub, Target: target, Rules: rules}
+	}
+	return out, nil
+}
+
+// assignAtom adds the atom to the bin with the widest (wide) or
+// tightest slack, breaking ties towards fewer nodes then lower index.
+func assignAtom(atoms map[string]*atom, bins []*atom, binOf map[string]int, root string, wide bool, totCPU, totMem float64) {
+	a := atoms[root]
+	slack := func(b *atom) float64 {
+		s := float64(b.capCPU-b.demCPU) / totCPU
+		if m := float64(b.capMem-b.demMem) / totMem; m < s {
+			s = m
+		}
+		return s
+	}
+	best := 0
+	for i := 1; i < len(bins); i++ {
+		si, sb := slack(bins[i]), slack(bins[best])
+		better := si < sb
+		if wide {
+			better = si > sb
+		}
+		if better || (si == sb && len(bins[i].nodes) < len(bins[best].nodes)) {
+			best = i
+		}
+	}
+	b := bins[best]
+	b.nodes = append(b.nodes, a.nodes...)
+	b.vms = append(b.vms, a.vms...)
+	b.capCPU += a.capCPU
+	b.capMem += a.capMem
+	b.demCPU += a.demCPU
+	b.demMem += a.demMem
+	binOf[root] = best
+}
+
+// wantOf resolves the state the decision module asks of the VM, with
+// the same coercion Problem.compile applies (a waiting VM of a vjob
+// sent to Sleeping has nothing to suspend).
+func wantOf(p Problem, v *vjob.VM) vjob.State {
+	cur := p.Src.StateOf(v.Name)
+	want, ok := p.Target[v.VJob]
+	if !ok {
+		return cur
+	}
+	if want == vjob.Sleeping && cur == vjob.Waiting {
+		return cur
+	}
+	return want
+}
+
+// unionFind is a string-keyed disjoint-set forest with path
+// compression.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[string]string)}
+}
+
+func (u *unionFind) add(k string) {
+	if _, ok := u.parent[k]; !ok {
+		u.parent[k] = k
+	}
+}
+
+func (u *unionFind) find(k string) string {
+	u.add(k)
+	root := k
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[k] != root {
+		u.parent[k], k = root, u.parent[k]
+	}
+	return root
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+func (u *unionFind) clone() *unionFind {
+	out := newUnionFind()
+	for k, v := range u.parent {
+		out.parent[k] = v
+	}
+	return out
+}

@@ -115,14 +115,11 @@ type costModel struct {
 }
 
 func newCostModel(src *vjob.Configuration, goals []vmGoal) *costModel {
+	freeCPU, freeMem := src.FreeResources()
 	m := &costModel{
-		freeCPU:    make(map[string]int),
-		freeMem:    make(map[string]int),
+		freeCPU:    freeCPU,
+		freeMem:    freeMem,
 		minRelease: make(map[string]int),
-	}
-	for _, n := range src.Nodes() {
-		m.freeCPU[n.Name] = src.FreeCPU(n.Name)
-		m.freeMem[n.Name] = src.FreeMemory(n.Name)
 	}
 	for _, g := range goals {
 		if g.cur != vjob.Running {
@@ -178,4 +175,10 @@ type Result struct {
 	Solutions int
 	// Nodes and Fails are search counters.
 	Nodes, Fails int64
+	// Partitions is how many node-disjoint sub-problems were solved
+	// concurrently to produce this result; 0 or 1 means the monolithic
+	// model. With Partitions > 1, Optimal means every partition proved
+	// its slice optimal — the merged plan is not necessarily a global
+	// optimum, since cross-partition migrations were never considered.
+	Partitions int
 }

@@ -24,11 +24,60 @@ type PlacementRule interface {
 	Check(cfg *vjob.Configuration) error
 }
 
+// ScopedRule is a PlacementRule the partitioner (see Partitioner) can
+// reason about: it exposes which VMs the rule covers and which nodes
+// must travel with them, and can restrict itself to one partition.
+// Rules that do not implement ScopedRule force the optimizer back to
+// the monolithic model — the partitioner refuses to split a problem it
+// cannot prove decomposable.
+type ScopedRule interface {
+	PlacementRule
+	// ScopeVMs returns the VM names the rule covers. The partitioner
+	// keeps them in a single partition.
+	ScopeVMs() []string
+	// BindNodes returns the nodes that must share a partition with the
+	// covered VMs (e.g. a Fence's node group). Purely restrictive node
+	// lists (a Ban's) return nil: a node absent from the partition
+	// cannot host the VM anyway.
+	BindNodes() []string
+	// Rescope returns the rule restricted to a partition's VM and node
+	// sets, or nil when the restriction makes the rule trivial.
+	Rescope(vms, nodes map[string]bool) PlacementRule
+}
+
+// keepNames filters names to those present in the set, preserving
+// order.
+func keepNames(names []string, set map[string]bool) []string {
+	var out []string
+	for _, n := range names {
+		if set[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // Spread keeps the named VMs on pairwise distinct nodes (the classic
 // high-availability anti-affinity rule).
 type Spread struct {
 	// VMs are the VM names the rule covers.
 	VMs []string
+}
+
+// ScopeVMs returns the covered VMs.
+func (r Spread) ScopeVMs() []string { return r.VMs }
+
+// BindNodes returns nil: spreading references no specific node.
+func (r Spread) BindNodes() []string { return nil }
+
+// Rescope keeps the covered VMs present in the partition; fewer than
+// two leaves nothing to spread.
+func (r Spread) Rescope(vms, nodes map[string]bool) PlacementRule {
+	kept := keepNames(r.VMs, vms)
+	if len(kept) < 2 {
+		return nil
+	}
+	return Spread{VMs: kept}
 }
 
 // Apply posts an AllDifferent over the covered running VMs.
@@ -66,6 +115,24 @@ func (r Spread) Check(cfg *vjob.Configuration) error {
 type Ban struct {
 	VMs   []string
 	Nodes []string
+}
+
+// ScopeVMs returns the covered VMs.
+func (r Ban) ScopeVMs() []string { return r.VMs }
+
+// BindNodes returns nil: a ban is purely restrictive, so banned nodes
+// outside the partition need no co-location.
+func (r Ban) BindNodes() []string { return nil }
+
+// Rescope intersects both lists with the partition; an empty side makes
+// the ban trivial.
+func (r Ban) Rescope(vms, nodes map[string]bool) PlacementRule {
+	keptVMs := keepNames(r.VMs, vms)
+	keptNodes := keepNames(r.Nodes, nodes)
+	if len(keptVMs) == 0 || len(keptNodes) == 0 {
+		return nil
+	}
+	return Ban{VMs: keptVMs, Nodes: keptNodes}
 }
 
 // Apply removes the banned nodes from the VMs' domains.
@@ -107,6 +174,26 @@ func (r Ban) Check(cfg *vjob.Configuration) error {
 type Fence struct {
 	VMs   []string
 	Nodes []string
+}
+
+// ScopeVMs returns the covered VMs.
+func (r Fence) ScopeVMs() []string { return r.VMs }
+
+// BindNodes returns the fence's node group: the covered VMs are only
+// placeable there, so the group must ride in their partition.
+func (r Fence) BindNodes() []string { return r.Nodes }
+
+// Rescope keeps the covered VMs and intersects the node group with the
+// partition. A fence whose whole group fell outside the partition is
+// kept with an empty group (rather than silently dropped): applying it
+// fails the partition, which sends the optimizer back to the monolithic
+// model instead of violating the rule.
+func (r Fence) Rescope(vms, nodes map[string]bool) PlacementRule {
+	keptVMs := keepNames(r.VMs, vms)
+	if len(keptVMs) == 0 {
+		return nil
+	}
+	return Fence{VMs: keptVMs, Nodes: keepNames(r.Nodes, nodes)}
 }
 
 // Apply prunes every node outside the fence from the VMs' domains.
@@ -153,6 +240,23 @@ func (r Fence) Check(cfg *vjob.Configuration) error {
 // communication).
 type Gather struct {
 	VMs []string
+}
+
+// ScopeVMs returns the covered VMs.
+func (r Gather) ScopeVMs() []string { return r.VMs }
+
+// BindNodes returns nil: gathering references no specific node.
+func (r Gather) BindNodes() []string { return nil }
+
+// Rescope keeps the covered VMs present in the partition; fewer than
+// two leaves nothing to gather (the partitioner co-locates the whole
+// scope, so absent VMs do not exist in the configuration at all).
+func (r Gather) Rescope(vms, nodes map[string]bool) PlacementRule {
+	kept := keepNames(r.VMs, vms)
+	if len(kept) < 2 {
+		return nil
+	}
+	return Gather{VMs: kept}
 }
 
 // Apply chains equality between consecutive covered VMs through a

@@ -1,0 +1,164 @@
+package cp
+
+import (
+	"sort"
+	"testing"
+)
+
+// refDomain is the obviously-correct model the fuzzed domains are
+// checked against: a plain value set.
+type refDomain map[int]bool
+
+func (r refDomain) values() []int {
+	out := make([]int, 0, len(r))
+	for v := range r {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (r refDomain) removeValue(v int) {
+	delete(r, v)
+}
+
+func (r refDomain) removeBelow(v int) {
+	for x := range r {
+		if x < v {
+			delete(r, x)
+		}
+	}
+}
+
+func (r refDomain) removeAbove(v int) {
+	for x := range r {
+		if x > v {
+			delete(r, x)
+		}
+	}
+}
+
+// checkAgainst compares every observable of the domain with the
+// reference: size, min, max, contains, and ascending iteration.
+func checkAgainst(t *testing.T, d domain, r refDomain, when string) {
+	t.Helper()
+	vals := r.values()
+	if d.size() != len(vals) {
+		t.Fatalf("%s: size %d, want %d", when, d.size(), len(vals))
+	}
+	if len(vals) == 0 {
+		return // emptied: the engine fails the variable and backtracks
+	}
+	if d.min() != vals[0] || d.max() != vals[len(vals)-1] {
+		t.Fatalf("%s: bounds [%d,%d], want [%d,%d]", when, d.min(), d.max(), vals[0], vals[len(vals)-1])
+	}
+	got := d.values()
+	if len(got) != len(vals) {
+		t.Fatalf("%s: values %v, want %v", when, got, vals)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("%s: values %v, want %v", when, got, vals)
+		}
+	}
+	for v := -1; v <= vals[len(vals)-1]+1; v++ {
+		if d.contains(v) != r[v] {
+			t.Fatalf("%s: contains(%d) = %v, want %v", when, v, d.contains(v), r[v])
+		}
+	}
+}
+
+// FuzzDomainOps drives the bitset domain (the VM-assignment domain of
+// the solver) through arbitrary remove/clone/iterate sequences and
+// checks every observable against the reference set model. The byte
+// stream encodes the initial domain then one operation per byte pair.
+func FuzzDomainOps(f *testing.F) {
+	f.Add([]byte{3, 0, 5, 9, 0x00, 0x05, 0x21, 0x03, 0x42, 0x07})
+	f.Add([]byte{1, 0})
+	f.Add([]byte{8, 1, 2, 3, 4, 5, 6, 7, 8, 0x61, 0x04, 0x82, 0x06, 0x00, 0x01})
+	f.Add([]byte{4, 127, 64, 32, 16, 0x83, 0x00, 0x03, 0x40})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		k := int(data[0])%16 + 1
+		if len(data) < 1+k {
+			return
+		}
+		init := make([]int, 0, k)
+		ref := refDomain{}
+		for _, b := range data[1 : 1+k] {
+			v := int(b) % 128
+			init = append(init, v)
+			ref[v] = true
+		}
+		d := newBitsetDomain(init)
+		checkAgainst(t, d, ref, "after init")
+
+		ops := data[1+k:]
+		for i := 0; i+1 < len(ops) && len(ref) > 0; i += 2 {
+			op, arg := ops[i]%4, int(ops[i+1])%130-1 // probe outside [0,128) too
+			switch op {
+			case 0:
+				changed := d.removeValue(arg)
+				if changed != ref[arg] {
+					t.Fatalf("removeValue(%d) reported %v, reference had %v", arg, changed, ref[arg])
+				}
+				ref.removeValue(arg)
+			case 1:
+				d.removeBelow(arg)
+				ref.removeBelow(arg)
+			case 2:
+				d.removeAbove(arg)
+				ref.removeAbove(arg)
+			case 3:
+				// Clone independence: mutating the clone must not leak
+				// into the original (backtracking depends on it).
+				cl := d.clone()
+				cl.removeValue(cl.min())
+				checkAgainst(t, d, ref, "after clone mutation")
+				continue
+			}
+			checkAgainst(t, d, ref, "after op")
+		}
+	})
+}
+
+// FuzzBoundsDomainOps drives the bounds-only domain (objective
+// variables) through bound tightenings, mirroring the restrictions the
+// engine honors: interior removal is forbidden by contract, so only
+// bound removals and removeBelow/removeAbove are exercised.
+func FuzzBoundsDomainOps(f *testing.F) {
+	f.Add([]byte{0x00, 0x10, 0x21, 0x30, 0x12, 0x01})
+	f.Add([]byte{0x05, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := &boundsDomain{lo: 0, hi: 127}
+		ref := refDomain{}
+		for v := 0; v <= 127; v++ {
+			ref[v] = true
+		}
+		for i := 0; i+1 < len(data) && len(ref) > 0; i += 2 {
+			op, arg := data[i]%3, int(data[i+1])%130-1
+			switch op {
+			case 0:
+				d.removeBelow(arg)
+				ref.removeBelow(arg)
+			case 1:
+				d.removeAbove(arg)
+				ref.removeAbove(arg)
+			case 2:
+				// Bound removal only (interior removal panics by
+				// design).
+				v := d.min()
+				if arg%2 == 0 {
+					v = d.max()
+				}
+				d.removeValue(v)
+				ref.removeValue(v)
+			}
+			checkAgainst(t, d, ref, "after op")
+		}
+	})
+}

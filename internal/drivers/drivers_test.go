@@ -19,7 +19,37 @@ func newSim(t *testing.T, nodes, cpu, mem int) *sim.Cluster {
 	for i := 0; i < nodes; i++ {
 		cfg.AddNode(vjob.NewNode(fmt.Sprintf("n%02d", i), cpu, mem))
 	}
-	return sim.New(cfg, duration.Default())
+	c := sim.New(cfg, duration.Default())
+	// Every driver run is audited: executing a plan must never push a
+	// node past its capacities beyond the initial over-commitment.
+	w := sim.WatchInvariants(c)
+	t.Cleanup(func() {
+		if err := w.Err(); err != nil {
+			t.Errorf("invariants violated: %v", err)
+		}
+	})
+	return c
+}
+
+// planDst replays the plan on a snapshot of its source and returns the
+// configuration it must leave behind. Call it BEFORE executing: the
+// plan's Src is the live cluster configuration.
+func planDst(t *testing.T, p *plan.Plan) *vjob.Configuration {
+	t.Helper()
+	want, err := p.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// assertReaches checks that the executed plan left the cluster exactly
+// in the destination captured by planDst.
+func assertReaches(t *testing.T, c *sim.Cluster, want *vjob.Configuration) {
+	t.Helper()
+	if got := c.Config(); !got.Equal(want) {
+		t.Fatalf("cluster after execution:\n%swant destination:\n%s", got, want)
+	}
 }
 
 func TestExecuteSequentialPools(t *testing.T) {
@@ -49,6 +79,7 @@ func TestExecuteSequentialPools(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	wantDst := planDst(t, p)
 	var rep Report
 	doneCalled := false
 	Execute(c, p, func(r Report) { rep = r; doneCalled = true })
@@ -67,6 +98,7 @@ func TestExecuteSequentialPools(t *testing.T) {
 	if c.Config().HostOf("vm1") != "n01" || c.Config().StateOf("vm2") != vjob.Sleeping {
 		t.Fatal("destination not reached")
 	}
+	assertReaches(t, c, wantDst)
 	if rep.String() == "" {
 		t.Fatal("report string empty")
 	}
@@ -96,6 +128,7 @@ func TestPipelinedSuspends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	wantDst := planDst(t, p)
 	var rep Report
 	Execute(c, p, func(r Report) { rep = r })
 	c.Run(10_000)
@@ -104,6 +137,7 @@ func TestPipelinedSuspends(t *testing.T) {
 	if math.Abs(rep.Duration()-want) > 1e-6 {
 		t.Fatalf("duration = %v, want %v (pipelined)", rep.Duration(), want)
 	}
+	assertReaches(t, c, wantDst)
 }
 
 func TestExecuteReportsActionErrors(t *testing.T) {

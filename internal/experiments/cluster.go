@@ -48,6 +48,9 @@ type ClusterOptions struct {
 	PinRunning bool
 	// Workers is the optimizer's portfolio width (0 = GOMAXPROCS).
 	Workers int
+	// Partitions is the optimizer's decomposition width (0 = auto,
+	// 1 = monolithic).
+	Partitions int
 }
 
 // DefaultClusterOptions returns the paper's §5.2 setup.
@@ -180,7 +183,7 @@ func RunCluster(decision core.DecisionModule, opts ClusterOptions) ClusterResult
 
 	loop := &core.Loop{
 		Decision:  terminator{inner: decision, c: c, jobs: jobs},
-		Optimizer: core.Optimizer{Timeout: opts.Timeout, PinRunning: opts.PinRunning, Workers: opts.Workers},
+		Optimizer: core.Optimizer{Timeout: opts.Timeout, PinRunning: opts.PinRunning, Workers: opts.Workers, Partitions: opts.Partitions},
 		Interval:  opts.Interval,
 		Queue:     func() []*vjob.VJob { return jobs },
 		Done: func() bool {

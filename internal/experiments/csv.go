@@ -40,14 +40,19 @@ func Fig11CSV(res ClusterResult) string {
 }
 
 // Fig13CSV renders both utilization time series as CSV, one row per
-// sample with a scheduler tag.
+// sample with a scheduler tag. The fcfs block always precedes the
+// entropy block so the output is byte-stable run to run (a map
+// iteration here used to shuffle the two).
 func Fig13CSV(fcfs, entropy ClusterResult) string {
 	var b strings.Builder
 	b.WriteString("scheduler,t_s,cpu_used,cpu_cap,cpu_pct,mem_used_mib,mem_cap_mib,running,sleeping,waiting\n")
-	for tag, res := range map[string]ClusterResult{"fcfs": fcfs, "entropy": entropy} {
-		for _, s := range res.Samples {
+	for _, block := range []struct {
+		tag string
+		res ClusterResult
+	}{{"fcfs", fcfs}, {"entropy", entropy}} {
+		for _, s := range block.res.Samples {
 			fmt.Fprintf(&b, "%s,%.0f,%d,%d,%.1f,%d,%d,%d,%d,%d\n",
-				tag, s.T, s.UsedCPU, s.CapCPU, s.CPUPercent(), s.UsedMem, s.CapMem,
+				block.tag, s.T, s.UsedCPU, s.CapCPU, s.CPUPercent(), s.UsedMem, s.CapMem,
 				s.Running, s.Sleeping, s.Waiting)
 		}
 	}

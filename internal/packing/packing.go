@@ -44,18 +44,21 @@ func SortDecreasing(vms []*vjob.VM) []*vjob.VM {
 // First Fit Decrease heuristic: VMs are considered in decreasing
 // (memory, CPU) order and assigned to the first node with sufficient
 // free resources. The configuration is mutated; on failure it is left
-// untouched and an ErrNoFit is returned.
+// untouched and an ErrNoFit is returned. Free resources are tracked
+// incrementally, so a full pass costs O(nodes·VMs) rather than the
+// quadratic rescans of Configuration.Fits.
 func FirstFitDecrease(c *vjob.Configuration, vms []*vjob.VM) error {
-	trial := c.Clone()
 	ordered := SortDecreasing(append([]*vjob.VM(nil), vms...))
-	nodes := trial.Nodes()
+	freeCPU, freeMem := c.FreeResources()
+	nodes := c.Nodes()
+	assigned := make(map[string]string, len(vms))
 	for _, v := range ordered {
 		placed := false
 		for _, n := range nodes {
-			if trial.Fits(v, n.Name) {
-				if err := trial.SetRunning(v.Name, n.Name); err != nil {
-					return err
-				}
+			if freeCPU[n.Name] >= v.CPUDemand && freeMem[n.Name] >= v.MemoryDemand {
+				freeCPU[n.Name] -= v.CPUDemand
+				freeMem[n.Name] -= v.MemoryDemand
+				assigned[v.Name] = n.Name
 				placed = true
 				break
 			}
@@ -63,42 +66,56 @@ func FirstFitDecrease(c *vjob.Configuration, vms []*vjob.VM) error {
 		if !placed {
 			return ErrNoFit{VM: v}
 		}
+		creditOldHost(c, v, freeCPU, freeMem)
 	}
-	return commit(c, trial, vms)
+	return commit(c, assigned, vms)
 }
 
 // BestFitDecrease is the ablation variant: same ordering, but each VM
 // goes to the fitting node with the LEAST remaining memory, keeping
 // large holes available for large VMs.
 func BestFitDecrease(c *vjob.Configuration, vms []*vjob.VM) error {
-	trial := c.Clone()
 	ordered := SortDecreasing(append([]*vjob.VM(nil), vms...))
+	freeCPU, freeMem := c.FreeResources()
+	nodes := c.Nodes()
+	assigned := make(map[string]string, len(vms))
 	for _, v := range ordered {
 		best := ""
 		bestFree := -1
-		for _, n := range trial.Nodes() {
-			if !trial.Fits(v, n.Name) {
+		for _, n := range nodes {
+			if freeCPU[n.Name] < v.CPUDemand || freeMem[n.Name] < v.MemoryDemand {
 				continue
 			}
-			free := trial.FreeMemory(n.Name)
-			if best == "" || free < bestFree {
-				best, bestFree = n.Name, free
+			if best == "" || freeMem[n.Name] < bestFree {
+				best, bestFree = n.Name, freeMem[n.Name]
 			}
 		}
 		if best == "" {
 			return ErrNoFit{VM: v}
 		}
-		if err := trial.SetRunning(v.Name, best); err != nil {
-			return err
-		}
+		freeCPU[best] -= v.CPUDemand
+		freeMem[best] -= v.MemoryDemand
+		assigned[v.Name] = best
+		creditOldHost(c, v, freeCPU, freeMem)
 	}
-	return commit(c, trial, vms)
+	return commit(c, assigned, vms)
 }
 
-// commit copies the trial placements of the given VMs back into c.
-func commit(c, trial *vjob.Configuration, vms []*vjob.VM) error {
+// creditOldHost returns the resources a just-re-placed VM was consuming
+// on its current host to the free pool: the commit will move it, so
+// later VMs of the same pass may use the space (the behavior of the
+// former clone-based implementation).
+func creditOldHost(c *vjob.Configuration, v *vjob.VM, freeCPU, freeMem map[string]int) {
+	if host := c.HostOf(v.Name); host != "" {
+		freeCPU[host] += v.CPUDemand
+		freeMem[host] += v.MemoryDemand
+	}
+}
+
+// commit applies the computed placements to c.
+func commit(c *vjob.Configuration, assigned map[string]string, vms []*vjob.VM) error {
 	for _, v := range vms {
-		if err := c.SetRunning(v.Name, trial.HostOf(v.Name)); err != nil {
+		if err := c.SetRunning(v.Name, assigned[v.Name]); err != nil {
 			return err
 		}
 	}

@@ -237,3 +237,39 @@ func TestFFDViableAndDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRepackCreditsFreedHost: re-placing an already-running VM frees
+// its old host for later VMs of the same pass (regression for the
+// incremental free-resource rewrite, which initially dropped the
+// credit the clone-based implementation gave).
+func TestRepackCreditsFreedHost(t *testing.T) {
+	c := testCluster(2, 2, 2048)
+	vms := addVMs(c, [2]int{1, 2048}, [2]int{1, 2048})
+	if err := c.SetRunning("vm00", "n00"); err != nil {
+		t.Fatal(err)
+	}
+	// vm00 (running on n00) is re-placed onto n01 — n00 cannot host it
+	// while it still occupies the node — and vm01 must then fit on the
+	// freed n00.
+	if err := FirstFitDecrease(c, vms); err != nil {
+		t.Fatalf("freed host not credited: %v", err)
+	}
+	if !c.Viable() {
+		t.Fatalf("non-viable packing:\n%s", c)
+	}
+	if err := c.SetWaiting("vm00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetWaiting("vm01"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRunning("vm00", "n00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := BestFitDecrease(c, vms); err != nil {
+		t.Fatalf("best-fit freed host not credited: %v", err)
+	}
+	if !c.Viable() {
+		t.Fatalf("non-viable best-fit packing:\n%s", c)
+	}
+}

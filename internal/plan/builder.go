@@ -74,12 +74,7 @@ func (b Builder) Plan(g *Graph) (*Plan, error) {
 // space; resources released by actions of the pool are NOT credited,
 // because a parallel action cannot rely on a concurrent completion.
 func extractPool(cur *vjob.Configuration, remaining []Action) (Pool, []Action) {
-	freeCPU := make(map[string]int)
-	freeMem := make(map[string]int)
-	for _, n := range cur.Nodes() {
-		freeCPU[n.Name] = cur.FreeCPU(n.Name)
-		freeMem[n.Name] = cur.FreeMemory(n.Name)
-	}
+	freeCPU, freeMem := cur.FreeResources()
 	var pool Pool
 	var rest []Action
 	for _, a := range remaining {

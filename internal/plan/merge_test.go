@@ -1,0 +1,158 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cwcs/internal/vjob"
+)
+
+// mergeCluster builds a 4-node cluster split into two independent
+// halves, each needing a two-pool reconfiguration (a suspend must free
+// room before a migration becomes feasible).
+func mergeCluster(t *testing.T) (src *vjob.Configuration, left, right *Plan) {
+	t.Helper()
+	src = vjob.NewConfiguration()
+	for _, n := range []string{"n1", "n2", "n3", "n4"} {
+		src.AddNode(vjob.NewNode(n, 2, 3072))
+	}
+	place := func(vm, node string, mem int) *vjob.VM {
+		v := vjob.NewVM(vm, "j-"+vm, 1, mem)
+		src.AddVM(v)
+		if err := src.SetRunning(vm, node); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	place("a1", "n1", 2048)
+	place("a2", "n2", 2048)
+	place("b1", "n3", 2048)
+	place("b2", "n4", 2048)
+
+	mkHalf := func(keep, victim string, from, to string) *Plan {
+		dst := src.Clone()
+		if err := dst.SetSleeping(victim, from); err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.SetRunning(keep, from); err != nil {
+			t.Fatal(err)
+		}
+		// Restrict to the half's nodes/VMs so the plans stay disjoint.
+		subSrc, err := src.Extract([]string{from, to}, []string{keep, victim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subDst, err := dst.Extract([]string{from, to}, []string{keep, victim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Build(subSrc, subDst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Left half: suspend a1 on n1, then migrate a2 from n2 to n1.
+	left = mkHalf("a2", "a1", "n1", "n2")
+	// Right half: suspend b1 on n3, then migrate b2 from n4 to n3.
+	right = mkHalf("b2", "b1", "n3", "n4")
+	return src, left, right
+}
+
+func TestMergeZipsPoolsAndStaysValid(t *testing.T) {
+	src, left, right := mergeCluster(t)
+	if len(left.Pools) < 2 || len(right.Pools) < 2 {
+		t.Fatalf("halves should need 2 pools (got %d and %d)", len(left.Pools), len(right.Pools))
+	}
+	merged, err := Merge(src, left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.NumActions(), left.NumActions()+right.NumActions(); got != want {
+		t.Fatalf("merged actions = %d, want %d", got, want)
+	}
+	if len(merged.Pools) != 2 {
+		t.Fatalf("merged pools = %d, want 2 (zipped)", len(merged.Pools))
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged plan invalid: %v", err)
+	}
+	res, err := merged.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged plan reaches the union of the halves' destinations.
+	want := src.Clone()
+	for _, half := range []*Plan{left, right} {
+		sub, err := half.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := want.Rebase(half.Src, sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !res.Equal(want) {
+		t.Fatalf("merged result:\n%svs rebased union:\n%s", res, want)
+	}
+}
+
+func TestMergeRejectsOverlap(t *testing.T) {
+	src, left, _ := mergeCluster(t)
+	if _, err := Merge(src, left, left); !errors.Is(err, ErrOverlappingPlans) {
+		t.Fatalf("err = %v, want ErrOverlappingPlans", err)
+	}
+	if _, err := Merge(src, left, nil); err == nil {
+		t.Fatal("merge accepted a nil plan")
+	}
+}
+
+func TestMergeUnevenPoolCounts(t *testing.T) {
+	src := vjob.NewConfiguration()
+	for i := 0; i < 4; i++ {
+		src.AddNode(vjob.NewNode(fmt.Sprintf("m%d", i), 2, 4096))
+	}
+	v1 := vjob.NewVM("v1", "a", 1, 1024)
+	v2 := vjob.NewVM("v2", "b", 1, 1024)
+	src.AddVM(v1)
+	src.AddVM(v2)
+	if err := src.SetRunning("v1", "m0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SetRunning("v2", "m2"); err != nil {
+		t.Fatal(err)
+	}
+	long := &Plan{Src: src, Pools: []Pool{
+		{&Migration{Machine: v1, Src: "m0", Dst: "m1"}},
+		{&Migration{Machine: v1, Src: "m1", Dst: "m0"}},
+	}}
+	short := &Plan{Src: src, Pools: []Pool{
+		{&Migration{Machine: v2, Src: "m2", Dst: "m3"}},
+	}}
+	merged, err := Merge(src, long, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Pools) != 2 || len(merged.Pools[0]) != 2 || len(merged.Pools[1]) != 1 {
+		t.Fatalf("merged shape wrong: %v", merged)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Cost() <= 0 {
+		t.Fatal("merged cost not computed")
+	}
+}
+
+func TestMergeOfNothingIsEmptyPlan(t *testing.T) {
+	src := vjob.NewConfiguration()
+	src.AddNode(vjob.NewNode("n", 1, 1024))
+	merged, err := Merge(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumActions() != 0 || merged.Cost() != 0 {
+		t.Fatalf("empty merge: %v", merged)
+	}
+}

@@ -47,6 +47,10 @@ type Cluster struct {
 	workloads map[string]*workload
 	ops       map[*operation]bool
 
+	// checks run after every executed event and phase advance (see
+	// OnAdvance); the invariant checker hooks in here.
+	checks []func()
+
 	// SuspendToRAM switches suspend/resume to the §7 future-work
 	// fast path (no disk image) in the duration model.
 	SuspendToRAM bool
@@ -79,6 +83,17 @@ func (c *Cluster) Config() *vjob.Configuration { return c.cfg }
 // Snapshot returns an independent copy of the configuration, the
 // monitoring view of the cluster.
 func (c *Cluster) Snapshot() *vjob.Configuration { return c.cfg.Clone() }
+
+// OnAdvance registers fn to run after every executed event and after
+// every workload phase advance. Checkers use it to audit the
+// configuration at each state change of the simulation.
+func (c *Cluster) OnAdvance(fn func()) { c.checks = append(c.checks, fn) }
+
+func (c *Cluster) runChecks() {
+	for _, fn := range c.checks {
+		fn()
+	}
+}
 
 // Schedule registers fn to run at the given virtual time (clamped to
 // now if in the past).
@@ -277,6 +292,10 @@ func (c *Cluster) rates() map[string]float64 {
 // Run processes events and workload progress until the virtual clock
 // reaches `until` or nothing remains to happen.
 func (c *Cluster) Run(until float64) {
+	// Audit the configuration as the simulation (re)starts: this seeds
+	// the invariant checker's baseline with the hand-built initial
+	// placement rather than with the outcome of the first event.
+	c.runChecks()
 	const eps = 1e-9
 	for c.now < until-eps {
 		rates := c.rates()
@@ -313,12 +332,14 @@ func (c *Cluster) Run(until float64) {
 			w := c.workloads[vm]
 			if w.remaining <= eps {
 				c.advancePhase(vm, w)
+				c.runChecks()
 			}
 		}
 		// Events due now.
 		for len(c.queue) > 0 && c.queue[0].at <= c.now+eps {
 			e := heap.Pop(&c.queue).(*event)
 			e.fn()
+			c.runChecks()
 		}
 		if dt == 0 && tEvent > c.now+eps && tPhase > c.now+eps {
 			// Nothing progressed and nothing fired: avoid spinning.

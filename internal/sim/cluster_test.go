@@ -16,7 +16,17 @@ func newSim(t *testing.T, nodes, cpu, mem int) *Cluster {
 	for i := 0; i < nodes; i++ {
 		cfg.AddNode(vjob.NewNode(fmt.Sprintf("n%02d", i), cpu, mem))
 	}
-	return New(cfg, duration.Default())
+	c := New(cfg, duration.Default())
+	// Every simulation in this suite runs under the invariant watcher:
+	// no event may push a node past its capacities beyond what the
+	// test's initial placement already over-committed.
+	w := WatchInvariants(c)
+	t.Cleanup(func() {
+		if err := w.Err(); err != nil {
+			t.Errorf("invariants violated: %v", err)
+		}
+	})
+	return c
 }
 
 func addRunning(t *testing.T, c *Cluster, name, node string, cpu, mem int) *vjob.VM {

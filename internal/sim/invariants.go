@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"cwcs/internal/vjob"
+)
+
+// Invariants audits the cluster configuration after every simulation
+// event and phase advance: per-node processing-unit and memory usage
+// must stay within capacity and never go negative. Over-commitment that
+// already exists when the watcher takes its baseline is tolerated — a
+// context switch legitimately starts from a non-viable configuration —
+// but any violation appearing afterwards is recorded, exactly the
+// contract plan.Validate enforces statically.
+//
+// The baseline is captured lazily at the first audit, so tests can
+// install the watcher before building the initial placement.
+type Invariants struct {
+	c        *Cluster
+	baseline map[vjob.Violation]bool
+	errs     []error
+}
+
+// WatchInvariants attaches a watcher to the cluster and returns it.
+func WatchInvariants(c *Cluster) *Invariants {
+	w := &Invariants{c: c}
+	c.OnAdvance(w.audit)
+	return w
+}
+
+func (w *Invariants) audit() {
+	cfg := w.c.Config()
+	// One O(nodes + VMs) pass: the audit runs after every event, so the
+	// per-node UsedCPU/UsedMemory rescans would be quadratic. Usage
+	// above capacity is Violations' business; usage below zero means
+	// free above capacity.
+	freeCPU, freeMem := cfg.FreeResources()
+	for _, n := range cfg.Nodes() {
+		if freeCPU[n.Name] > n.CPU {
+			w.errs = append(w.errs, fmt.Errorf("sim: t=%.1f: node %s has negative CPU usage %d", w.c.Now(), n.Name, n.CPU-freeCPU[n.Name]))
+		}
+		if freeMem[n.Name] > n.Memory {
+			w.errs = append(w.errs, fmt.Errorf("sim: t=%.1f: node %s has negative memory usage %d", w.c.Now(), n.Name, n.Memory-freeMem[n.Name]))
+		}
+	}
+	if w.baseline == nil {
+		w.baseline = make(map[vjob.Violation]bool)
+		for _, v := range cfg.Violations() {
+			w.baseline[v] = true
+		}
+		return
+	}
+	for _, v := range cfg.Violations() {
+		if !w.baseline[v] {
+			w.errs = append(w.errs, fmt.Errorf("sim: t=%.1f: %w", w.c.Now(), v))
+			w.baseline[v] = true // report each new violation once
+		}
+	}
+}
+
+// Err returns every recorded violation joined, or nil.
+func (w *Invariants) Err() error { return errors.Join(w.errs...) }

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cwcs/internal/duration"
+	"cwcs/internal/plan"
+	"cwcs/internal/vjob"
+)
+
+// TestInvariantsCatchIntroducedOverload proves the watcher has teeth:
+// an event that overloads a node after the baseline was taken must be
+// reported.
+func TestInvariantsCatchIntroducedOverload(t *testing.T) {
+	cfg := vjob.NewConfiguration()
+	cfg.AddNode(vjob.NewNode("n0", 1, 1024))
+	c := New(cfg, duration.Default())
+	w := WatchInvariants(c)
+
+	c.Schedule(10, func() {
+		for _, name := range []string{"a", "b"} {
+			cfg.AddVM(vjob.NewVM(name, "j", 1, 512))
+			if err := cfg.SetRunning(name, "n0"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	c.Run(100)
+	err := w.Err()
+	if err == nil {
+		t.Fatal("introduced overload not reported")
+	}
+	if !strings.Contains(err.Error(), "n0") || !strings.Contains(err.Error(), "cpu") {
+		t.Fatalf("unhelpful report: %v", err)
+	}
+}
+
+// TestInvariantsTolerateBaselineOvercommit: over-commitment present
+// when the simulation starts (the very situation a context switch
+// repairs) is not an error; only new violations are.
+func TestInvariantsTolerateBaselineOvercommit(t *testing.T) {
+	cfg := vjob.NewConfiguration()
+	cfg.AddNode(vjob.NewNode("n0", 1, 4096))
+	cfg.AddNode(vjob.NewNode("n1", 1, 4096))
+	for _, name := range []string{"a", "b"} {
+		cfg.AddVM(vjob.NewVM(name, "j", 1, 512))
+		if err := cfg.SetRunning(name, "n0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := New(cfg, duration.Default())
+	w := WatchInvariants(c)
+	vm := cfg.VM("b")
+	c.StartAction(&plan.Migration{Machine: vm, Src: "n0", Dst: "n1"}, nil)
+	c.Run(10_000)
+	if err := w.Err(); err != nil {
+		t.Fatalf("baseline over-commit reported as violation: %v", err)
+	}
+	if cfg.HostOf("b") != "n1" {
+		t.Fatal("migration did not land")
+	}
+}

@@ -1,0 +1,70 @@
+package vjob
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzConfigurationJSON checks that every configuration the decoder
+// accepts survives a marshal/unmarshal round trip: the re-encoded form
+// parses back to an Equal configuration and re-encodes byte-identically
+// (the format is the interchange between cmd/entropyd, cmd/planviz and
+// hand-written test fixtures, so silent drift would corrupt runs).
+func FuzzConfigurationJSON(f *testing.F) {
+	f.Add([]byte(`{"nodes":[],"vms":[]}`))
+	f.Add([]byte(`{"nodes":[{"name":"n1","cpu":2,"memory":4096}],"vms":[]}`))
+	f.Add([]byte(`{"nodes":[{"name":"n1","cpu":2,"memory":4096},{"name":"n2","cpu":2,"memory":4096}],` +
+		`"vms":[{"name":"vm1","vjob":"j1","cpu":1,"memory":1024,"state":"running","node":"n1"},` +
+		`{"name":"vm2","vjob":"j1","cpu":0,"memory":512,"state":"sleeping","node":"n2"},` +
+		`{"name":"vm3","cpu":1,"memory":256,"state":"waiting"}]}`))
+	f.Add([]byte(`{"nodes":[{"name":"n","cpu":0,"memory":0}],` +
+		`"vms":[{"name":"v","cpu":0,"memory":0,"state":"running","node":"n"}]}`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Configuration
+		if err := json.Unmarshal(data, &c); err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		first, err := json.Marshal(&c)
+		if err != nil {
+			t.Fatalf("marshal of accepted configuration failed: %v", err)
+		}
+		var back Configuration
+		if err := json.Unmarshal(first, &back); err != nil {
+			t.Fatalf("re-parse of own output failed: %v\noutput: %s", err, first)
+		}
+		if !c.Equal(&back) || !back.Equal(&c) {
+			t.Fatalf("round trip changed the configuration:\n%s\nvs\n%s", &c, &back)
+		}
+		second, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("encoding not stable:\n%s\nvs\n%s", first, second)
+		}
+		// Structural invariants of every decoded configuration.
+		for _, v := range c.VMs() {
+			st := c.StateOf(v.Name)
+			loc := c.LocationOf(v.Name)
+			switch st {
+			case Running, Sleeping:
+				if c.Node(loc) == nil {
+					t.Fatalf("VM %s in state %v placed on unknown node %q", v.Name, st, loc)
+				}
+			case Waiting:
+				if loc != "" {
+					t.Fatalf("waiting VM %s holds location %q", v.Name, loc)
+				}
+			}
+		}
+		nodes := c.Nodes()
+		for i := 1; i < len(nodes); i++ {
+			if nodes[i-1].Name >= nodes[i].Name {
+				t.Fatalf("nodes not in deterministic order: %q before %q", nodes[i-1].Name, nodes[i].Name)
+			}
+		}
+	})
+}

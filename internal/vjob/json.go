@@ -56,12 +56,21 @@ func (c *Configuration) UnmarshalJSON(data []byte) error {
 	}
 	*c = *NewConfiguration()
 	for _, n := range in.Nodes {
+		if n.Name == "" {
+			// An empty node name would collide with the "no placement"
+			// encoding (the omitempty on vmJSON.Node) and break the
+			// round trip.
+			return fmt.Errorf("vjob: node with empty name")
+		}
 		if n.CPU < 0 || n.Memory < 0 {
 			return fmt.Errorf("vjob: node %s has negative capacity", n.Name)
 		}
 		c.AddNode(NewNode(n.Name, n.CPU, n.Memory))
 	}
 	for _, v := range in.VMs {
+		if v.Name == "" {
+			return fmt.Errorf("vjob: VM with empty name")
+		}
 		if v.CPU < 0 || v.Memory < 0 {
 			return fmt.Errorf("vjob: VM %s has negative demand", v.Name)
 		}

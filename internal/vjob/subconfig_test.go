@@ -1,0 +1,147 @@
+package vjob
+
+import "testing"
+
+// twoPartCluster builds a 4-node cluster whose left half (n1, n2) hosts
+// vm1 (running) and vm2 (sleeping) and whose right half (n3, n4) hosts
+// vm3; vm4 waits.
+func twoPartCluster(t *testing.T) *Configuration {
+	t.Helper()
+	c := NewConfiguration()
+	for _, n := range []string{"n1", "n2", "n3", "n4"} {
+		c.AddNode(NewNode(n, 2, 4096))
+	}
+	for _, v := range []string{"vm1", "vm2", "vm3", "vm4"} {
+		c.AddVM(NewVM(v, "j-"+v, 1, 1024))
+	}
+	mustRun(t, c, "vm1", "n1")
+	if err := c.SetSleeping("vm2", "n2"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, c, "vm3", "n3")
+	return c
+}
+
+func TestExtractKeepsStatesAndPlacements(t *testing.T) {
+	c := twoPartCluster(t)
+	sub, err := c.Extract([]string{"n1", "n2"}, []string{"vm1", "vm2", "vm4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 2 || sub.NumVMs() != 3 {
+		t.Fatalf("sub has %d nodes, %d VMs", sub.NumNodes(), sub.NumVMs())
+	}
+	if sub.HostOf("vm1") != "n1" || sub.StateOf("vm1") != Running {
+		t.Fatalf("vm1: state %v on %q", sub.StateOf("vm1"), sub.HostOf("vm1"))
+	}
+	if sub.ImageHostOf("vm2") != "n2" || sub.StateOf("vm2") != Sleeping {
+		t.Fatalf("vm2: state %v image %q", sub.StateOf("vm2"), sub.ImageHostOf("vm2"))
+	}
+	if sub.StateOf("vm4") != Waiting {
+		t.Fatalf("vm4: state %v", sub.StateOf("vm4"))
+	}
+	// The parent is untouched and shares the VM objects.
+	if c.VM("vm1") != sub.VM("vm1") {
+		t.Fatal("VM objects not shared")
+	}
+	if c.NumVMs() != 4 {
+		t.Fatal("parent mutated")
+	}
+}
+
+func TestExtractRejectsCrossPartitionPlacement(t *testing.T) {
+	c := twoPartCluster(t)
+	if _, err := c.Extract([]string{"n1"}, []string{"vm3"}); err == nil {
+		t.Fatal("extract accepted a VM hosted outside the node set")
+	}
+	if _, err := c.Extract([]string{"n1"}, []string{"vm2"}); err == nil {
+		t.Fatal("extract accepted a VM imaged outside the node set")
+	}
+	if _, err := c.Extract([]string{"nope"}, nil); err == nil {
+		t.Fatal("extract accepted an unknown node")
+	}
+	if _, err := c.Extract([]string{"n1"}, []string{"ghost"}); err == nil {
+		t.Fatal("extract accepted an unknown VM")
+	}
+}
+
+func TestRebaseFoldsSubOutcomeBack(t *testing.T) {
+	c := twoPartCluster(t)
+	src, err := c.Extract([]string{"n1", "n2"}, []string{"vm1", "vm2", "vm4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The partition's solve: vm1 migrates to n2, vm2 resumes on n2,
+	// vm4 boots on n1.
+	dst := src.Clone()
+	mustRun(t, dst, "vm1", "n2")
+	mustRun(t, dst, "vm2", "n2")
+	mustRun(t, dst, "vm4", "n1")
+
+	merged := c.Clone()
+	if err := merged.Rebase(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if merged.HostOf("vm1") != "n2" || merged.HostOf("vm2") != "n2" || merged.HostOf("vm4") != "n1" {
+		t.Fatalf("rebase missed a placement:\n%s", merged)
+	}
+	// The other partition's VM is untouched.
+	if merged.HostOf("vm3") != "n3" {
+		t.Fatal("rebase touched a foreign VM")
+	}
+}
+
+func TestRebaseRemovesTerminatedVMs(t *testing.T) {
+	c := twoPartCluster(t)
+	src, err := c.Extract([]string{"n1"}, []string{"vm1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := src.Clone()
+	dst.RemoveVM("vm1")
+	merged := c.Clone()
+	if err := merged.Rebase(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if merged.VM("vm1") != nil {
+		t.Fatal("terminated VM survived the rebase")
+	}
+	if merged.NumVMs() != 3 {
+		t.Fatalf("unexpected VM count %d", merged.NumVMs())
+	}
+}
+
+func TestRebaseDisjointPartitionsCommute(t *testing.T) {
+	c := twoPartCluster(t)
+	left, err := c.Extract([]string{"n1", "n2"}, []string{"vm1", "vm2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := c.Extract([]string{"n3", "n4"}, []string{"vm3", "vm4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldst := left.Clone()
+	mustRun(t, ldst, "vm2", "n2")
+	rdst := right.Clone()
+	mustRun(t, rdst, "vm3", "n4")
+	mustRun(t, rdst, "vm4", "n3")
+
+	a := c.Clone()
+	if err := a.Rebase(left, ldst); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Rebase(right, rdst); err != nil {
+		t.Fatal(err)
+	}
+	b := c.Clone()
+	if err := b.Rebase(right, rdst); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Rebase(left, ldst); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("rebase order changed the outcome:\n%s\nvs\n%s", a, b)
+	}
+}

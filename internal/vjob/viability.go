@@ -26,19 +26,30 @@ func (v Violation) Error() string {
 // node order. An empty slice means the configuration is viable: every
 // running VM has access to sufficient memory and processing units
 // (Section 3.2 of the paper). Waiting and sleeping VMs consume nothing.
+//
+// The scan is a single O(nodes + VMs) pass: plan validation calls this
+// after every pool, so a per-node VM rescan would dominate large
+// cluster runs.
 func (c *Configuration) Violations() []Violation {
+	cpu := make(map[string]int)
+	mem := make(map[string]int)
+	for vm, st := range c.state {
+		if st != Running {
+			continue
+		}
+		v := c.vms[vm]
+		node := c.placement[vm]
+		cpu[node] += v.CPUDemand
+		mem[node] += v.MemoryDemand
+	}
 	var out []Violation
-	for _, n := range c.Nodes() {
-		cpu, mem := 0, 0
-		for _, v := range c.RunningOn(n.Name) {
-			cpu += v.CPUDemand
-			mem += v.MemoryDemand
+	for _, name := range c.nodeOrder {
+		n := c.nodes[name]
+		if cpu[name] > n.CPU {
+			out = append(out, Violation{Node: name, Resource: "cpu", Demand: cpu[name], Capacity: n.CPU})
 		}
-		if cpu > n.CPU {
-			out = append(out, Violation{Node: n.Name, Resource: "cpu", Demand: cpu, Capacity: n.CPU})
-		}
-		if mem > n.Memory {
-			out = append(out, Violation{Node: n.Name, Resource: "memory", Demand: mem, Capacity: n.Memory})
+		if mem[name] > n.Memory {
+			out = append(out, Violation{Node: name, Resource: "memory", Demand: mem[name], Capacity: n.Memory})
 		}
 	}
 	return out
