@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCH_REGRESS_OUT ?= bench-regress.out
 
-.PHONY: all build test race vet fmt-check bench-smoke fuzz-smoke ci
+.PHONY: all build test race vet fmt-check bench-smoke fuzz-smoke cover lint bench-regress ci
 
 all: build
 
@@ -34,5 +35,38 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzDomainOps$$ -fuzztime=$(FUZZTIME) ./internal/cp
 	$(GO) test -run=^$$ -fuzz=FuzzBoundsDomainOps -fuzztime=$(FUZZTIME) ./internal/cp
 
-# The one-command gate every PR must pass.
-ci: build vet fmt-check test race bench-smoke fuzz-smoke
+# Atomic-mode coverage with per-package floors: the floors file pins a
+# minimum for every load-bearing package, so a PR cannot silently strip
+# tests. Regenerate floors deliberately when coverage genuinely moves.
+cover:
+	@$(GO) test -covermode=atomic -coverprofile=coverage.out ./... > cover.txt 2>&1 || { cat cover.txt; exit 1; }
+	@cat cover.txt
+	@$(GO) tool cover -func=coverage.out | tail -1
+	./scripts/check_coverage.sh cover.txt scripts/coverage_floors.txt
+
+# staticcheck when available; CI installs it and sets LINT_REQUIRED=1
+# so the gate cannot be skipped there, while local builders without the
+# binary are not blocked.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif [ -n "$$LINT_REQUIRED" ]; then \
+		echo "staticcheck is required (LINT_REQUIRED set) but not installed"; exit 1; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Guard the loop/portfolio/partition hot paths against >3x ns/op
+# regressions vs the committed BENCH_*.json baselines. 100 iterations
+# smooth the noise; every gated benchmark is either budget-bound or
+# millisecond-scale, so the run stays short.
+bench-regress:
+	$(GO) test -run '^$$' -bench 'BenchmarkMinimizePortfolioWorkers' -benchtime=100x ./internal/cp > $(BENCH_REGRESS_OUT)
+	$(GO) test -run '^$$' -bench 'BenchmarkLoopEventIteration|BenchmarkLoopPeriodicIteration|BenchmarkPartitionSplit' -benchtime=100x ./internal/core >> $(BENCH_REGRESS_OUT)
+	$(GO) test -run '^$$' -bench 'BenchmarkChurnLoop' -benchtime=100x ./internal/experiments >> $(BENCH_REGRESS_OUT)
+	$(GO) run ./cmd/benchregress -factor 3 -bench $(BENCH_REGRESS_OUT) BENCH_ci.json BENCH_eventloop.json
+
+# The one-command gate every PR must pass. `cover` runs the full test
+# suite (with coverage) itself, so a separate plain `test` pass would
+# only repeat it; `race` is the second, differently-instrumented run.
+ci: build vet fmt-check lint race bench-smoke fuzz-smoke cover bench-regress

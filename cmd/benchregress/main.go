@@ -1,0 +1,135 @@
+// Command benchregress guards against performance regressions: it
+// parses a `go test -bench` output, merges the ns/op baselines
+// committed in BENCH_*.json files (their top-level "regress" object,
+// a flat map of benchmark name to ns/op), and fails when any measured
+// benchmark is more than -factor times slower than its baseline.
+//
+//	go test -run '^$' -bench ... -benchtime=100x ./... > bench.out
+//	benchregress -factor 3 -bench bench.out BENCH_ci.json BENCH_eventloop.json
+//
+// Benchmarks without a baseline are reported but do not fail the run
+// (new benchmarks land before their baseline is recorded); baselines
+// without a measurement fail, so a silently deleted benchmark cannot
+// keep its guarantee on paper.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches e.g. "BenchmarkFoo/sub=1-8   100   123456 ns/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	factor := flag.Float64("factor", 3, "fail when ns/op exceeds baseline*factor")
+	benchOut := flag.String("bench", "", "path to the go test -bench output (default stdin)")
+	flag.Parse()
+
+	results, err := parseBench(openOr(*benchOut, os.Stdin))
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results found"))
+	}
+	baselines := map[string]float64{}
+	for _, path := range flag.Args() {
+		if err := mergeBaselines(baselines, path); err != nil {
+			fatal(err)
+		}
+	}
+
+	fail := false
+	for _, name := range sortedKeys(results) {
+		got := results[name]
+		base, ok := baselines[name]
+		if !ok {
+			fmt.Printf("NEW   %-50s %12.0f ns/op (no baseline)\n", name, got)
+			continue
+		}
+		switch {
+		case got > base*(*factor):
+			fmt.Printf("SLOW  %-50s %12.0f ns/op vs baseline %.0f (>%.1fx)\n", name, got, base, *factor)
+			fail = true
+		default:
+			fmt.Printf("ok    %-50s %12.0f ns/op vs baseline %.0f (%.2fx)\n", name, got, base, got/base)
+		}
+	}
+	for _, name := range sortedKeys(baselines) {
+		if _, ok := results[name]; !ok {
+			fmt.Printf("GONE  %-50s baseline %.0f ns/op has no measurement\n", name, baselines[name])
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		if m := benchLine.FindStringSubmatch(sc.Text()); m != nil {
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchregress: %q: %w", sc.Text(), err)
+			}
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// mergeBaselines folds the "regress" table of one BENCH_*.json in.
+// Files without the table are allowed: most BENCH files are narrative
+// measurement records, only the gated subset carries baselines.
+func mergeBaselines(into map[string]float64, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Regress map[string]float64 `json:"regress"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("benchregress: %s: %w", path, err)
+	}
+	for k, v := range doc.Regress {
+		into[k] = v
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func openOr(path string, def *os.File) io.Reader {
+	if path == "" {
+		return def
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchregress:", err)
+	os.Exit(2)
+}

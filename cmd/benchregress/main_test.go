@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: cwcs/internal/core
+BenchmarkLoopEventIteration    	     100	    658956 ns/op
+BenchmarkLoopPeriodicIteration-8 	     100	    830462 ns/op
+BenchmarkMinimizePortfolioWorkers/workers=4-8 	 100	 9513698 ns/op	15.00 optimum
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkLoopEventIteration":                 658956,
+		"BenchmarkLoopPeriodicIteration":              830462,
+		"BenchmarkMinimizePortfolioWorkers/workers=4": 9513698,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v", got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestMergeBaselines(t *testing.T) {
+	dir := t.TempDir()
+	with := filepath.Join(dir, "with.json")
+	without := filepath.Join(dir, "without.json")
+	if err := os.WriteFile(with, []byte(`{"note":"x","regress":{"BenchmarkA":100,"BenchmarkB":200}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(without, []byte(`{"note":"narrative only"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := map[string]float64{}
+	if err := mergeBaselines(base, with); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeBaselines(base, without); err != nil {
+		t.Fatal(err)
+	}
+	if base["BenchmarkA"] != 100 || base["BenchmarkB"] != 200 || len(base) != 2 {
+		t.Fatalf("baselines = %v", base)
+	}
+}

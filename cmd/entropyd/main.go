@@ -35,6 +35,8 @@ func main() {
 	njobs := flag.Int("vjobs", 8, "number of vjobs")
 	nvms := flag.Int("vms", 9, "VMs per vjob")
 	interval := flag.Float64("interval", 30, "loop interval (virtual seconds)")
+	eventDriven := flag.Bool("event-driven", false, "react to cluster events instead of the fixed period: re-solve only the dirty slices, repair plans on action failure")
+	debounce := flag.Float64("debounce", 5, "event settle delay before an incremental iteration (virtual seconds)")
 	timeout := flag.Duration("timeout", 2*time.Second, "optimizer budget per iteration")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel portfolio workers per optimization (1 = sequential)")
 	partitions := flag.Int("partitions", 0, "cluster partitions solved concurrently (0 = auto, 1 = monolithic)")
@@ -66,11 +68,13 @@ func main() {
 	}
 
 	loop := &core.Loop{
-		Decision:  reaper{inner: sched.Consolidation{}, c: c, jobs: jobs},
-		Ctx:       ctx,
-		Optimizer: core.Optimizer{Timeout: *timeout, Workers: *workers, Partitions: *partitions},
-		Interval:  *interval,
-		Queue:     func() []*vjob.VJob { return jobs },
+		Decision:    reaper{inner: sched.Consolidation{}, c: c, jobs: jobs},
+		Ctx:         ctx,
+		Optimizer:   core.Optimizer{Timeout: *timeout, Workers: *workers, Partitions: *partitions},
+		Interval:    *interval,
+		EventDriven: *eventDriven,
+		Debounce:    *debounce,
+		Queue:       func() []*vjob.VJob { return jobs },
 		Done: func() bool {
 			// Stop once every vjob finished AND its VMs were stopped.
 			for _, j := range jobs {
@@ -109,11 +113,23 @@ func main() {
 	tick()
 
 	act := &drivers.Actuator{C: c}
+	if *eventDriven {
+		// Monitoring feeds the loop: every observable load change
+		// (phase shift, workload completion) becomes an event.
+		c.OnLoadChange(func(vm string) {
+			loop.Notify(act, core.Event{Kind: core.LoadChange, At: c.Now(), VMs: []string{vm}})
+		})
+	}
 	loop.Start(act)
 	c.Run(*horizon)
 
 	fmt.Printf("\nworkload complete at t=%.0f s (%.1f min); %d context switches, mean duration %.0f s\n",
 		c.Now(), c.Now()/60, len(loop.Records), meanDuration(loop.Records))
+	if *eventDriven {
+		s := loop.Stats
+		fmt.Printf("event loop: %d events (%d coalesced), %d slice solves, %d full solves, %d repairs\n",
+			s.Events, s.Coalesced, s.SliceSolves, s.FullSolves, s.Repairs)
+	}
 	local, remote := c.TransferCounts()
 	fmt.Printf("actions: %v; transfers: %d local, %d remote\n", c.ActionCounts(), local, remote)
 	if s := errorSummary(act.Reports); s != "" {

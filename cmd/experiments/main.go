@@ -10,6 +10,7 @@
 //	experiments fig12 [-quick]    allocation diagram under static FCFS
 //	experiments fig13 [-quick]    utilization & completion, Entropy vs FCFS
 //	experiments partition [-quick] partitioned vs monolithic solve scaling
+//	experiments churn [-quick]    periodic vs event-driven loop under churn
 //	experiments all  [-quick]     everything above
 //
 // -quick shrinks sample counts, solver budgets and workload durations
@@ -84,6 +85,10 @@ func main() {
 		rows := experiments.PartitionStudy(partitionOptions(*quick, *seed, *workers, studyParts))
 		fmt.Print(experiments.PartitionTable(rows))
 		writeCSV(*csvDir, "partition.csv", experiments.PartitionCSV(rows))
+	case "churn":
+		rows := experiments.ChurnStudy(churnOptions(*quick, *seed, *workers, studyParts))
+		fmt.Print(experiments.ChurnTable(rows))
+		writeCSV(*csvDir, "churn.csv", experiments.ChurnCSV(rows))
 	case "all":
 		fmt.Print(experiments.Fig1())
 		fmt.Println()
@@ -102,6 +107,8 @@ func main() {
 		fmt.Print(experiments.Fig13Table(fcfs, ent))
 		fmt.Println()
 		fmt.Print(experiments.PartitionTable(experiments.PartitionStudy(partitionOptions(*quick, *seed, *workers, studyParts))))
+		fmt.Println()
+		fmt.Print(experiments.ChurnTable(experiments.ChurnStudy(churnOptions(*quick, *seed, *workers, studyParts))))
 	default:
 		usage()
 		os.Exit(2)
@@ -130,6 +137,24 @@ func partitionOptions(quick bool, seed int64, workers, partitions int) experimen
 	if quick {
 		o.NodeCounts = []int{50, 100, 200}
 		o.Timeout = 500 * time.Millisecond
+	}
+	return o
+}
+
+// churnOptions shapes the periodic-vs-event-driven loop study.
+func churnOptions(quick bool, seed int64, workers, partitions int) experiments.ChurnOptions {
+	o := experiments.DefaultChurnOptions()
+	o.Seed = seed
+	o.Workers = workers
+	o.Partitions = partitions
+	if quick {
+		o.Nodes = 64
+		o.InitialVJobs = 6
+		o.VMsPerVJob = 4
+		o.ArrivalStop = 200
+		o.WorkScale = 0.2
+		o.Horizon = 2000
+		o.Timeout = 100 * time.Millisecond
 	}
 	return o
 }
@@ -172,5 +197,5 @@ func writeCSV(dir, name, content string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|all> [-quick] [-seed N] [-workers N] [-partitions N] [-csv DIR]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|churn|all> [-quick] [-seed N] [-workers N] [-partitions N] [-csv DIR]`)
 }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"cwcs/internal/plan"
+)
+
+// EventKind classifies what changed in the cluster.
+type EventKind int
+
+const (
+	// VMArrival: new VMs entered the queue (a vjob was submitted).
+	VMArrival EventKind = iota
+	// VMDeparture: VMs left the system (a vjob terminated).
+	VMDeparture
+	// LoadChange: a VM's observed demand shifted (phase advance,
+	// workload completion).
+	LoadChange
+	// NodeDown: a node became unavailable.
+	NodeDown
+	// NodeUp: a node (re)joined the cluster.
+	NodeUp
+	// ActionFailure: an action of the executing plan failed to apply.
+	ActionFailure
+)
+
+// String names the kind for logs and telemetry.
+func (k EventKind) String() string {
+	switch k {
+	case VMArrival:
+		return "vm-arrival"
+	case VMDeparture:
+		return "vm-departure"
+	case LoadChange:
+		return "load-change"
+	case NodeDown:
+		return "node-down"
+	case NodeUp:
+		return "node-up"
+	case ActionFailure:
+		return "action-failure"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one cluster change fed into the event-driven loop
+// (Loop.Notify): the kind, when it happened, and which nodes and VMs
+// it touches. The touched elements seed the loop's dirty-set; the
+// slices of the cluster containing them are the only ones re-solved.
+type Event struct {
+	Kind  EventKind
+	At    float64
+	Nodes []string
+	VMs   []string
+}
+
+// FailureEvent describes a failed action as an event: the manipulated
+// VM and every node the action read or wrote resources on go dirty.
+func FailureEvent(at float64, a plan.Action) Event {
+	return Event{Kind: ActionFailure, At: at, Nodes: plan.TouchedNodes(a), VMs: []string{a.VM().Name}}
+}
+
+// dirtySet accumulates the nodes and VMs touched by events since the
+// last incremental iteration. Events landing in the same partition
+// slice coalesce naturally: the set only records elements, and slice
+// selection walks it once per wake-up.
+type dirtySet struct {
+	nodes map[string]bool
+	vms   map[string]bool
+}
+
+func (d *dirtySet) add(ev Event) {
+	if d.nodes == nil {
+		d.nodes = make(map[string]bool)
+		d.vms = make(map[string]bool)
+	}
+	for _, n := range ev.Nodes {
+		d.nodes[n] = true
+	}
+	for _, v := range ev.VMs {
+		d.vms[v] = true
+	}
+}
+
+// addSets re-merges previously taken sets (a failed repair puts its
+// region back).
+func (d *dirtySet) addSets(nodes, vms map[string]bool) {
+	if d.nodes == nil {
+		d.nodes = make(map[string]bool)
+		d.vms = make(map[string]bool)
+	}
+	for n := range nodes {
+		d.nodes[n] = true
+	}
+	for v := range vms {
+		d.vms[v] = true
+	}
+}
+
+func (d *dirtySet) empty() bool { return len(d.nodes) == 0 && len(d.vms) == 0 }
+
+// take returns the accumulated sets and resets the dirty-set.
+func (d *dirtySet) take() (nodes, vms map[string]bool) {
+	nodes, vms = d.nodes, d.vms
+	d.nodes, d.vms = nil, nil
+	if nodes == nil {
+		nodes = map[string]bool{}
+	}
+	if vms == nil {
+		vms = map[string]bool{}
+	}
+	return nodes, vms
+}
+
+// Execution is a handle on an in-flight managed plan execution
+// (drivers.Execution implements it).
+type Execution interface {
+	// Remaining returns the pools that have not started, rooted at the
+	// live configuration.
+	Remaining() *plan.Plan
+	// Splice replaces the pools that have not started with those of
+	// the given plan (a plan.Repair output).
+	Splice(*plan.Plan) error
+	// Plan returns the plan as currently scheduled: the executed
+	// prefix plus the (possibly spliced) remainder.
+	Plan() *plan.Plan
+	// Finished reports whether the last pool completed.
+	Finished() bool
+}
+
+// ManagedActuator is an Actuator whose executions can be observed and
+// repaired mid-flight. The event-driven loop uses it when available:
+// onFailure fires at the instant an action fails, onPoolDone at every
+// pool boundary (the safe splice point), and done as in Execute.
+type ManagedActuator interface {
+	Actuator
+	ExecuteManaged(p *plan.Plan, onFailure func(plan.Action, error), onPoolDone func(), done func(duration float64, failures int)) Execution
+}

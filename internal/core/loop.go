@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 
 	"cwcs/internal/plan"
 	"cwcs/internal/vjob"
@@ -42,14 +43,53 @@ type SwitchRecord struct {
 	Actions, Pools int
 	// Failures counts actions whose application failed.
 	Failures int
+	// Slices is how many dirty partition slices this switch re-solved
+	// (0 for a periodic/monolithic switch).
+	Slices int
+}
+
+// LoopStats is the loop's own telemetry, the measurement basis of the
+// periodic-vs-event-driven churn study.
+type LoopStats struct {
+	// Iterations counts wake-ups that ran the decision module.
+	Iterations int
+	// SolverCalls counts optimizer invocations: one per monolithic
+	// solve, one per dirty slice in incremental mode. Iterations whose
+	// problem is already Satisfied skip the solver and count nothing.
+	SolverCalls int
+	// SubSolves counts independent sub-problem optimizations — the
+	// unit comparable across schedules: a monolithic invocation that
+	// decomposed into k partitions adds k, a slice solve adds 1.
+	SubSolves int
+	// SliceSolves is the subset of SolverCalls that covered only a
+	// dirty slice of the cluster.
+	SliceSolves int
+	// FullSolves counts incremental iterations that fell back to the
+	// monolithic model (undecomposable problem or a failed slice).
+	FullSolves int
+	// Repairs counts in-flight plan repairs spliced successfully;
+	// FailedRepairs the attempts that had to fall back.
+	Repairs, FailedRepairs int
+	// Events counts events received; Coalesced the ones absorbed into
+	// an already-armed wake-up or an in-flight execution.
+	Events, Coalesced int
 }
 
 // Loop is the Entropy control loop (§3.1, Figure 4): iteratively
 // observe the cluster, run the decision module, optimize the
-// reconfiguration, and execute the cluster-wide context switch. A new
-// iteration is scheduled Interval seconds after the previous one
-// finished (execution included), modelling the paper's behaviour of
-// accumulating fresh monitoring data between iterations.
+// reconfiguration, and execute the cluster-wide context switch.
+//
+// Two schedules are supported. The periodic schedule (the paper's) re-
+// solves the whole cluster Interval seconds after the previous
+// iteration finished, execution included. The event-driven schedule
+// (EventDriven) reacts to cluster events instead: Notify feeds VM
+// arrivals/departures, load changes, node changes and action failures
+// into a dirty-set; a burst of events is debounced, and the wake-up
+// re-solves only the partition slices containing dirty elements —
+// warm-starting each slice's search from the previous incumbent
+// assignment — then merges the slice plans into one switch. An action
+// failure during execution triggers a local plan repair (plan.Repair)
+// spliced in at the next pool boundary instead of a full abort.
 type Loop struct {
 	// Decision chooses vjob states; required.
 	Decision DecisionModule
@@ -61,7 +101,19 @@ type Loop struct {
 	Optimizer Optimizer
 	// Interval is the pause between iterations in seconds (the
 	// paper's sample module runs every 30 s; 0 defaults to that).
+	// Ignored in event-driven mode.
 	Interval float64
+	// EventDriven switches from the periodic schedule to the
+	// incremental engine. The first iteration still solves the whole
+	// cluster (bootstrap); everything after is driven by Notify.
+	EventDriven bool
+	// Debounce is the settle delay in virtual seconds between the
+	// first event of a burst and the reacting iteration; 0 defaults
+	// to 2 s. Storms of events within the window coalesce into one
+	// wake-up.
+	Debounce float64
+	// Rules are administrator placement rules enforced on every solve.
+	Rules []PlacementRule
 	// Queue supplies the live vjob queue at each iteration; required.
 	Queue func() []*vjob.VJob
 	// Done, when non-nil, is polled at each iteration; returning true
@@ -73,8 +125,21 @@ type Loop struct {
 
 	// Records accumulates every non-empty context switch.
 	Records []SwitchRecord
+	// Stats accumulates the loop telemetry.
+	Stats LoopStats
 
 	stopped bool
+
+	// Event-driven state.
+	dirty          dirtySet
+	wakeArmed      bool
+	executing      bool
+	exec           Execution
+	repairWanted   bool
+	resolvePending bool
+	// lastDst is the expected destination of the last switch: the
+	// warm-start assignment of the next solve.
+	lastDst *vjob.Configuration
 }
 
 // Start schedules the first iteration immediately and returns; the
@@ -83,7 +148,8 @@ func (l *Loop) Start(a Actuator) {
 	a.Schedule(a.Now(), func() { l.iterate(a) })
 }
 
-// Stop halts the loop after the current iteration.
+// Stop halts the loop after the current iteration; a pending in-flight
+// repair is abandoned (the executing plan runs to completion as-is).
 func (l *Loop) Stop() { l.stopped = true }
 
 func (l *Loop) interval() float64 {
@@ -93,6 +159,13 @@ func (l *Loop) interval() float64 {
 	return l.Interval
 }
 
+func (l *Loop) debounce() float64 {
+	if l.Debounce <= 0 {
+		return 2
+	}
+	return l.Debounce
+}
+
 func (l *Loop) ctx() context.Context {
 	if l.Ctx != nil {
 		return l.Ctx
@@ -100,34 +173,392 @@ func (l *Loop) ctx() context.Context {
 	return context.Background()
 }
 
-func (l *Loop) iterate(a Actuator) {
-	if l.stopped || l.ctx().Err() != nil || (l.Done != nil && l.Done()) {
+func (l *Loop) halted() bool {
+	return l.stopped || l.ctx().Err() != nil || (l.Done != nil && l.Done())
+}
+
+// Notify feeds one cluster event into the event-driven loop. Events
+// received while a plan executes only mark the dirty-set — except
+// action failures, which additionally request an in-flight repair at
+// the next pool boundary; the wake-up then happens right after the
+// execution completes. Events received while idle arm a debounced
+// wake-up; further events within the window coalesce. Notify is a
+// no-op on a periodic loop.
+func (l *Loop) Notify(a Actuator, ev Event) {
+	if !l.EventDriven || l.stopped {
 		return
 	}
-	next := func() {
-		a.Schedule(a.Now()+l.interval(), func() { l.iterate(a) })
+	l.Stats.Events++
+	l.dirty.add(ev)
+	if l.executing {
+		if ev.Kind == ActionFailure && l.exec != nil && !l.exec.Finished() {
+			l.repairWanted = true
+		} else {
+			l.Stats.Coalesced++
+		}
+		return
+	}
+	if l.wakeArmed {
+		l.Stats.Coalesced++
+		return
+	}
+	l.armWake(a)
+}
+
+// armWake schedules the debounced incremental iteration.
+func (l *Loop) armWake(a Actuator) {
+	if l.wakeArmed || l.stopped {
+		return
+	}
+	l.wakeArmed = true
+	a.Schedule(a.Now()+l.debounce(), func() {
+		l.wakeArmed = false
+		if l.halted() || l.executing {
+			// An execution that started meanwhile re-arms on completion.
+			return
+		}
+		l.iterateIncremental(a)
+	})
+}
+
+// iterate is one full (monolithic) observe/decide/plan/execute round:
+// the periodic schedule, and the bootstrap of the event-driven one.
+func (l *Loop) iterate(a Actuator) {
+	if l.halted() || l.executing {
+		return
 	}
 	cfg := a.Observe()
 	queue := l.Queue()
 	target := l.Decision.Decide(cfg, queue)
-	res, err := l.Optimizer.SolveContext(l.ctx(), Problem{Src: cfg, Target: target})
-	if err != nil || res.Plan.NumActions() == 0 {
-		next()
+	l.Stats.Iterations++
+	p := Problem{Src: cfg, Target: target, Rules: l.Rules}
+	if p.Satisfied() {
+		l.lastDst = cfg
+		l.next(a)
 		return
 	}
+	l.Stats.SolverCalls++
+	opt := l.Optimizer
+	opt.WarmStart = l.lastDst
+	res, err := opt.SolveContext(l.ctx(), p)
+	if err != nil || res.Plan.NumActions() == 0 {
+		if err == nil {
+			l.subSolves(res)
+			l.lastDst = res.Dst
+		} else if l.EventDriven {
+			// A failed full solve (expired budget before any
+			// solution) must retry: with an empty dirty-set no event
+			// would otherwise reschedule the bootstrap, and the
+			// cluster would sit violated until an unrelated event.
+			a.Schedule(a.Now()+l.debounce(), func() { l.iterate(a) })
+			return
+		}
+		l.next(a)
+		return
+	}
+	l.subSolves(res)
+	l.lastDst = res.Dst
+	l.execute(a, res, 0)
+}
+
+// subSolves accounts the independent sub-problems a result came from.
+func (l *Loop) subSolves(res *Result) {
+	n := res.Partitions
+	if n < 1 {
+		n = 1
+	}
+	l.Stats.SubSolves += n
+}
+
+// next schedules whatever follows a finished round: the fixed pause in
+// periodic mode, or — in event-driven mode — a debounced wake-up when
+// events accumulated meanwhile (and nothing otherwise).
+func (l *Loop) next(a Actuator) {
+	l.executing = false
+	l.exec = nil
+	l.repairWanted = false
+	if l.EventDriven {
+		if !l.dirty.empty() || l.resolvePending {
+			l.armWake(a)
+		}
+		return
+	}
+	a.Schedule(a.Now()+l.interval(), func() { l.iterate(a) })
+}
+
+// execute runs the plan of res and records the switch. slices tags the
+// record with the number of dirty slices the plan came from.
+func (l *Loop) execute(a Actuator, res *Result, slices int) {
 	rec := SwitchRecord{
 		At:      a.Now(),
 		Cost:    res.Cost,
 		Actions: res.Plan.NumActions(),
 		Pools:   len(res.Plan.Pools),
+		Slices:  slices,
 	}
-	a.Execute(res.Plan, func(duration float64, failures int) {
+	finish := func(duration float64, failures int) {
 		rec.Duration = duration
 		rec.Failures = failures
 		l.Records = append(l.Records, rec)
 		if l.OnSwitch != nil {
 			l.OnSwitch(rec)
 		}
-		next()
-	})
+		l.next(a)
+	}
+	l.executing = true
+	// A switch changes the region it touches: mark it dirty so the
+	// event-driven loop runs one follow-up pass and converges the
+	// decision module to a fixpoint (multi-round policies like
+	// resume-then-terminate depend on it). The follow-up solve sees an
+	// already-final region and yields an empty plan, ending the chain.
+	if l.EventDriven {
+		l.dirty.addSets(planDirty(res.Plan))
+	}
+	if ma, ok := a.(ManagedActuator); ok && l.EventDriven {
+		l.exec = ma.ExecuteManaged(res.Plan,
+			func(act plan.Action, err error) { l.Notify(a, FailureEvent(a.Now(), act)) },
+			func() { l.poolBoundary(a) },
+			func(duration float64, failures int) {
+				// A splice may have grown or shrunk the plan: refresh
+				// the record so Records agrees with what actually ran.
+				if ex := l.exec; ex != nil {
+					p := ex.Plan()
+					rec.Cost = p.Cost()
+					rec.Actions = p.NumActions()
+					rec.Pools = len(p.Pools)
+				}
+				finish(duration, failures)
+			})
+		return
+	}
+	a.Execute(res.Plan, finish)
+}
+
+// poolBoundary runs between pools of a managed execution: the safe
+// instant to splice a repair for failures observed so far.
+func (l *Loop) poolBoundary(a Actuator) {
+	if !l.repairWanted || l.stopped || l.exec == nil || l.halted() {
+		return
+	}
+	l.repairWanted = false
+	l.tryRepair(a)
+}
+
+// tryRepair re-solves the dirty slices against the live configuration
+// and splices the result into the executing plan. On any obstacle —
+// undecomposable problem, failed slice solve, a splice that would
+// break feasibility — the dirty region is put back and a full
+// incremental pass runs once the execution completes.
+func (l *Loop) tryRepair(a Actuator) {
+	dirtyNodes, dirtyVMs := l.dirty.take()
+	// A mid-flight repair never discharges the dirty-set: the region
+	// is only clean once a post-execution iteration sees it satisfied.
+	// Re-adding the taken sets on every path preserves the fixpoint
+	// follow-up pass execute() arranged (the switch's own self-dirty
+	// marks travel through this take too); the follow-up is cheap —
+	// satisfied slices skip the solver entirely.
+	defer l.dirty.addSets(dirtyNodes, dirtyVMs)
+	fallback := func() {
+		l.resolvePending = true
+		l.Stats.FailedRepairs++
+	}
+	cur := a.Observe()
+	target := l.Decision.Decide(cur, l.Queue())
+	p := Problem{Src: cur, Target: target, Rules: l.Rules}
+	sr, err := l.solveDirtySlices(p, dirtyNodes, dirtyVMs)
+	if err != nil {
+		if !errors.Is(err, errNothingDirty) {
+			fallback()
+		}
+		return
+	}
+	repaired, err := plan.Repair(cur, l.exec.Remaining(), sr.nodes, sr.vms, sr.plans...)
+	if err != nil {
+		fallback()
+		return
+	}
+	if err := l.exec.Splice(repaired); err != nil {
+		fallback()
+		return
+	}
+	l.Stats.Repairs++
+	if final, err := repaired.Result(); err == nil {
+		l.lastDst = final
+	}
+}
+
+// errMonolithic reports a problem the partitioner keeps whole;
+// errNothingDirty an iteration whose dirty elements all vanished.
+var (
+	errMonolithic   = errors.New("core: problem not decomposable")
+	errNothingDirty = errors.New("core: no slice intersects the dirty-set")
+)
+
+// sliceResult collects the dirty-slice solves of one iteration.
+type sliceResult struct {
+	plans []*plan.Plan
+	dsts  []*vjob.Configuration
+	srcs  []*vjob.Configuration
+	// nodes and vms are the full coverage of the solved slices — the
+	// region a repair must clear in the remaining plan.
+	nodes, vms map[string]bool
+}
+
+// solveDirtySlices splits the problem with the PR 2 partitioner and
+// re-solves only the slices containing dirty elements, warm-starting
+// each from the last incumbent assignment.
+func (l *Loop) solveDirtySlices(p Problem, dirtyNodes, dirtyVMs map[string]bool) (*sliceResult, error) {
+	opt := l.Optimizer
+	parts, err := (Partitioner{Parts: opt.Partitions}).Split(p)
+	if err != nil || len(parts) < 2 {
+		return nil, errMonolithic
+	}
+	// Each slice is already a sub-problem sized for one solve: re-
+	// partitioning it would shrink slices below the decomposition the
+	// partitioner chose, and the portfolio workers parallelize within
+	// the slice instead.
+	opt.Partitions = 1
+	opt.WarmStart = l.lastDst
+	out := &sliceResult{nodes: map[string]bool{}, vms: map[string]bool{}}
+	for _, sub := range parts {
+		if !touchesSets(sub.Src, dirtyNodes, dirtyVMs) {
+			continue
+		}
+		// A satisfied slice needs no plan — its optimal plan is empty
+		// — so the event storm of harmless load changes costs nothing.
+		if sub.Satisfied() {
+			continue
+		}
+		l.Stats.SolverCalls++
+		l.Stats.SliceSolves++
+		l.Stats.SubSolves++
+		res, err := opt.SolveContext(l.ctx(), sub)
+		if err != nil {
+			return nil, err
+		}
+		out.plans = append(out.plans, res.Plan)
+		out.dsts = append(out.dsts, res.Dst)
+		out.srcs = append(out.srcs, sub.Src)
+		for _, n := range sub.Src.Nodes() {
+			out.nodes[n.Name] = true
+		}
+		for _, v := range sub.Src.VMs() {
+			out.vms[v.Name] = true
+		}
+	}
+	if len(out.plans) == 0 {
+		return nil, errNothingDirty
+	}
+	return out, nil
+}
+
+// touchesSets reports whether the slice holds any dirty node or VM.
+func touchesSets(sub *vjob.Configuration, nodes, vms map[string]bool) bool {
+	for n := range nodes {
+		if sub.Node(n) != nil {
+			return true
+		}
+	}
+	for v := range vms {
+		if sub.VM(v) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// iterateIncremental is one event-driven round: re-solve the dirty
+// slices, merge their plans, execute. It falls back to the monolithic
+// iterate when the problem does not decompose or a slice solve fails.
+func (l *Loop) iterateIncremental(a Actuator) {
+	if l.halted() || l.executing {
+		return
+	}
+	l.resolvePending = false
+	dirtyNodes, dirtyVMs := l.dirty.take()
+	if len(dirtyNodes) == 0 && len(dirtyVMs) == 0 {
+		return
+	}
+	cfg := a.Observe()
+	target := l.Decision.Decide(cfg, l.Queue())
+	l.Stats.Iterations++
+	p := Problem{Src: cfg, Target: target, Rules: l.Rules}
+	if p.Satisfied() {
+		l.lastDst = cfg
+		return
+	}
+	sr, err := l.solveDirtySlices(p, dirtyNodes, dirtyVMs)
+	switch {
+	case err != nil:
+		// Monolithic fallback under the same budget. This covers an
+		// undecomposable problem, a failed dirty-slice solve, and
+		// errNothingDirty: the Satisfied() early-return above did not
+		// fire, so when every dirty slice is individually clean the
+		// unmet need sits in a slice the events never touched (e.g. a
+		// queued vjob the decision module now wants running on
+		// capacity freed elsewhere) — only a whole-cluster solve can
+		// reach it.
+		l.Stats.SolverCalls++
+		l.Stats.FullSolves++
+		opt := l.Optimizer
+		opt.WarmStart = l.lastDst
+		res, serr := opt.SolveContext(l.ctx(), p)
+		if serr != nil || res.Plan.NumActions() == 0 {
+			if serr == nil {
+				l.subSolves(res)
+				l.lastDst = res.Dst
+			} else {
+				// The solve failed (expired budget before a first
+				// solution, transient unviability): keep the region
+				// dirty and retry after the debounce, like the
+				// periodic schedule retries every interval.
+				l.dirty.addSets(dirtyNodes, dirtyVMs)
+				l.resolvePending = true
+			}
+			l.next(a)
+			return
+		}
+		l.subSolves(res)
+		l.lastDst = res.Dst
+		l.execute(a, res, 0)
+	default:
+		dst := cfg.Clone()
+		for i, d := range sr.dsts {
+			if err := dst.Rebase(sr.srcs[i], d); err != nil {
+				l.dirty.addSets(dirtyNodes, dirtyVMs)
+				l.resolvePending = true
+				l.next(a)
+				return
+			}
+		}
+		merged, err := plan.Merge(cfg, sr.plans...)
+		if err != nil {
+			l.dirty.addSets(dirtyNodes, dirtyVMs)
+			l.resolvePending = true
+			l.next(a)
+			return
+		}
+		l.lastDst = dst
+		if merged.NumActions() == 0 {
+			l.next(a)
+			return
+		}
+		l.execute(a, &Result{Dst: dst, Plan: merged, Cost: merged.Cost(), Partitions: len(sr.plans)}, len(sr.plans))
+	}
+}
+
+// planDirty collects the nodes and VMs a plan manipulates. Nodes
+// matter as much as VMs: a Stop removes its VM from the configuration,
+// so after a stop-containing switch only the freed nodes can lead the
+// follow-up pass back to the right slice.
+func planDirty(p *plan.Plan) (nodes, vms map[string]bool) {
+	nodes = make(map[string]bool)
+	vms = make(map[string]bool)
+	for _, a := range p.Actions() {
+		vms[a.VM().Name] = true
+		for _, n := range plan.TouchedNodes(a) {
+			nodes[n] = true
+		}
+	}
+	return nodes, vms
 }

@@ -69,6 +69,15 @@ type Optimizer struct {
 	// baseline never moves a placed job) and is also a useful
 	// ablation of the migration action.
 	PinRunning bool
+	// WarmStart, when non-nil, is the destination configuration of a
+	// previous solve of a nearby problem (the event-driven loop feeds
+	// the last incumbent assignment here). It seeds the search twice:
+	// the old assignment, when still viable for this problem, becomes
+	// the initial incumbent alongside the FFD plan — so the
+	// branch-and-bound starts from its bound — and per-VM warm hints
+	// (cp.Options.Hints) steer every worker's value ordering towards
+	// the old hosts before diversifying.
+	WarmStart *vjob.Configuration
 	// Builder plans the graphs of candidate configurations.
 	Builder plan.Builder
 }
@@ -133,6 +142,7 @@ type compiled struct {
 	model   *costModel
 	allowed [][]int // per runner: candidate node indices
 	prefs   []int   // per runner: preferred node index, -1 when none
+	hints   []int   // per runner: warm-start node index, -1 when none
 	maxObj  int
 }
 
@@ -173,6 +183,7 @@ func (o Optimizer) compile(p Problem) (*compiled, error) {
 
 	c.allowed = make([][]int, len(c.runners))
 	c.prefs = make([]int, len(c.runners))
+	c.hints = make([]int, len(c.runners))
 	c.maxObj = c.fixed
 	for i, g := range c.runners {
 		var allowed []int
@@ -193,6 +204,12 @@ func (o Optimizer) compile(p Problem) (*compiled, error) {
 		c.prefs[i] = -1
 		if idx, ok := c.nodeIdx[g.curLoc]; ok {
 			c.prefs[i] = idx
+		}
+		c.hints[i] = -1
+		if o.WarmStart != nil {
+			if idx, ok := c.nodeIdx[o.WarmStart.HostOf(g.vm.Name)]; ok {
+				c.hints[i] = idx
+			}
 		}
 		worst := 0
 		for _, j := range allowed {
@@ -258,6 +275,17 @@ func (o Optimizer) buildModel(p Problem, c *compiled, strat searchStrategy) (*se
 	}
 
 	opts := strat.Apply(cp.Options{Vars: vars})
+	var hints map[*cp.IntVar]int
+	for i, h := range c.hints {
+		if h < 0 {
+			continue
+		}
+		if hints == nil {
+			hints = make(map[*cp.IntVar]int)
+		}
+		hints[vars[i]] = h
+	}
+	opts.Hints = hints
 	return &searchModel{s: s, vars: vars, obj: obj, opts: opts}, nil
 }
 
@@ -303,10 +331,16 @@ func (o Optimizer) solveMonolithic(ctx context.Context, p Problem, workers int) 
 
 	// Warm start: the FFD heuristic's plan seeds the incumbent, so the
 	// optimizer never returns anything worse than the baseline and the
-	// branch-and-bound starts with a meaningful ceiling.
+	// branch-and-bound starts with a meaningful ceiling. A previous
+	// incumbent assignment (WarmStart), when still viable here, races
+	// the FFD seed: on incremental re-solves it is usually a near-no-op
+	// plan that undercuts FFD's from-scratch packing by far.
 	var seed *Result
 	if sd, err := FFDPlan(p); err == nil && rulesHold(p.Rules, sd.Dst) && o.seedRespectsPins(p, sd) {
 		seed = sd
+	}
+	if ws := o.warmSeed(p, c); ws != nil && (seed == nil || ws.Cost < seed.Cost) {
+		seed = ws
 	}
 
 	if workers > 1 && len(c.runners) > 0 {
@@ -605,6 +639,61 @@ func (o Optimizer) runPortfolioWorker(ctx context.Context, cancel context.Cancel
 		}
 		sh.bound.Tighten(lb - 1)
 	}
+}
+
+// warmSeed decodes the WarmStart assignment into a Result for the
+// current problem: every to-be-running VM goes back to its old host.
+// It returns nil when the old assignment no longer applies — a VM
+// that was not running in the warm configuration, a host that left,
+// a viability or rule violation — and the caller falls back to the
+// FFD seed alone.
+func (o Optimizer) warmSeed(p Problem, c *compiled) *Result {
+	if o.WarmStart == nil {
+		return nil
+	}
+	dst := p.Src.Clone()
+	for _, g := range c.goals {
+		if g.want == vjob.Running {
+			continue
+		}
+		switch g.want {
+		case vjob.Sleeping:
+			if g.cur == vjob.Running {
+				if dst.SetSleeping(g.vm.Name, g.curLoc) != nil {
+					return nil
+				}
+			}
+		case vjob.Terminated:
+			dst.RemoveVM(g.vm.Name)
+		}
+	}
+	for i, g := range c.runners {
+		idx := c.hints[i]
+		if idx < 0 {
+			return nil
+		}
+		if dst.SetRunning(g.vm.Name, c.nodes[idx].Name) != nil {
+			return nil
+		}
+	}
+	if !dst.Viable() || !rulesHold(p.Rules, dst) {
+		return nil
+	}
+	seed := &Result{Dst: dst}
+	if !o.seedRespectsPins(p, seed) {
+		return nil
+	}
+	g, err := plan.BuildGraph(p.Src, dst)
+	if err != nil {
+		return nil
+	}
+	pl, err := o.Builder.Plan(g)
+	if err != nil {
+		return nil
+	}
+	seed.Plan = pl
+	seed.Cost = pl.Cost()
+	return seed
 }
 
 // seedRespectsPins rejects a heuristic seed that migrates a running VM

@@ -155,6 +155,37 @@ func (m *costModel) contribution(g vmGoal, node string) int {
 	return c
 }
 
+// Satisfied reports whether the problem needs no reconfiguration at
+// all: the source is viable, every rule holds, and every VM already
+// sits in its (coerced) target state. For a satisfied problem the
+// optimal plan is provably empty — staying put has cost 0, the
+// minimum — so callers can skip the solver outright; the event-driven
+// loop uses this to discharge clean slices without burning budget.
+func (p Problem) Satisfied() bool {
+	if !p.Src.Viable() {
+		return false
+	}
+	for _, r := range p.Rules {
+		if r.Check(p.Src) != nil {
+			return false
+		}
+	}
+	for _, v := range p.Src.VMs() {
+		want, ok := p.Target[v.VJob]
+		if !ok {
+			continue
+		}
+		cur := p.Src.StateOf(v.Name)
+		if want == vjob.Sleeping && cur == vjob.Waiting {
+			continue // the compile-time coercion: nothing to suspend
+		}
+		if cur != want {
+			return false
+		}
+	}
+	return true
+}
+
 // Result is the outcome of an optimization: the destination
 // configuration, its reconfiguration plan and cost, plus solver
 // telemetry.
@@ -166,7 +197,11 @@ type Result struct {
 	// Cost is the plan cost under the §4.2 model.
 	Cost int
 	// LowerBound is the solver's admissible lower bound on the cost of
-	// any plan for the chosen target states.
+	// any plan for the chosen target states. With Partitions > 1 it is
+	// the sum of the per-slice bounds — a bound on plans that respect
+	// the decomposition, not on the global problem (a cross-partition
+	// migration the slices never consider may be cheaper), so do not
+	// read cost-vs-bound as a global optimality gap there.
 	LowerBound int
 	// Optimal is true when the solver proved no cheaper configuration
 	// exists (with respect to its bound) before the timeout.

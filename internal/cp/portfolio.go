@@ -216,6 +216,15 @@ func (s *Solver) MinimizePortfolio(obj *IntVar, popts PortfolioOptions) (Solutio
 		return Solution{}, err
 	}
 	incumbent := NewIncumbent(obj.Max())
+	var best Solution
+	found := false
+	// Inject the warm-start solution once, on the parent model: the
+	// incumbent bound it seeds is shared by every worker from their
+	// very first restart.
+	if sol, ok := s.inject(vars, obj, popts.Base); ok {
+		best, found = sol, true
+		incumbent.Tighten(sol.Objective - 1)
+	}
 	outcomes, cancel, err := s.launch(lineup, popts.Base, vars, func(w *Solver, opts Options, remap func(*IntVar) *IntVar) workerOutcome {
 		wobj := remap(obj)
 		opts.SharedBound = incumbent
@@ -226,8 +235,7 @@ func (s *Solver) MinimizePortfolio(obj *IntVar, popts PortfolioOptions) (Solutio
 		return Solution{}, err
 	}
 	defer cancel()
-	var best Solution
-	found, proven := false, false
+	proven := false
 	var firstStop, firstOther error
 	for out := range outcomes {
 		s.mergeStats(out.worker)
@@ -329,6 +337,13 @@ func (s *Solver) launch(lineup []Strategy, base Options, vars []*IntVar,
 			wvars[i] = remap(v)
 		}
 		opts.Vars = wvars
+		if len(base.Hints) > 0 {
+			hints := make(map[*IntVar]int, len(base.Hints))
+			for v, hint := range base.Hints {
+				hints[remap(v)] = hint
+			}
+			opts.Hints = hints
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

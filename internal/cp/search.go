@@ -43,6 +43,15 @@ type Options struct {
 	// set together.
 	SharedBound *Incumbent
 	SharedObj   *IntVar
+	// Hints is the warm-start assignment, typically the incumbent of a
+	// previous solve of a nearby problem. A hinted value is tried first
+	// at branching — ahead of the Preferred value — so the search dives
+	// towards the old solution before diversifying. Minimize
+	// additionally injects the hinted solution outright: when every
+	// decision variable carries a hint and the hinted assignment is
+	// consistent, it becomes the initial incumbent and seeds the
+	// branch-and-bound bound without any search.
+	Hints map[*IntVar]int
 }
 
 // interrupted reports why the search must stop right now: ErrCanceled
@@ -130,6 +139,13 @@ func (s *Solver) Minimize(obj *IntVar, opts Options) (Solution, error) {
 	found := false
 	root := s.snapshot()
 	bound := obj.Max()
+	// Solution injection: a consistent warm-start assignment becomes
+	// the incumbent before the first search, so the branch-and-bound
+	// starts from the old solution's bound instead of from scratch.
+	if sol, ok := s.inject(vars, obj, opts); ok {
+		best, found = sol, true
+		bound = sol.Objective - 1
+	}
 	for {
 		s.restore(root)
 		if err := s.RemoveAbove(obj, bound); err != nil {
@@ -165,6 +181,45 @@ func (s *Solver) Minimize(obj *IntVar, opts Options) (Solution, error) {
 			return Solution{}, err
 		}
 	}
+}
+
+// inject assigns every decision variable its hint and propagates. It
+// returns the captured solution when the assignment is consistent and
+// complete, restoring the solver state either way. Injection requires
+// a hint for every decision variable: a partial warm start still
+// steers the value ordering but cannot be trusted as an incumbent.
+func (s *Solver) inject(vars []*IntVar, obj *IntVar, opts Options) (Solution, bool) {
+	if len(opts.Hints) == 0 || len(vars) == 0 {
+		return Solution{}, false
+	}
+	for _, v := range vars {
+		if _, ok := opts.Hints[v]; !ok {
+			return Solution{}, false
+		}
+	}
+	snap := s.snapshot()
+	defer s.restore(snap)
+	ok := func() bool {
+		if err := s.propagate(); err != nil {
+			return false
+		}
+		for _, v := range vars {
+			if err := s.Assign(v, opts.Hints[v]); err != nil {
+				return false
+			}
+			if err := s.propagate(); err != nil {
+				return false
+			}
+		}
+		return true
+	}()
+	if !ok {
+		return Solution{}, false
+	}
+	s.solutions++
+	sol := s.capture(vars)
+	sol.Objective = obj.Min()
+	return sol, true
 }
 
 func (s *Solver) capture(vars []*IntVar) Solution {
@@ -259,15 +314,33 @@ func (s *Solver) valueOrder(v *IntVar, opts Options) []int {
 	if opts.ValueRand != nil {
 		opts.ValueRand.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
 	}
-	if !opts.PreferValue || v.pref < 0 || !v.Contains(v.pref) {
+	// Priority values: the warm-start hint first, then the preferred
+	// value. Both survive shuffling — diversified restarts still dive
+	// towards the old solution before exploring. Kept allocation-free
+	// on the no-priority path: this runs at every search node.
+	hint, hasHint := 0, false
+	if h, ok := opts.Hints[v]; ok && v.Contains(h) {
+		hint, hasHint = h, true
+	}
+	pref := -1
+	if opts.PreferValue && v.pref >= 0 && v.Contains(v.pref) && (!hasHint || v.pref != hint) {
+		pref = v.pref
+	}
+	if !hasHint && pref < 0 {
 		return vals
 	}
 	out := make([]int, 0, len(vals))
-	out = append(out, v.pref)
+	if hasHint {
+		out = append(out, hint)
+	}
+	if pref >= 0 {
+		out = append(out, pref)
+	}
 	for _, val := range vals {
-		if val != v.pref {
-			out = append(out, val)
+		if (hasHint && val == hint) || (pref >= 0 && val == pref) {
+			continue
 		}
+		out = append(out, val)
 	}
 	return out
 }

@@ -1,0 +1,168 @@
+package cp
+
+import (
+	"errors"
+	"testing"
+)
+
+// sumEquals binds obj to the sum of vars through a cloneable
+// FuncConstraint (portfolio tests clone the model).
+func sumEquals(vars []*IntVar, obj *IntVar) Constraint {
+	return &FuncConstraint{
+		On: append([]*IntVar{obj}, vars...),
+		Rebind: func(remap func(*IntVar) *IntVar) Constraint {
+			nv := make([]*IntVar, len(vars))
+			for i, v := range vars {
+				nv[i] = remap(v)
+			}
+			return sumEquals(nv, remap(obj))
+		},
+		Run: func(s *Solver) error {
+			lo, hi := 0, 0
+			for _, v := range vars {
+				lo += v.Min()
+				hi += v.Max()
+			}
+			if err := s.RemoveBelow(obj, lo); err != nil {
+				return err
+			}
+			return s.RemoveAbove(obj, hi)
+		},
+	}
+}
+
+// warmModel builds a small weighted-assignment minimization: three
+// enumerated variables, an AllDifferent, and an objective equal to the
+// sum of the chosen values.
+func warmModel(t *testing.T) (*Solver, []*IntVar, *IntVar) {
+	t.Helper()
+	s := NewSolver()
+	vars := []*IntVar{
+		s.NewEnumVar("a", []int{0, 1, 2, 3}),
+		s.NewEnumVar("b", []int{0, 1, 2, 3}),
+		s.NewEnumVar("c", []int{0, 1, 2, 3}),
+	}
+	s.Post(&AllDifferent{Items: vars})
+	obj := s.NewIntVar("obj", 0, 9)
+	s.Post(sumEquals(vars, obj))
+	return s, vars, obj
+}
+
+func TestMinimizeWithHintsFindsOptimum(t *testing.T) {
+	s, vars, obj := warmModel(t)
+	// Hint the worst assignment: injection must seed the incumbent at
+	// objective 1+2+3, and the search must still reach the optimum 0+1+2.
+	hints := map[*IntVar]int{vars[0]: 1, vars[1]: 2, vars[2]: 3}
+	sol, err := s.Minimize(obj, Options{Vars: vars, Hints: hints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 3 {
+		t.Fatalf("objective = %d, want 3", sol.Objective)
+	}
+}
+
+func TestMinimizeInjectionSeedsIncumbent(t *testing.T) {
+	s, vars, obj := warmModel(t)
+	// Hint the true optimum: injection alone should find it, and the
+	// subsequent search only proves optimality.
+	hints := map[*IntVar]int{vars[0]: 0, vars[1]: 1, vars[2]: 2}
+	sol, err := s.Minimize(obj, Options{Vars: vars, Hints: hints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 3 {
+		t.Fatalf("objective = %d, want 3", sol.Objective)
+	}
+	if got := sol.MustValue(vars[0]); got != 0 {
+		t.Fatalf("a = %d, want the hinted 0", got)
+	}
+}
+
+func TestInjectRejectsInconsistentHints(t *testing.T) {
+	s, vars, obj := warmModel(t)
+	// a and b hinted to the same value: AllDifferent refutes it; the
+	// solve must still succeed from scratch.
+	hints := map[*IntVar]int{vars[0]: 1, vars[1]: 1, vars[2]: 2}
+	sol, err := s.Minimize(obj, Options{Vars: vars, Hints: hints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 3 {
+		t.Fatalf("objective = %d, want 3", sol.Objective)
+	}
+}
+
+func TestInjectRequiresCompleteHints(t *testing.T) {
+	s, vars, obj := warmModel(t)
+	snap := s.snapshot()
+	if _, ok := s.inject(vars, obj, Options{Hints: map[*IntVar]int{vars[0]: 1}}); ok {
+		t.Fatal("partial hints were injected")
+	}
+	// Injection must leave the solver state untouched.
+	for i, v := range s.vars {
+		if v.dom.size() != snap[i].size() {
+			t.Fatalf("inject leaked domain changes on %s", v.name)
+		}
+	}
+}
+
+func TestHintsSteerValueOrder(t *testing.T) {
+	s := NewSolver()
+	v := s.NewEnumVar("v", []int{0, 1, 2, 3})
+	v.SetPreferred(1)
+	order := s.valueOrder(v, Options{PreferValue: true, Hints: map[*IntVar]int{v: 2}})
+	if order[0] != 2 || order[1] != 1 {
+		t.Fatalf("order = %v, want hint 2 first then preferred 1", order)
+	}
+	seen := map[int]int{}
+	for _, val := range order {
+		seen[val]++
+	}
+	if len(order) != 4 || seen[0] != 1 || seen[1] != 1 || seen[2] != 1 || seen[3] != 1 {
+		t.Fatalf("order %v lost or duplicated values", order)
+	}
+	// A hint equal to the preferred value must not duplicate it.
+	order = s.valueOrder(v, Options{PreferValue: true, Hints: map[*IntVar]int{v: 1}})
+	if order[0] != 1 || len(order) != 4 {
+		t.Fatalf("order = %v, want preferred/hinted 1 first, no duplicates", order)
+	}
+}
+
+func TestMinimizePortfolioWithHints(t *testing.T) {
+	s, vars, obj := warmModel(t)
+	hints := map[*IntVar]int{vars[0]: 3, vars[1]: 2, vars[2]: 1}
+	sol, err := s.MinimizePortfolio(obj, PortfolioOptions{
+		Workers: 4,
+		Base:    Options{Vars: vars, Hints: hints},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 3 {
+		t.Fatalf("objective = %d, want 3", sol.Objective)
+	}
+}
+
+func TestMinimizePortfolioInjectedOptimumSurvivesProof(t *testing.T) {
+	// A model whose only solution is the hinted one: the injection
+	// finds it, the workers prove the space below it empty, and the
+	// portfolio must return the injected solution as optimal.
+	s := NewSolver()
+	v := s.NewEnumVar("v", []int{5})
+	obj := s.NewIntVar("obj", 0, 10)
+	s.Post(sumEquals([]*IntVar{v}, obj))
+	sol, err := s.MinimizePortfolio(obj, PortfolioOptions{
+		Workers: 2,
+		Base:    Options{Vars: []*IntVar{v}, Hints: map[*IntVar]int{v: 5}},
+	})
+	if err != nil && !errors.Is(err, ErrFailed) {
+		t.Fatal(err)
+	}
+	if err != nil {
+		t.Fatalf("injected optimum lost: %v", err)
+	}
+	if sol.Objective != 5 {
+		t.Fatalf("objective = %d, want 5", sol.Objective)
+	}
+}

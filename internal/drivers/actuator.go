@@ -1,6 +1,7 @@
 package drivers
 
 import (
+	"cwcs/internal/core"
 	"cwcs/internal/plan"
 	"cwcs/internal/sim"
 	"cwcs/internal/vjob"
@@ -29,5 +30,19 @@ func (a *Actuator) Execute(p *plan.Plan, done func(duration float64, failures in
 	Execute(a.C, p, func(r Report) {
 		a.Reports = append(a.Reports, r)
 		done(r.Duration(), len(r.Errs))
+	})
+}
+
+// ExecuteManaged runs the plan with mid-flight observability, making
+// the Actuator a core.ManagedActuator: the event-driven loop uses the
+// returned handle to splice plan repairs in at pool boundaries.
+func (a *Actuator) ExecuteManaged(p *plan.Plan, onFailure func(plan.Action, error), onPoolDone func(), done func(duration float64, failures int)) core.Execution {
+	return Start(a.C, p, Callbacks{
+		Failure:  onFailure,
+		PoolDone: onPoolDone,
+		Done: func(r Report) {
+			a.Reports = append(a.Reports, r)
+			done(r.Duration(), len(r.Errs))
+		},
 	})
 }

@@ -23,10 +23,14 @@ const PipelineDelay = 1.0
 type Report struct {
 	// Start and End are the virtual times bounding the execution.
 	Start, End float64
-	// Cost is the §4.2 cost of the executed plan.
+	// Cost is the §4.2 cost of the executed plan (recomputed after a
+	// splice: executed prefix plus spliced suffix).
 	Cost int
 	// Actions counts executed actions; Pools the sequential steps.
 	Actions, Pools int
+	// Splices counts mid-flight plan repairs grafted in (see
+	// Execution.Splice).
+	Splices int
 	// Errs collects per-action failures (empty on success).
 	Errs []error
 }
@@ -34,42 +38,120 @@ type Report struct {
 // Duration returns the wall-clock (virtual) length of the switch.
 func (r Report) Duration() float64 { return r.End - r.Start }
 
+// Callbacks observe a managed execution; every field is optional.
+type Callbacks struct {
+	// Failure fires at the virtual instant an action's application
+	// fails, with the action and its error. The pool is still in
+	// flight: record the failure and repair at the next PoolDone.
+	Failure func(a plan.Action, err error)
+	// PoolDone fires after every pool completes and before the next
+	// starts. No action of this plan is in flight at that instant, so
+	// it is the safe point to Splice a repaired remainder in.
+	PoolDone func()
+	// Done fires once, when the last pool has completed.
+	Done func(Report)
+}
+
+// Execution is a handle on an in-flight plan execution: the loop keeps
+// it to observe progress and graft repaired plans in mid-flight.
+type Execution struct {
+	c        *sim.Cluster
+	plan     *plan.Plan
+	next     int // index of the next pool to start
+	rep      Report
+	cb       Callbacks
+	finished bool
+}
+
 // Execute launches the plan on the cluster and calls done with a
 // report when the last action of the last pool has completed. It
 // returns immediately; the work happens as the simulation advances.
 func Execute(c *sim.Cluster, p *plan.Plan, done func(Report)) {
-	rep := Report{Start: c.Now(), Cost: p.Cost(), Actions: p.NumActions(), Pools: len(p.Pools)}
-	runPool(c, p, 0, rep, done)
+	Start(c, p, Callbacks{Done: done})
 }
 
-func runPool(c *sim.Cluster, p *plan.Plan, i int, rep Report, done func(Report)) {
-	if i >= len(p.Pools) {
-		rep.End = c.Now()
-		if done != nil {
-			done(rep)
+// Start launches the plan with mid-flight observability and returns
+// the execution handle. Like Execute it returns immediately.
+func Start(c *sim.Cluster, p *plan.Plan, cb Callbacks) *Execution {
+	e := &Execution{c: c, plan: p, cb: cb,
+		rep: Report{Start: c.Now(), Cost: p.Cost(), Actions: p.NumActions(), Pools: len(p.Pools)}}
+	e.runNext()
+	return e
+}
+
+// Finished reports whether the last pool has completed.
+func (e *Execution) Finished() bool { return e.finished }
+
+// Plan returns the plan as currently scheduled: the executed prefix
+// plus the (possibly spliced) remainder.
+func (e *Execution) Plan() *plan.Plan { return e.plan }
+
+// Remaining returns the pools that have not started, as a plan rooted
+// at the live configuration — the still-open suffix a repair filters
+// and splices (plan.Repair).
+func (e *Execution) Remaining() *plan.Plan {
+	return &plan.Plan{Src: e.c.Snapshot(), Pools: append([]plan.Pool(nil), e.plan.Pools[e.next:]...)}
+}
+
+// Splice replaces the pools that have not started with those of np,
+// typically a plan.Repair output. It refuses once the plan completed;
+// call it from the PoolDone callback, when no action is in flight.
+func (e *Execution) Splice(np *plan.Plan) error {
+	if e.finished {
+		return fmt.Errorf("drivers: splice after the plan completed")
+	}
+	pools := append(e.plan.Pools[:e.next:e.next], np.Pools...)
+	e.plan = &plan.Plan{Src: e.plan.Src, Pools: pools, Bypass: e.plan.Bypass + np.Bypass}
+	e.rep.Actions = e.plan.NumActions()
+	e.rep.Cost = e.plan.Cost()
+	e.rep.Pools = len(pools)
+	e.rep.Splices++
+	return nil
+}
+
+func (e *Execution) runNext() {
+	if e.next >= len(e.plan.Pools) {
+		e.finished = true
+		e.rep.End = e.c.Now()
+		if e.cb.Done != nil {
+			e.cb.Done(e.rep)
 		}
 		return
 	}
-	pool := p.Pools[i]
+	pool := e.plan.Pools[e.next]
+	e.next++
 	if len(pool) == 0 {
-		runPool(c, p, i+1, rep, done)
+		e.poolDone()
 		return
 	}
 	pending := len(pool)
-	finish := func(err error) {
-		if err != nil {
-			rep.Errs = append(rep.Errs, err)
-		}
-		pending--
-		if pending == 0 {
-			runPool(c, p, i+1, rep, done)
-		}
-	}
-	now := c.Now()
+	now := e.c.Now()
 	for _, sa := range scheduleTimes(pool, now) {
 		a, at := sa.action, sa.at
-		c.Schedule(at, func() { c.StartAction(a, finish) })
+		e.c.Schedule(at, func() {
+			e.c.StartAction(a, func(err error) {
+				if err != nil {
+					e.rep.Errs = append(e.rep.Errs, err)
+					if e.cb.Failure != nil {
+						e.cb.Failure(a, err)
+					}
+				}
+				pending--
+				if pending == 0 {
+					e.poolDone()
+				}
+			})
+		})
 	}
+}
+
+// poolDone runs the boundary callback — which may Splice — then moves
+// on to whatever pool is next afterwards.
+func (e *Execution) poolDone() {
+	if e.cb.PoolDone != nil {
+		e.cb.PoolDone()
+	}
+	e.runNext()
 }
 
 type scheduledAction struct {

@@ -1,0 +1,223 @@
+package drivers
+
+import (
+	"errors"
+	"testing"
+
+	"cwcs/internal/duration"
+	"cwcs/internal/plan"
+	"cwcs/internal/sim"
+	"cwcs/internal/vjob"
+)
+
+// managedPlan builds two nodes with vm1 running on n00 and vm2 on n01,
+// and a two-pool plan: suspend vm2 (freeing n01), then migrate vm1
+// into the freed space.
+func managedPlan(t *testing.T) (*sim.Cluster, *plan.Plan) {
+	t.Helper()
+	c := newSim(t, 2, 2, 3072)
+	vm1 := vjob.NewVM("vm1", "a", 1, 2048)
+	vm2 := vjob.NewVM("vm2", "b", 1, 2048)
+	cfg := c.Config()
+	cfg.AddVM(vm1)
+	cfg.AddVM(vm2)
+	if err := cfg.SetRunning("vm1", "n00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.SetRunning("vm2", "n01"); err != nil {
+		t.Fatal(err)
+	}
+	dst := cfg.Clone()
+	if err := dst.SetSleeping("vm2", "n01"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.SetRunning("vm1", "n01"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(cfg, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Pools) < 2 {
+		t.Fatalf("scenario needs >= 2 pools, got:\n%s", p)
+	}
+	return c, p
+}
+
+func TestStartCallbacksFire(t *testing.T) {
+	c, p := managedPlan(t)
+	want := planDst(t, p)
+	var boundaries, failures int
+	var rep Report
+	done := false
+	e := Start(c, p, Callbacks{
+		Failure:  func(plan.Action, error) { failures++ },
+		PoolDone: func() { boundaries++ },
+		Done:     func(r Report) { rep, done = r, true },
+	})
+	c.Run(100_000)
+	if !done || !e.Finished() {
+		t.Fatal("execution never completed")
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d", failures)
+	}
+	// PoolDone fires after every pool, the last included.
+	if boundaries != len(p.Pools) {
+		t.Fatalf("pool boundaries = %d, want %d", boundaries, len(p.Pools))
+	}
+	if rep.Splices != 0 || rep.Actions != p.NumActions() {
+		t.Fatalf("report = %+v", rep)
+	}
+	assertReaches(t, c, want)
+}
+
+func TestFailureCallbackAndReportErrs(t *testing.T) {
+	// Build the sim without the invariant watcher: executing the stale
+	// remainder after a failed suspend legitimately overloads n01 —
+	// the very situation plan repair exists to prevent.
+	cfg := vjob.NewConfiguration()
+	cfg.AddNode(vjob.NewNode("n00", 2, 3072))
+	cfg.AddNode(vjob.NewNode("n01", 2, 3072))
+	c := sim.New(cfg, duration.Default())
+	vm1 := vjob.NewVM("vm1", "a", 1, 2048)
+	vm2 := vjob.NewVM("vm2", "b", 1, 2048)
+	cfg.AddVM(vm1)
+	cfg.AddVM(vm2)
+	if err := cfg.SetRunning("vm1", "n00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.SetRunning("vm2", "n01"); err != nil {
+		t.Fatal(err)
+	}
+	dst := cfg.Clone()
+	if err := dst.SetSleeping("vm2", "n01"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.SetRunning("vm1", "n01"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(cfg, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("driver lost the ssh session")
+	c.FailAction = func(a plan.Action) error {
+		if _, ok := a.(*plan.Suspend); ok {
+			return boom
+		}
+		return nil
+	}
+	var failedAction plan.Action
+	var rep Report
+	Start(c, p, Callbacks{
+		Failure: func(a plan.Action, err error) {
+			failedAction = a
+			if !errors.Is(err, boom) {
+				t.Errorf("failure err = %v", err)
+			}
+		},
+		Done: func(r Report) { rep = r },
+	})
+	c.Run(100_000)
+	if failedAction == nil {
+		t.Fatal("failure callback never fired")
+	}
+	if len(rep.Errs) != 1 {
+		t.Fatalf("report errs = %v", rep.Errs)
+	}
+}
+
+func TestSpliceReplacesRemainder(t *testing.T) {
+	c, p := managedPlan(t)
+	// At the first pool boundary, replace the remainder (the vm1
+	// migration) with a plan that leaves vm1 alone: the suspend must
+	// stand, the migration must never run.
+	var e *Execution
+	var rep Report
+	spliced := false
+	e = Start(c, p, Callbacks{
+		PoolDone: func() {
+			if spliced || e == nil || e.Finished() {
+				return
+			}
+			spliced = true
+			if got := e.Remaining().NumActions(); got == 0 {
+				t.Fatalf("remaining plan empty at first boundary")
+			}
+			if err := e.Splice(&plan.Plan{}); err != nil {
+				t.Fatal(err)
+			}
+		},
+		Done: func(r Report) { rep = r },
+	})
+	c.Run(100_000)
+	if !spliced {
+		t.Fatal("boundary callback never ran")
+	}
+	if rep.Splices != 1 {
+		t.Fatalf("report splices = %d", rep.Splices)
+	}
+	cfg := c.Config()
+	if cfg.HostOf("vm1") != "n00" {
+		t.Fatalf("spliced-out migration ran: vm1 on %s", cfg.HostOf("vm1"))
+	}
+	if cfg.StateOf("vm2") != vjob.Sleeping {
+		t.Fatalf("suspend lost: vm2 is %v", cfg.StateOf("vm2"))
+	}
+	if rep.Actions != 1 {
+		t.Fatalf("report actions = %d, want the executed suspend only", rep.Actions)
+	}
+}
+
+func TestSpliceAfterCompletionRefused(t *testing.T) {
+	c, p := managedPlan(t)
+	e := Start(c, p, Callbacks{})
+	c.Run(100_000)
+	if !e.Finished() {
+		t.Fatal("execution never completed")
+	}
+	if err := e.Splice(&plan.Plan{}); err == nil {
+		t.Fatal("splice accepted after completion")
+	}
+}
+
+func TestSpliceExtendsPlanAtFinalBoundary(t *testing.T) {
+	// A splice at the LAST pool boundary may append new pools: the
+	// execution picks them up instead of completing.
+	c := newSim(t, 2, 2, 4096)
+	vm := vjob.NewVM("vm1", "a", 1, 1024)
+	cfg := c.Config()
+	cfg.AddVM(vm)
+	if err := cfg.SetRunning("vm1", "n00"); err != nil {
+		t.Fatal(err)
+	}
+	first := &plan.Plan{Src: cfg, Pools: []plan.Pool{
+		{&plan.Migration{Machine: vm, Src: "n00", Dst: "n01"}},
+	}}
+	extended := false
+	var e *Execution
+	var rep Report
+	e = Start(c, first, Callbacks{
+		PoolDone: func() {
+			if extended {
+				return
+			}
+			extended = true
+			err := e.Splice(&plan.Plan{Pools: []plan.Pool{
+				{&plan.Migration{Machine: vm, Src: "n01", Dst: "n00"}},
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+		},
+		Done: func(r Report) { rep = r },
+	})
+	c.Run(100_000)
+	if c.Config().HostOf("vm1") != "n00" {
+		t.Fatalf("extension did not run: vm1 on %s", c.Config().HostOf("vm1"))
+	}
+	if rep.Actions != 2 || rep.Splices != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

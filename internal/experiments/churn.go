@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"cwcs/internal/core"
+	"cwcs/internal/drivers"
+	"cwcs/internal/duration"
+	"cwcs/internal/plan"
+	"cwcs/internal/sched"
+	"cwcs/internal/sim"
+	"cwcs/internal/vjob"
+	"cwcs/internal/workload"
+)
+
+// ChurnOptions parameterizes the periodic-vs-event-driven loop study:
+// a cluster under continuous churn — Poisson vjob arrivals, natural
+// departures as workloads finish, load spikes as phases shift, and
+// injected action failures — handled by the same optimizer under two
+// control-loop schedules. No paper analogue: the paper's loop is
+// periodic (§3.1); the event-driven engine is this repo's extension.
+type ChurnOptions struct {
+	// Nodes, NodeCPU, NodeMemory describe the cluster.
+	Nodes, NodeCPU, NodeMemory int
+	// InitialVJobs and VMsPerVJob shape the resident population.
+	InitialVJobs, VMsPerVJob int
+	// ArrivalRate is the Poisson vjob arrival rate per virtual second;
+	// arrivals stop at ArrivalStop so the run can drain.
+	ArrivalRate float64
+	ArrivalStop float64
+	// WorkScale multiplies workload durations.
+	WorkScale float64
+	// Horizon is the simulation cut-off.
+	Horizon float64
+	// Interval is the periodic loop's pause; Debounce the event-driven
+	// loop's settle delay.
+	Interval, Debounce float64
+	// Timeout bounds every optimizer invocation — the equal budget of
+	// the comparison.
+	Timeout time.Duration
+	// Workers and Partitions configure the optimizer identically on
+	// both sides.
+	Workers, Partitions int
+	// FailureRate is the probability an action fails on completion
+	// (exercising the repair path).
+	FailureRate float64
+	// Seed drives workload generation, arrivals and failures; the two
+	// modes replay the identical scenario.
+	Seed int64
+}
+
+// DefaultChurnOptions is the BENCH_eventloop.json scenario: 500 nodes
+// under sustained churn.
+func DefaultChurnOptions() ChurnOptions {
+	return ChurnOptions{
+		Nodes: 500, NodeCPU: 2, NodeMemory: 4096,
+		InitialVJobs: 40, VMsPerVJob: 9,
+		ArrivalRate: 1.0 / 30, ArrivalStop: 900,
+		WorkScale: 1.0,
+		Horizon:   6000,
+		Interval:  30, Debounce: 5,
+		Timeout:     500 * time.Millisecond,
+		FailureRate: 0.02,
+		Seed:        42,
+	}
+}
+
+// ChurnResult is one mode's measurements over the scenario.
+type ChurnResult struct {
+	Mode string
+	// Stats is the loop telemetry: solver invocations, slice solves,
+	// repairs, coalesced events.
+	Stats core.LoopStats
+	// Switches counts executed context switches; Failures the failed
+	// actions across them.
+	Switches, Failures int
+	// ViolationSeconds integrates len(Violations()) over virtual time:
+	// the cumulative exposure to capacity violations.
+	ViolationSeconds float64
+	// FinalViolations is the violation count at the horizon (0 = the
+	// loop reached a violation-free configuration).
+	FinalViolations int
+	// Arrived and Completed count vjobs over the run.
+	Arrived, Completed int
+	// End is the virtual time the simulation went quiescent.
+	End float64
+	// Wall is the real time the run took (dominated by solver budget).
+	Wall time.Duration
+}
+
+// RunChurn replays the churn scenario under one loop schedule.
+func RunChurn(eventDriven bool, opts ChurnOptions) ChurnResult {
+	genRng := rand.New(rand.NewSource(opts.Seed))
+	arrRng := rand.New(rand.NewSource(opts.Seed + 1))
+	failRng := rand.New(rand.NewSource(opts.Seed + 2))
+
+	cfg := vjob.NewConfiguration()
+	for i := 0; i < opts.Nodes; i++ {
+		cfg.AddNode(vjob.NewNode(fmt.Sprintf("node%03d", i), opts.NodeCPU, opts.NodeMemory))
+	}
+	c := sim.New(cfg, duration.Default())
+
+	var jobs []*vjob.VJob
+	submit := func(i int) workload.Spec {
+		bench := workload.Benchmarks[i%len(workload.Benchmarks)]
+		class := workload.Classes[1+i%2]
+		spec := workload.NewSpec(fmt.Sprintf("vjob%03d", i), bench, class, opts.VMsPerVJob, i, genRng)
+		scalePhases(&spec, opts.WorkScale)
+		spec.Install(cfg, c)
+		jobs = append(jobs, spec.Job)
+		return spec
+	}
+	for i := 0; i < opts.InitialVJobs; i++ {
+		submit(i)
+	}
+
+	res := ChurnResult{Mode: "periodic", Arrived: opts.InitialVJobs}
+	if eventDriven {
+		res.Mode = "event-driven"
+	}
+
+	loop := &core.Loop{
+		// The terminator reads the live (growing) jobs slice through
+		// the closure, not a snapshot.
+		Decision:    queueTerminator{c: c, inner: sched.Consolidation{}, queue: func() []*vjob.VJob { return jobs }},
+		Optimizer:   core.Optimizer{Timeout: opts.Timeout, Workers: opts.Workers, Partitions: opts.Partitions},
+		Interval:    opts.Interval,
+		EventDriven: eventDriven,
+		Debounce:    opts.Debounce,
+		Queue:       func() []*vjob.VJob { return jobs },
+		Done: func() bool {
+			if c.Now() <= opts.ArrivalStop {
+				return false
+			}
+			for _, j := range jobs {
+				if !c.VJobDone(j) {
+					return false
+				}
+				for _, v := range j.VMs {
+					if cfg.VM(v.Name) != nil {
+						return false
+					}
+				}
+			}
+			return true
+		},
+	}
+
+	act := &drivers.Actuator{C: c}
+
+	// Injected action failures (the flaky-driver model).
+	if opts.FailureRate > 0 {
+		c.FailAction = func(a plan.Action) error {
+			if failRng.Float64() < opts.FailureRate {
+				return fmt.Errorf("churn: injected driver failure on %s", a)
+			}
+			return nil
+		}
+	}
+
+	// Event feed: load changes from the simulator, arrivals from the
+	// churn generator. The periodic loop ignores Notify entirely.
+	if eventDriven {
+		c.OnLoadChange(func(vm string) {
+			loop.Notify(act, core.Event{Kind: core.LoadChange, At: c.Now(), VMs: []string{vm}})
+		})
+	}
+
+	// Poisson arrivals until ArrivalStop.
+	idx := opts.InitialVJobs
+	var scheduleArrival func()
+	scheduleArrival = func() {
+		dt := arrRng.ExpFloat64() / opts.ArrivalRate
+		at := c.Now() + dt
+		if at > opts.ArrivalStop {
+			return
+		}
+		c.Schedule(at, func() {
+			spec := submit(idx)
+			idx++
+			res.Arrived++
+			if eventDriven {
+				names := make([]string, len(spec.Job.VMs))
+				for i, v := range spec.Job.VMs {
+					names[i] = v.Name
+				}
+				loop.Notify(act, core.Event{Kind: core.VMArrival, At: c.Now(), VMs: names})
+			}
+			scheduleArrival()
+		})
+	}
+	if opts.ArrivalRate > 0 {
+		scheduleArrival()
+	}
+
+	// Violation-seconds integral, advanced on every simulation event.
+	lastT := 0.0
+	lastViol := 0
+	c.OnAdvance(func() {
+		now := c.Now()
+		if now > lastT {
+			res.ViolationSeconds += float64(lastViol) * (now - lastT)
+			lastT = now
+		}
+		lastViol = len(cfg.Violations())
+	})
+
+	start := time.Now()
+	loop.Start(act)
+	c.Run(opts.Horizon)
+	res.Wall = time.Since(start)
+
+	res.Stats = loop.Stats
+	res.Switches = len(loop.Records)
+	for _, r := range loop.Records {
+		res.Failures += r.Failures
+	}
+	res.FinalViolations = len(cfg.Violations())
+	res.End = c.Now()
+	for _, j := range jobs {
+		if c.VJobDone(j) {
+			res.Completed++
+		}
+	}
+	return res
+}
+
+// queueTerminator is the terminator over a live (growing) queue.
+type queueTerminator struct {
+	inner core.DecisionModule
+	c     *sim.Cluster
+	queue func() []*vjob.VJob
+}
+
+func (t queueTerminator) Decide(cfg *vjob.Configuration, queue []*vjob.VJob) map[string]vjob.State {
+	return terminator{inner: t.inner, c: t.c, jobs: t.queue()}.Decide(cfg, queue)
+}
+
+// ChurnStudy runs the scenario under both schedules.
+func ChurnStudy(opts ChurnOptions) []ChurnResult {
+	return []ChurnResult{RunChurn(false, opts), RunChurn(true, opts)}
+}
+
+// ChurnTable renders the comparison.
+func ChurnTable(rows []ChurnResult) string {
+	var b strings.Builder
+	b.WriteString("Periodic vs event-driven reconfiguration loop (equal per-solve budget)\n")
+	fmt.Fprintf(&b, "%-12s %9s %8s %8s %8s %8s %8s %10s %8s %9s\n",
+		"mode", "subsolves", "slices", "full", "repairs", "switches", "events", "viol-sec", "final", "done/arr")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9d %8d %8d %8d %8d %8d %10.0f %8d %5d/%-3d\n",
+			r.Mode, r.Stats.SubSolves, r.Stats.SliceSolves, r.Stats.FullSolves,
+			r.Stats.Repairs, r.Switches, r.Stats.Events,
+			r.ViolationSeconds, r.FinalViolations, r.Completed, r.Arrived)
+	}
+	if len(rows) == 2 && rows[1].Stats.SubSolves > 0 {
+		fmt.Fprintf(&b, "solver invocations: %.1fx fewer; violation-seconds: %sx lower (event-driven vs periodic)\n",
+			ratio(float64(rows[0].Stats.SubSolves), float64(rows[1].Stats.SubSolves)),
+			ratioStr(rows[0].ViolationSeconds, rows[1].ViolationSeconds))
+	}
+	return b.String()
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+func ratioStr(a, b float64) string {
+	r := ratio(a, b)
+	if math.IsInf(r, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1f", r)
+}
+
+// ChurnCSV renders the rows for external plotting.
+func ChurnCSV(rows []ChurnResult) string {
+	var b strings.Builder
+	b.WriteString("mode,sub_solves,solver_calls,slice_solves,full_solves,repairs,failed_repairs,switches,events,coalesced,violation_seconds,final_violations,arrived,completed,end\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%d,%d,%d,%.0f\n",
+			r.Mode, r.Stats.SubSolves, r.Stats.SolverCalls, r.Stats.SliceSolves, r.Stats.FullSolves,
+			r.Stats.Repairs, r.Stats.FailedRepairs, r.Switches, r.Stats.Events,
+			r.Stats.Coalesced, r.ViolationSeconds, r.FinalViolations,
+			r.Arrived, r.Completed, r.End)
+	}
+	return b.String()
+}

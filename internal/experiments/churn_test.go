@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickChurnOptions shrinks the scenario so the comparison runs in
+// seconds: a 32-node cluster, short workloads, a brief arrival window.
+func quickChurnOptions() ChurnOptions {
+	return ChurnOptions{
+		Nodes: 64, NodeCPU: 2, NodeMemory: 4096,
+		InitialVJobs: 6, VMsPerVJob: 4,
+		ArrivalRate: 1.0 / 40, ArrivalStop: 200,
+		WorkScale: 0.2,
+		Horizon:   2000,
+		Interval:  30, Debounce: 5,
+		Timeout:     100 * time.Millisecond,
+		FailureRate: 0.05,
+		Seed:        7,
+		// Sequential search: a portfolio race under a sub-second
+		// budget would make the comparative assertions (and the
+		// CI-gated BenchmarkChurnLoop* numbers) timing- and
+		// core-count-dependent.
+		Workers: 1,
+	}
+}
+
+func TestChurnBothModesConverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn study solves repeatedly")
+	}
+	opts := quickChurnOptions()
+	rows := ChurnStudy(opts)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	periodic, event := rows[0], rows[1]
+
+	for _, r := range rows {
+		if r.FinalViolations != 0 {
+			t.Errorf("%s ended with %d capacity violations", r.Mode, r.FinalViolations)
+		}
+		if r.Arrived == 0 || r.Completed == 0 {
+			t.Errorf("%s: arrived=%d completed=%d", r.Mode, r.Arrived, r.Completed)
+		}
+	}
+	// Identical scenario on both sides.
+	if periodic.Arrived != event.Arrived {
+		t.Fatalf("scenarios diverged: %d vs %d arrivals", periodic.Arrived, event.Arrived)
+	}
+	// The event-driven loop must react to events rather than poll.
+	if event.Stats.Events == 0 {
+		t.Error("event-driven run observed no events")
+	}
+	if event.Stats.SolverCalls == 0 || periodic.Stats.SolverCalls == 0 {
+		t.Fatalf("no solver calls: periodic=%+v event=%+v", periodic.Stats, event.Stats)
+	}
+	// The headline claims, on the comparable unit (sub-problem
+	// optimizations): the event-driven loop spends fewer solves and
+	// is exposed to violations for less time, at equal per-solve
+	// budget. The quick scenario keeps healthy margins on both.
+	if event.Stats.SubSolves >= periodic.Stats.SubSolves {
+		t.Errorf("event-driven used %d sub-solves vs periodic %d",
+			event.Stats.SubSolves, periodic.Stats.SubSolves)
+	}
+	if event.ViolationSeconds > periodic.ViolationSeconds {
+		t.Errorf("event-driven violation-seconds %.0f vs periodic %.0f",
+			event.ViolationSeconds, periodic.ViolationSeconds)
+	}
+	t.Logf("periodic: %+v viol=%.0f", periodic.Stats, periodic.ViolationSeconds)
+	t.Logf("event:    %+v viol=%.0f", event.Stats, event.ViolationSeconds)
+}
+
+// benchChurn runs one mode of the quick scenario, reporting the
+// study's own metrics alongside ns/op.
+func benchChurn(b *testing.B, eventDriven bool) {
+	opts := quickChurnOptions()
+	var last ChurnResult
+	for i := 0; i < b.N; i++ {
+		last = RunChurn(eventDriven, opts)
+	}
+	b.ReportMetric(float64(last.Stats.SubSolves), "sub-solves")
+	b.ReportMetric(last.ViolationSeconds, "viol-sec")
+	if last.FinalViolations != 0 {
+		b.Fatalf("%s run ended with violations", last.Mode)
+	}
+}
+
+func BenchmarkChurnLoopPeriodic(b *testing.B) { benchChurn(b, false) }
+func BenchmarkChurnLoopEvent(b *testing.B)    { benchChurn(b, true) }
+
+func TestChurnRendering(t *testing.T) {
+	rows := []ChurnResult{
+		{Mode: "periodic", Switches: 10, ViolationSeconds: 1234},
+		{Mode: "event-driven", Switches: 4, ViolationSeconds: 321},
+	}
+	rows[0].Stats.SubSolves = 100
+	rows[1].Stats.SubSolves = 20
+	table := ChurnTable(rows)
+	if !strings.Contains(table, "periodic") || !strings.Contains(table, "event-driven") {
+		t.Fatalf("table:\n%s", table)
+	}
+	if !strings.Contains(table, "5.0x fewer") {
+		t.Fatalf("table missing the ratio line:\n%s", table)
+	}
+	csv := ChurnCSV(rows)
+	if !strings.HasPrefix(csv, "mode,sub_solves") || len(strings.Split(strings.TrimSpace(csv), "\n")) != 3 {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}

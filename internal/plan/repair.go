@@ -1,0 +1,69 @@
+package plan
+
+import (
+	"fmt"
+
+	"cwcs/internal/vjob"
+)
+
+// TouchedNodes lists every node the action reads or writes resources
+// on, for callers building dirty regions (e.g. the event-driven loop
+// in internal/core).
+func TouchedNodes(a Action) []string { return touchedNodes(a) }
+
+// Repair splices fresh slice plans into the remainder of an executing
+// plan instead of aborting it. cur is the observed configuration at a
+// pool boundary (every started action has completed, successfully or
+// not), remaining holds the pools that have not started, dirtyNodes
+// and dirtyVMs delimit the region invalidated by failures or events —
+// typically the full node/VM coverage of the re-solved slices, not
+// just the failed elements — and fresh are the plans re-solved over
+// exactly that region.
+//
+// Repair keeps every remaining action outside the dirty region (their
+// feasibility argument is untouched: the fresh plans never enter their
+// nodes), drops the ones inside, and merges the fresh plans in. The
+// result is re-validated pool by pool against cur, so a splice can
+// never violate the feasibility-edge ordering of §4.1: when dropping a
+// dirty action breaks a later kept action (for instance a migration
+// that waited on a dropped suspend to free its destination), Repair
+// refuses and the caller falls back to a full re-solve.
+func Repair(cur *vjob.Configuration, remaining *Plan, dirtyNodes, dirtyVMs map[string]bool, fresh ...*Plan) (*Plan, error) {
+	kept := &Plan{Src: cur}
+	if remaining != nil {
+		for _, pool := range remaining.Pools {
+			var np Pool
+			for _, a := range pool {
+				if touchesDirty(a, dirtyNodes, dirtyVMs) {
+					continue
+				}
+				np = append(np, a)
+			}
+			if len(np) > 0 {
+				kept.Pools = append(kept.Pools, np)
+			}
+		}
+	}
+	merged, err := Merge(cur, append([]*Plan{kept}, fresh...)...)
+	if err != nil {
+		return nil, err
+	}
+	if err := merged.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: repair would break feasibility: %w", err)
+	}
+	return merged, nil
+}
+
+// touchesDirty reports whether the action manipulates a dirty VM or
+// reads/writes resources on a dirty node.
+func touchesDirty(a Action, nodes, vms map[string]bool) bool {
+	if vms[a.VM().Name] {
+		return true
+	}
+	for _, n := range touchedNodes(a) {
+		if nodes[n] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+package plan
+
+import (
+	"errors"
+	"testing"
+
+	"cwcs/internal/vjob"
+)
+
+// repairCluster builds four 1-CPU nodes and two running VMs: a on n1,
+// b on n3. Node memory fits exactly one VM.
+func repairCluster(t *testing.T) (*vjob.Configuration, *vjob.VM, *vjob.VM) {
+	t.Helper()
+	cfg := vjob.NewConfiguration()
+	for _, n := range []string{"n1", "n2", "n3", "n4"} {
+		cfg.AddNode(vjob.NewNode(n, 1, 1024))
+	}
+	a := vjob.NewVM("a", "j1", 1, 1024)
+	b := vjob.NewVM("b", "j2", 1, 1024)
+	cfg.AddVM(a)
+	cfg.AddVM(b)
+	if err := cfg.SetRunning("a", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.SetRunning("b", "n3"); err != nil {
+		t.Fatal(err)
+	}
+	return cfg, a, b
+}
+
+func set(keys ...string) map[string]bool {
+	m := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		m[k] = true
+	}
+	return m
+}
+
+func TestRepairSplicesFreshSlice(t *testing.T) {
+	cfg, a, b := repairCluster(t)
+	// The remainder still wants a:n1->n2 and b:n3->n4; b's slice
+	// (n3, n4) went dirty, so its migration is dropped and replaced by
+	// the freshly solved slice plan.
+	remaining := &Plan{Src: cfg, Pools: []Pool{
+		{&Migration{Machine: a, Src: "n1", Dst: "n2"}},
+		{&Migration{Machine: b, Src: "n3", Dst: "n4"}},
+	}}
+	fresh := &Plan{Pools: []Pool{
+		{&Migration{Machine: b, Src: "n3", Dst: "n4"}},
+	}}
+	got, err := Repair(cfg, remaining, set("n3", "n4"), set("b"), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumActions() != 2 {
+		t.Fatalf("repaired plan has %d actions:\n%s", got.NumActions(), got)
+	}
+	final, err := got.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.HostOf("a") != "n2" || final.HostOf("b") != "n4" {
+		t.Fatalf("final placement a=%s b=%s", final.HostOf("a"), final.HostOf("b"))
+	}
+}
+
+func TestRepairKeepsCleanRegionUntouched(t *testing.T) {
+	cfg, a, _ := repairCluster(t)
+	remaining := &Plan{Src: cfg, Pools: []Pool{
+		{&Migration{Machine: a, Src: "n1", Dst: "n2"}},
+	}}
+	// No fresh plans: a pure filter of the remainder.
+	got, err := Repair(cfg, remaining, set("n3", "n4"), set("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumActions() != 1 {
+		t.Fatalf("repaired plan has %d actions", got.NumActions())
+	}
+}
+
+func TestRepairRefusesBrokenFeasibilityEdge(t *testing.T) {
+	// c occupies n2; the remainder suspends c (freeing n2) and then
+	// migrates a into n2. Marking only c dirty drops the suspend while
+	// keeping the migration, which is no longer feasible — Repair must
+	// refuse rather than emit a plan that overloads n2.
+	cfg, a, _ := repairCluster(t)
+	c := vjob.NewVM("c", "j3", 0, 1024)
+	cfg.AddVM(c)
+	if err := cfg.SetRunning("c", "n2"); err != nil {
+		t.Fatal(err)
+	}
+	remaining := &Plan{Src: cfg, Pools: []Pool{
+		{&Suspend{Machine: c, On: "n2", To: "n2"}},
+		{&Migration{Machine: a, Src: "n1", Dst: "n2"}},
+	}}
+	_, err := Repair(cfg, remaining, nil, set("c"))
+	if err == nil {
+		t.Fatal("repair accepted a splice that breaks a feasibility edge")
+	}
+}
+
+func TestRepairRefusesOverlappingFresh(t *testing.T) {
+	cfg, a, b := repairCluster(t)
+	remaining := &Plan{Src: cfg, Pools: []Pool{
+		{&Migration{Machine: a, Src: "n1", Dst: "n2"}},
+	}}
+	// The fresh plan claims n2, which the kept remainder also touches.
+	fresh := &Plan{Pools: []Pool{
+		{&Migration{Machine: b, Src: "n3", Dst: "n2"}},
+	}}
+	_, err := Repair(cfg, remaining, set("n3"), set("b"), fresh)
+	if !errors.Is(err, ErrOverlappingPlans) {
+		t.Fatalf("err = %v, want ErrOverlappingPlans", err)
+	}
+}
+
+func TestRepairNilRemainder(t *testing.T) {
+	cfg, _, b := repairCluster(t)
+	fresh := &Plan{Pools: []Pool{
+		{&Migration{Machine: b, Src: "n3", Dst: "n4"}},
+	}}
+	got, err := Repair(cfg, nil, set("n3", "n4"), set("b"), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumActions() != 1 {
+		t.Fatalf("repaired plan has %d actions", got.NumActions())
+	}
+}
+
+func TestTouchedNodesExported(t *testing.T) {
+	m := &Migration{Machine: vjob.NewVM("v", "", 1, 1), Src: "n1", Dst: "n2"}
+	got := TouchedNodes(m)
+	if len(got) != 2 || got[0] != "n1" || got[1] != "n2" {
+		t.Fatalf("TouchedNodes = %v", got)
+	}
+}

@@ -51,9 +51,21 @@ type Cluster struct {
 	// OnAdvance); the invariant checker hooks in here.
 	checks []func()
 
+	// onLoad are the load-change subscribers (see OnLoadChange); the
+	// event-driven control loop hooks in here.
+	onLoad []func(vm string)
+
 	// SuspendToRAM switches suspend/resume to the §7 future-work
 	// fast path (no disk image) in the duration model.
 	SuspendToRAM bool
+
+	// FailAction, when non-nil, is consulted at the instant each
+	// action would complete: a non-nil error makes the action fail —
+	// the configuration is left untouched and the error is delivered
+	// to the action's done callback — modelling a flaky driver or
+	// hypervisor (the paper's SSH/Xen-API calls can fail too). Churn
+	// scenarios use it to exercise the loop's plan-repair path.
+	FailAction func(a plan.Action) error
 
 	// telemetry
 	actionsRun map[string]int
@@ -88,6 +100,17 @@ func (c *Cluster) Snapshot() *vjob.Configuration { return c.cfg.Clone() }
 // every workload phase advance. Checkers use it to audit the
 // configuration at each state change of the simulation.
 func (c *Cluster) OnAdvance(fn func()) { c.checks = append(c.checks, fn) }
+
+// OnLoadChange registers fn to run whenever a workload phase advance
+// changes a VM's CPU demand or completes its workload — the
+// monitoring signal the event-driven control loop reacts to.
+func (c *Cluster) OnLoadChange(fn func(vm string)) { c.onLoad = append(c.onLoad, fn) }
+
+func (c *Cluster) notifyLoad(vm string) {
+	for _, fn := range c.onLoad {
+		fn(vm)
+	}
+}
 
 func (c *Cluster) runChecks() {
 	for _, fn := range c.checks {
@@ -182,12 +205,20 @@ func (c *Cluster) StartAction(a plan.Action, done func(error)) {
 	c.ops[op] = true
 	c.Schedule(c.now+d.Seconds(), func() {
 		delete(c.ops, op)
-		err := a.Apply(c.cfg)
+		var err error
+		if c.FailAction != nil {
+			err = c.FailAction(a)
+		}
+		if err == nil {
+			err = a.Apply(c.cfg)
+		}
 		if err == nil {
 			c.actionsRun[kindOf(a)]++
-			if w, ok := c.workloads[a.VM().Name]; ok {
-				w.frozen = false
-			}
+		}
+		// The operation is over either way: a failed suspend/stop
+		// leaves the VM running, so its workload must thaw.
+		if w, ok := c.workloads[a.VM().Name]; ok {
+			w.frozen = false
 		}
 		if done != nil {
 			done(err)
@@ -348,8 +379,14 @@ func (c *Cluster) Run(until float64) {
 	}
 }
 
-// advancePhase moves a VM to its next workload phase.
+// advancePhase moves a VM to its next workload phase, notifying the
+// load-change subscribers when the observable demand shifted or the
+// workload completed.
 func (c *Cluster) advancePhase(vm string, w *workload) {
+	before := -1
+	if v := c.cfg.VM(vm); v != nil {
+		before = v.CPUDemand
+	}
 	w.idx++
 	if w.idx >= len(w.phases) {
 		w.done = true
@@ -358,6 +395,13 @@ func (c *Cluster) advancePhase(vm string, w *workload) {
 		w.remaining = w.phases[w.idx].Seconds
 	}
 	c.applyPhaseDemand(vm, w)
+	after := before
+	if v := c.cfg.VM(vm); v != nil {
+		after = v.CPUDemand
+	}
+	if after != before || w.done {
+		c.notifyLoad(vm)
+	}
 }
 
 // RemainingWork returns the seconds of work (at full speed) the VM

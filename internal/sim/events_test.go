@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"cwcs/internal/duration"
+	"cwcs/internal/plan"
+	"cwcs/internal/vjob"
+)
+
+func eventCluster(t *testing.T) (*Cluster, *vjob.Configuration, *vjob.VM) {
+	t.Helper()
+	cfg := vjob.NewConfiguration()
+	cfg.AddNode(vjob.NewNode("n1", 2, 4096))
+	cfg.AddNode(vjob.NewNode("n2", 2, 4096))
+	v := vjob.NewVM("v1", "j1", 1, 1024)
+	cfg.AddVM(v)
+	if err := cfg.SetRunning("v1", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	return New(cfg, duration.Default()), cfg, v
+}
+
+func TestOnLoadChangeFiresOnPhaseShift(t *testing.T) {
+	c, cfg, _ := eventCluster(t)
+	var got []string
+	c.OnLoadChange(func(vm string) { got = append(got, vm) })
+	// Two phases with different CPU demands, then completion.
+	c.SetWorkload("v1", []Phase{{CPU: 1, Seconds: 10}, {CPU: 0, Seconds: 5}})
+	c.Run(100)
+	// Phase 1 -> 2 changes demand (1 -> 0): one event; completion of
+	// phase 2 keeps demand 0 but sets done: a second event.
+	if len(got) != 2 {
+		t.Fatalf("load-change events = %v, want 2", got)
+	}
+	if cfg.VM("v1").CPUDemand != 0 {
+		t.Fatalf("demand = %d after completion", cfg.VM("v1").CPUDemand)
+	}
+	if !c.WorkloadDone("v1") {
+		t.Fatal("workload not done")
+	}
+}
+
+func TestOnLoadChangeSilentOnEqualDemand(t *testing.T) {
+	c, _, _ := eventCluster(t)
+	events := 0
+	c.OnLoadChange(func(string) { events++ })
+	// Two phases with identical demand: only the completion notifies.
+	c.SetWorkload("v1", []Phase{{CPU: 1, Seconds: 5}, {CPU: 1, Seconds: 5}})
+	c.Run(100)
+	if events != 1 {
+		t.Fatalf("events = %d, want only the completion", events)
+	}
+}
+
+func TestFailActionLeavesConfigurationUntouched(t *testing.T) {
+	c, cfg, v := eventCluster(t)
+	boom := errors.New("hypervisor rejected the migration")
+	c.FailAction = func(a plan.Action) error {
+		if a.VM().Name == "v1" {
+			return boom
+		}
+		return nil
+	}
+	var got error
+	called := false
+	c.StartAction(&plan.Migration{Machine: v, Src: "n1", Dst: "n2"}, func(err error) {
+		called = true
+		got = err
+	})
+	c.Run(10_000)
+	if !called {
+		t.Fatal("done callback never fired")
+	}
+	if !errors.Is(got, boom) {
+		t.Fatalf("err = %v, want injected failure", got)
+	}
+	if cfg.HostOf("v1") != "n1" {
+		t.Fatalf("failed migration moved the VM to %s", cfg.HostOf("v1"))
+	}
+	if n := c.ActionCounts()["migrate"]; n != 0 {
+		t.Fatalf("failed action counted as run: %d", n)
+	}
+}
+
+func TestFailedSuspendThawsWorkload(t *testing.T) {
+	c, cfg, v := eventCluster(t)
+	c.SetWorkload("v1", []Phase{{CPU: 1, Seconds: 30}})
+	c.FailAction = func(a plan.Action) error { return errors.New("suspend failed") }
+	c.StartAction(&plan.Suspend{Machine: v, On: "n1", To: "n1"}, nil)
+	c.Run(10_000)
+	if cfg.StateOf("v1") != vjob.Running {
+		t.Fatalf("state = %v after failed suspend", cfg.StateOf("v1"))
+	}
+	if !c.WorkloadDone("v1") {
+		t.Fatal("workload stayed frozen after the failed suspend")
+	}
+}

@@ -1,0 +1,39 @@
+#!/bin/sh
+# check_coverage.sh <go-test-output> <floors-file>
+#
+# Enforces the per-package coverage floors of the floors file against
+# the `go test -coverprofile` output: every listed package must appear
+# in the output with a coverage percentage at or above its floor.
+# Floors are deliberately a few points below current coverage — they
+# catch test-stripping PRs, not normal fluctuation.
+set -eu
+
+out=$1
+floors=$2
+fail=0
+
+while read -r pkg floor; do
+	case "$pkg" in
+	'' | '#'*) continue ;;
+	esac
+	line=$(grep -E "^ok[[:space:]]+$pkg[[:space:]]" "$out" || true)
+	if [ -z "$line" ]; then
+		echo "coverage: package $pkg missing from test output"
+		fail=1
+		continue
+	fi
+	pct=$(printf '%s\n' "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+	if [ -z "$pct" ]; then
+		echo "coverage: no percentage reported for $pkg"
+		fail=1
+		continue
+	fi
+	if awk -v p="$pct" -v f="$floor" 'BEGIN{exit !(p+0 >= f+0)}'; then
+		echo "coverage: $pkg ${pct}% >= ${floor}%"
+	else
+		echo "coverage: $pkg ${pct}% is BELOW the ${floor}% floor"
+		fail=1
+	fi
+done <"$floors"
+
+exit $fail
