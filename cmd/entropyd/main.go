@@ -4,18 +4,31 @@
 // consolidation decision module, and streams every cluster-wide
 // context switch plus periodic utilization lines until the workload
 // completes.
+//
+// With -listen the daemon also mounts the HTTP control plane
+// (internal/api) and keeps serving until SIGTERM: operators can then
+// inspect the configuration and the executing plan, scrape /metrics,
+// inject monitoring events, drain or undrain nodes, and submit or
+// withdraw vjobs at runtime. -listen implies -event-driven — the
+// drain/evacuate workflow and runtime submissions are driven by
+// events, not by the fixed period.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	"os"
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"cwcs/internal/api"
 	"cwcs/internal/core"
 	"cwcs/internal/drivers"
 	"cwcs/internal/duration"
@@ -41,11 +54,19 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel portfolio workers per optimization (1 = sequential)")
 	partitions := flag.Int("partitions", 0, "cluster partitions solved concurrently (0 = auto, 1 = monolithic)")
 	seed := flag.Int64("seed", 42, "workload seed")
-	horizon := flag.Float64("horizon", 100_000, "simulation cut-off (virtual seconds)")
+	horizon := flag.Float64("horizon", 100_000, "simulation cut-off (virtual seconds; ignored while -listen serves)")
+	listen := flag.String("listen", "", "mount the HTTP control plane on this address (e.g. :8080) and serve until SIGTERM; implies -event-driven")
 	flag.Parse()
 
+	serving := *listen != ""
+	if serving {
+		*eventDriven = true
+	}
+
 	// SIGINT/SIGTERM cancel the in-flight optimization and stop the
-	// loop at the next iteration instead of killing the run mid-plan.
+	// loop at the next iteration; the sim driver then finishes the
+	// in-flight context switch before exiting instead of abandoning it
+	// mid-migration.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -56,24 +77,26 @@ func main() {
 	}
 	c := sim.New(cfg, duration.Default())
 
-	jobs := make([]*vjob.VJob, *njobs)
-	for i := range jobs {
+	jobs := make([]*vjob.VJob, 0, *njobs)
+	for i := 0; i < *njobs; i++ {
 		spec := workload.NewSpec(fmt.Sprintf("vjob%d", i+1),
 			workload.Benchmarks[i%len(workload.Benchmarks)],
 			workload.Classes[1+i%2], *nvms, i, rng)
 		spec.Install(cfg, c)
-		jobs[i] = spec.Job
+		jobs = append(jobs, spec.Job)
 		fmt.Printf("submitted %s: %s class %s, %d VMs, %.0f s of work\n",
 			spec.Job.Name, spec.Bench, spec.Size, len(spec.Job.VMs), spec.TotalWork())
 	}
 
+	drains := &core.DrainSet{}
 	loop := &core.Loop{
-		Decision:    reaper{inner: sched.Consolidation{}, c: c, jobs: jobs},
+		Decision:    reaper{inner: sched.Consolidation{}, c: c, jobs: func() []*vjob.VJob { return jobs }},
 		Ctx:         ctx,
 		Optimizer:   core.Optimizer{Timeout: *timeout, Workers: *workers, Partitions: *partitions},
 		Interval:    *interval,
 		EventDriven: *eventDriven,
 		Debounce:    *debounce,
+		Drains:      drains,
 		Queue:       func() []*vjob.VJob { return jobs },
 		Done: func() bool {
 			// Stop once every vjob finished AND its VMs were stopped.
@@ -93,6 +116,9 @@ func main() {
 			fmt.Println(switchLine(r))
 		},
 	}
+
+	// Violation-seconds integral, the exposure metric /metrics serves.
+	violSec := monitor.WatchViolationSeconds(c)
 
 	var tick func()
 	tick = func() {
@@ -120,20 +146,190 @@ func main() {
 			loop.Notify(act, core.Event{Kind: core.LoadChange, At: c.Now(), VMs: []string{vm}})
 		})
 	}
+
+	// simMu serializes the sim driver with the control-plane handlers;
+	// without -listen nothing else contends for it.
+	var simMu sync.Mutex
+	if serving {
+		// Threshold monitoring: sustained per-node overload and node
+		// up/down become events on the same ingestion path as POST
+		// /v1/events.
+		watcher := &monitor.ThresholdWatcher{Emit: func(ev core.Event) { loop.Notify(act, ev) }}
+		watcher.Attach(c)
+
+		apiSrv := controlPlane(&simMu, c, cfg, loop, act, drains, &jobs, violSec)
+		httpSrv := &http.Server{Addr: *listen, Handler: apiSrv.Handler()}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "control plane: %v\n", err)
+			}
+		}()
+		defer func() { _ = httpSrv.Shutdown(context.Background()) }()
+		fmt.Printf("control plane listening on %s\n", *listen)
+	}
+
+	// The listener may already be serving: starting the loop schedules
+	// on the sim event heap, so it needs the same serialization the
+	// handlers use.
+	simMu.Lock()
 	loop.Start(act)
-	c.Run(*horizon)
+	simMu.Unlock()
+	driveSim(ctx, c, loop, &simMu, *horizon, serving, 30)
 
 	fmt.Printf("\nworkload complete at t=%.0f s (%.1f min); %d context switches, mean duration %.0f s\n",
 		c.Now(), c.Now()/60, len(loop.Records), meanDuration(loop.Records))
 	if *eventDriven {
 		s := loop.Stats
-		fmt.Printf("event loop: %d events (%d coalesced), %d slice solves, %d full solves, %d repairs\n",
-			s.Events, s.Coalesced, s.SliceSolves, s.FullSolves, s.Repairs)
+		fmt.Printf("event loop: %d events (%d coalesced), %d slice solves, %d full solves, %d repairs, %d partition reuses\n",
+			s.Events, s.Coalesced, s.SliceSolves, s.FullSolves, s.Repairs, s.PartitionReuses)
 	}
 	local, remote := c.TransferCounts()
 	fmt.Printf("actions: %v; transfers: %d local, %d remote\n", c.ActionCounts(), local, remote)
 	if s := errorSummary(act.Reports); s != "" {
 		fmt.Print(s)
+	}
+}
+
+// controlPlane wires the daemon's state into the embeddable API
+// server. jobs is a pointer to the live slice: submissions grow it.
+func controlPlane(mu *sync.Mutex, c *sim.Cluster, cfg *vjob.Configuration, loop *core.Loop, act *drivers.Actuator, drains *core.DrainSet, jobs *[]*vjob.VJob, violSec func() float64) *api.Server {
+	return &api.Server{
+		Exec: func(fn func()) {
+			mu.Lock()
+			defer mu.Unlock()
+			fn()
+		},
+		Now:      c.Now,
+		Config:   c.Config,
+		Stats:    func() core.LoopStats { return loop.Stats },
+		Switches: func() int { return len(loop.Records) },
+		Execution: func() *drivers.Execution {
+			ex, _ := loop.Execution().(*drivers.Execution)
+			return ex
+		},
+		Notify: func(ev core.Event) { loop.Notify(act, ev) },
+		Drains: drains,
+		OnUndrain: func(node string) error {
+			if cfg.Node(node) == nil {
+				// The node was taken offline after evacuation: bring it
+				// back before lifting the drain order.
+				return c.SetNodeOnline(node)
+			}
+			return nil
+		},
+		Submit: func(spec api.VJobSpec) error {
+			for _, j := range *jobs {
+				if j.Name == spec.Name {
+					return fmt.Errorf("vjob %s already exists", spec.Name)
+				}
+			}
+			var vms []*vjob.VM
+			var names []string
+			for _, v := range spec.VMs {
+				if cfg.VM(v.Name) != nil {
+					return fmt.Errorf("VM %s already exists", v.Name)
+				}
+				vms = append(vms, vjob.NewVM(v.Name, spec.Name, v.CPU, v.Memory))
+				names = append(names, v.Name)
+			}
+			job := vjob.NewVJob(spec.Name, len(*jobs), vms...)
+			job.Submitted = c.Now()
+			for i, v := range vms {
+				cfg.AddVM(v)
+				var phases []sim.Phase
+				for _, p := range spec.VMs[i].Phases {
+					phases = append(phases, sim.Phase{CPU: p.CPU, Seconds: p.Seconds})
+				}
+				if len(phases) > 0 {
+					c.SetWorkload(v.Name, phases)
+				}
+			}
+			*jobs = append(*jobs, job)
+			loop.Notify(act, core.Event{Kind: core.VMArrival, At: c.Now(), VMs: names})
+			return nil
+		},
+		Withdraw: func(name string) error {
+			for i, j := range *jobs {
+				if j.Name != name {
+					continue
+				}
+				var names []string
+				for _, v := range j.VMs {
+					if cfg.VM(v.Name) != nil && cfg.StateOf(v.Name) != vjob.Waiting {
+						return fmt.Errorf("vjob %s is already placed; let it finish", name)
+					}
+					names = append(names, v.Name)
+				}
+				for _, vn := range names {
+					cfg.RemoveVM(vn)
+				}
+				*jobs = append((*jobs)[:i], (*jobs)[i+1:]...)
+				loop.Notify(act, core.Event{Kind: core.VMDeparture, At: c.Now(), VMs: names})
+				return nil
+			}
+			return fmt.Errorf("unknown vjob %s", name)
+		},
+		ViolationSeconds: violSec,
+		QueueDepth:       func() int { return len(*jobs) },
+	}
+}
+
+// driveSim advances the simulator in chunks under mu, releasing the
+// mutex between chunks so control-plane handlers interleave. Without
+// serving it returns when the horizon is reached or the simulation
+// goes quiescent (workload drained); while serving it runs until ctx
+// is canceled, idling on real time when the virtual cluster has
+// nothing to do. After cancellation it keeps advancing until the
+// in-flight context switch (if any) has finished — a SIGTERM never
+// abandons a half-executed plan mid-migration.
+func driveSim(ctx context.Context, c *sim.Cluster, loop *core.Loop, mu *sync.Mutex, horizon float64, serving bool, chunk float64) {
+	announced := false
+	for {
+		mu.Lock()
+		if ctx.Err() != nil {
+			if !loop.Busy() {
+				mu.Unlock()
+				return
+			}
+			if !announced {
+				announced = true
+				fmt.Println("shutdown: waiting for the in-flight context switch to finish")
+			}
+			before := c.Now()
+			c.Run(before + chunk)
+			stuck := c.Now() == before && loop.Busy()
+			mu.Unlock()
+			if stuck {
+				fmt.Fprintln(os.Stderr, "shutdown: execution cannot progress; abandoning")
+				return
+			}
+			continue
+		}
+		before := c.Now()
+		target := before + chunk
+		if !serving && target > horizon {
+			target = horizon
+		}
+		if before >= target {
+			mu.Unlock()
+			return
+		}
+		c.Run(target)
+		reached := c.Now()
+		mu.Unlock()
+		if reached == before && !serving { // quiescent: workload drained
+			return
+		}
+		if serving {
+			// Pace the daemon: recurring monitoring ticks keep the sim
+			// non-quiescent forever, and an unpaced loop would burn a
+			// core racing virtual time. One chunk per millisecond still
+			// advances ~30k virtual seconds per real second.
+			select {
+			case <-ctx.Done():
+			case <-time.After(time.Millisecond):
+			}
+		}
 	}
 }
 
@@ -177,11 +373,13 @@ func meanDuration(recs []core.SwitchRecord) float64 {
 }
 
 // reaper terminates vjobs whose application finished, mirroring the
-// paper's "the application signals Entropy to stop its vjob".
+// paper's "the application signals Entropy to stop its vjob". It reads
+// the live job list through the closure so runtime submissions are
+// seen.
 type reaper struct {
 	inner core.DecisionModule
 	c     *sim.Cluster
-	jobs  []*vjob.VJob
+	jobs  func() []*vjob.VJob
 }
 
 func (r reaper) Decide(cfg *vjob.Configuration, queue []*vjob.VJob) map[string]vjob.State {
@@ -192,7 +390,7 @@ func (r reaper) Decide(cfg *vjob.Configuration, queue []*vjob.VJob) map[string]v
 		}
 	}
 	target := r.inner.Decide(cfg, live)
-	for _, j := range r.jobs {
+	for _, j := range r.jobs() {
 		if !r.c.VJobDone(j) {
 			continue
 		}

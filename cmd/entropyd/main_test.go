@@ -1,12 +1,19 @@
 package main
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"cwcs/internal/core"
 	"cwcs/internal/drivers"
+	"cwcs/internal/duration"
+	"cwcs/internal/sim"
+	"cwcs/internal/vjob"
 )
 
 // TestSwitchLineSurfacesFailures is the regression test for silently
@@ -21,6 +28,77 @@ func TestSwitchLineSurfacesFailures(t *testing.T) {
 	if !strings.Contains(bad, "FAILURES=2") {
 		t.Fatalf("failures not surfaced: %q", bad)
 	}
+}
+
+// TestDriveSimFinishesInFlightSwitchOnShutdown pins the graceful
+// shutdown contract: a cancellation arriving while a context switch
+// executes must not abandon it — driveSim keeps advancing the
+// simulation until the managed execution has completed.
+func TestDriveSimFinishesInFlightSwitchOnShutdown(t *testing.T) {
+	cfg := vjob.NewConfiguration()
+	for i := 0; i < 4; i++ {
+		cfg.AddNode(vjob.NewNode(fmt.Sprintf("n%02d", i), 2, 4096))
+	}
+	c := sim.New(cfg, duration.Default())
+	act := &drivers.Actuator{C: c}
+
+	// Two running VMs on a drained node force an evacuation whose
+	// migrations take tens of virtual seconds.
+	job := vjob.NewVJob("ja", 0,
+		vjob.NewVM("a1", "ja", 1, 1024), vjob.NewVM("a2", "ja", 1, 1024))
+	for _, v := range job.VMs {
+		cfg.AddVM(v)
+		if err := cfg.SetRunning(v.Name, "n00"); err != nil {
+			t.Fatal(err)
+		}
+		c.SetWorkload(v.Name, []sim.Phase{{CPU: 1, Seconds: 1e6}})
+	}
+	drains := &core.DrainSet{}
+	drains.Drain("n00")
+	loop := &core.Loop{
+		Decision:    reaper{inner: keepStates{}, c: c, jobs: func() []*vjob.VJob { return nil }},
+		Optimizer:   core.Optimizer{Workers: 1, Timeout: 2 * time.Second},
+		EventDriven: true,
+		Debounce:    1,
+		Drains:      drains,
+		Queue:       func() []*vjob.VJob { return []*vjob.VJob{job} },
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	loop.Ctx = ctx
+	// Cancel at t=3: the bootstrap solve ran at t=0 and its migrations
+	// (1024 MiB each) are still executing.
+	c.Schedule(3, func() {
+		if !loop.Busy() {
+			t.Fatal("no switch in flight at the cancellation instant")
+		}
+		cancel()
+	})
+
+	var mu sync.Mutex
+	loop.Start(act)
+	driveSim(ctx, c, loop, &mu, 10_000, false, 2)
+
+	if loop.Busy() {
+		t.Fatal("driveSim returned with the switch still executing")
+	}
+	if len(loop.Records) != 1 {
+		t.Fatalf("%d switches recorded", len(loop.Records))
+	}
+	if got := cfg.RunningOn("n00"); len(got) != 0 {
+		t.Fatalf("n00 still hosts %d VMs: the switch was abandoned", len(got))
+	}
+	if !cfg.Viable() {
+		t.Fatalf("non-viable configuration after shutdown: %v", cfg.Violations())
+	}
+}
+
+// keepStates is the do-nothing decision module: every VM keeps its
+// state, so only rule maintenance (the drain) can demand actions.
+type keepStates struct{}
+
+func (keepStates) Decide(*vjob.Configuration, []*vjob.VJob) map[string]vjob.State {
+	return map[string]vjob.State{}
 }
 
 func TestErrorSummaryListsEveryReportError(t *testing.T) {

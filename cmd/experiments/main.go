@@ -11,6 +11,7 @@
 //	experiments fig13 [-quick]    utilization & completion, Entropy vs FCFS
 //	experiments partition [-quick] partitioned vs monolithic solve scaling
 //	experiments churn [-quick]    periodic vs event-driven loop under churn
+//	experiments drain [-quick]    drain/evacuate a node fraction under churn
 //	experiments all  [-quick]     everything above
 //
 // -quick shrinks sample counts, solver budgets and workload durations
@@ -89,6 +90,10 @@ func main() {
 		rows := experiments.ChurnStudy(churnOptions(*quick, *seed, *workers, studyParts))
 		fmt.Print(experiments.ChurnTable(rows))
 		writeCSV(*csvDir, "churn.csv", experiments.ChurnCSV(rows))
+	case "drain":
+		r := experiments.RunDrain(drainOptions(*quick, *seed, *workers, studyParts))
+		fmt.Print(experiments.DrainTable(r))
+		writeCSV(*csvDir, "drain.csv", experiments.DrainCSV(r))
 	case "all":
 		fmt.Print(experiments.Fig1())
 		fmt.Println()
@@ -109,6 +114,8 @@ func main() {
 		fmt.Print(experiments.PartitionTable(experiments.PartitionStudy(partitionOptions(*quick, *seed, *workers, studyParts))))
 		fmt.Println()
 		fmt.Print(experiments.ChurnTable(experiments.ChurnStudy(churnOptions(*quick, *seed, *workers, studyParts))))
+		fmt.Println()
+		fmt.Print(experiments.DrainTable(experiments.RunDrain(drainOptions(*quick, *seed, *workers, studyParts))))
 	default:
 		usage()
 		os.Exit(2)
@@ -159,6 +166,25 @@ func churnOptions(quick bool, seed int64, workers, partitions int) experiments.C
 	return o
 }
 
+// drainOptions shapes the node-maintenance evacuation study.
+func drainOptions(quick bool, seed int64, workers, partitions int) experiments.DrainOptions {
+	o := experiments.DefaultDrainOptions()
+	o.Seed = seed
+	o.Workers = workers
+	o.Partitions = partitions
+	if quick {
+		o.Nodes = 64
+		o.InitialVJobs = 6
+		o.VMsPerVJob = 4
+		o.ArrivalStop = 200
+		o.DrainAt = 200
+		o.WorkScale = 0.2
+		o.Horizon = 2000
+		o.Timeout = 100 * time.Millisecond
+	}
+	return o
+}
+
 // clusterRuns executes the §5.2 experiment under both decision
 // modules. fcfsOnly skips the Entropy run (for fig12).
 func clusterRuns(quick bool, seed int64, workers, partitions int, fcfsOnly bool) (fcfs, entropy experiments.ClusterResult) {
@@ -197,5 +223,5 @@ func writeCSV(dir, name, content string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|churn|all> [-quick] [-seed N] [-workers N] [-partitions N] [-csv DIR]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|churn|drain|all> [-quick] [-seed N] [-workers N] [-partitions N] [-csv DIR]`)
 }

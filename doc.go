@@ -9,4 +9,14 @@
 // paper's tables and figures; the implementation lives under
 // internal/ (see DESIGN.md for the map) and the runnable entry points
 // under cmd/ and examples/.
+//
+// Beyond the paper, the daemon grows a control plane: `entropyd
+// -listen :8080` mounts the HTTP operator surface of internal/api
+// (DESIGN.md §7) — live configuration, executing plan with per-action
+// status, Prometheus metrics, event injection, runtime vjob
+// submission, and the node-maintenance workflow: POST
+// /v1/nodes/{id}/drain installs a Drained placement rule and emits a
+// NodeDown event, the event-driven loop evacuates the node's guests,
+// and /undrain restores it. On SIGTERM the daemon finishes the
+// in-flight context switch before exiting.
 package cwcs

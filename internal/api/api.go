@@ -1,0 +1,561 @@
+// Package api is the embeddable HTTP control plane of the daemon: the
+// operator surface that lets monitoring systems and humans drive the
+// cluster-wide context switch engine from outside the process.
+//
+// Read endpoints expose the live configuration, the executing plan
+// with per-action status, the loop telemetry and Prometheus-style
+// metrics; write endpoints inject cluster events into the event-driven
+// loop (the same path the simulator's monitoring uses), command node
+// lifecycle (drain / undrain, which install Ban-style Drained rules
+// through core.DrainSet and trigger evacuation), and submit or
+// withdraw vjobs at runtime.
+//
+// The server is deliberately thin: it owns no cluster state. Every
+// handler runs its work inside the Exec serializer the host provides,
+// so the control plane, the control loop and the simulator never race;
+// responses are written outside the critical section.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"cwcs/internal/core"
+	"cwcs/internal/drivers"
+	"cwcs/internal/vjob"
+)
+
+// PhaseSpec is one workload phase of a submitted VM: CPU processing
+// units for Seconds of work (mirrors sim.Phase).
+type PhaseSpec struct {
+	CPU     int     `json:"cpu"`
+	Seconds float64 `json:"seconds"`
+}
+
+// VMSpec describes one VM of a submitted vjob.
+type VMSpec struct {
+	Name   string `json:"name"`
+	CPU    int    `json:"cpu"`
+	Memory int    `json:"memory"`
+	// Phases is the workload the host attaches to the VM; empty means
+	// a service VM that runs until the vjob is withdrawn.
+	Phases []PhaseSpec `json:"phases,omitempty"`
+}
+
+// VJobSpec is the body of POST /v1/vjobs.
+type VJobSpec struct {
+	Name string   `json:"name"`
+	VMs  []VMSpec `json:"vms"`
+}
+
+// Server is the control plane. All function hooks are invoked inside
+// Exec; hooks left nil disable their endpoints (501).
+type Server struct {
+	// Exec serializes a handler's work with the control loop and the
+	// simulator (e.g. by holding the mutex the sim driver holds while
+	// advancing virtual time). Required; nil runs handlers unserialized
+	// — acceptable only in single-threaded tests.
+	Exec func(func())
+
+	// Now returns the current virtual time.
+	Now func() float64
+	// Config returns the live configuration (a snapshot is taken under
+	// Exec before rendering).
+	Config func() *vjob.Configuration
+	// Stats returns the loop telemetry.
+	Stats func() core.LoopStats
+	// Switches returns how many context switches executed so far.
+	Switches func() int
+	// Execution returns the in-flight managed execution, nil when
+	// idle.
+	Execution func() *drivers.Execution
+	// Notify injects one cluster event into the loop.
+	Notify func(core.Event)
+	// Drains is the node-lifecycle bridge shared with Loop.Drains.
+	Drains *core.DrainSet
+	// OnDrain and OnUndrain, when non-nil, run after the drain set
+	// changed — the host's chance to integrate the simulator's node
+	// lifecycle (e.g. SetNodeOnline on undrain). An error rolls the
+	// drain-set change back and fails the request.
+	OnDrain, OnUndrain func(node string) error
+	// Submit and Withdraw manage vjobs at runtime.
+	Submit   func(VJobSpec) error
+	Withdraw func(name string) error
+	// ViolationSeconds returns the integral of capacity violations
+	// over virtual time.
+	ViolationSeconds func() float64
+	// QueueDepth returns the number of vjobs in the submission queue.
+	QueueDepth func() int
+}
+
+// Handler returns the routed control plane.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/config", s.handleConfig)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/plan", s.handlePlan)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/nodes", s.handleNodes)
+	mux.HandleFunc("GET /v1/nodes/{id}", s.handleNode)
+	mux.HandleFunc("POST /v1/nodes/{id}/drain", s.handleDrain)
+	mux.HandleFunc("POST /v1/nodes/{id}/undrain", s.handleUndrain)
+	mux.HandleFunc("POST /v1/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/vjobs", s.handleSubmit)
+	mux.HandleFunc("DELETE /v1/vjobs/{name}", s.handleWithdraw)
+	return mux
+}
+
+// exec runs fn inside the host's serializer.
+func (s *Server) exec(fn func()) {
+	if s.Exec != nil {
+		s.Exec(fn)
+		return
+	}
+	fn()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	if s.Config == nil {
+		writeError(w, http.StatusNotImplemented, "no configuration source")
+		return
+	}
+	var snap *vjob.Configuration
+	s.exec(func() { snap = s.Config().Clone() })
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// statsJSON is the body of GET /v1/stats.
+type statsJSON struct {
+	Now              float64        `json:"now"`
+	Loop             core.LoopStats `json:"loop"`
+	Switches         int            `json:"switches"`
+	ViolationSeconds float64        `json:"violationSeconds"`
+	QueueDepth       int            `json:"queueDepth"`
+	DrainingNodes    []string       `json:"drainingNodes,omitempty"`
+	Executing        bool           `json:"executing"`
+}
+
+// snapshot gathers the telemetry every read endpoint shares.
+func (s *Server) snapshot() statsJSON {
+	var out statsJSON
+	s.exec(func() {
+		if s.Now != nil {
+			out.Now = s.Now()
+		}
+		if s.Stats != nil {
+			out.Loop = s.Stats()
+		}
+		if s.Switches != nil {
+			out.Switches = s.Switches()
+		}
+		if s.ViolationSeconds != nil {
+			out.ViolationSeconds = s.ViolationSeconds()
+		}
+		if s.QueueDepth != nil {
+			out.QueueDepth = s.QueueDepth()
+		}
+		out.DrainingNodes = s.Drains.Nodes()
+		if s.Execution != nil {
+			if ex := s.Execution(); ex != nil && !ex.Finished() {
+				out.Executing = true
+			}
+		}
+	})
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.Stats == nil {
+		writeError(w, http.StatusNotImplemented, "no stats source")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+// actionJSON is one action's status in GET /v1/plan.
+type actionJSON struct {
+	Pool    int     `json:"pool"`
+	Action  string  `json:"action"`
+	VM      string  `json:"vm"`
+	Phase   string  `json:"phase"`
+	Err     string  `json:"error,omitempty"`
+	Started float64 `json:"started,omitempty"`
+	Ended   float64 `json:"ended,omitempty"`
+}
+
+// planJSON is the body of GET /v1/plan.
+type planJSON struct {
+	Executing bool         `json:"executing"`
+	Cost      int          `json:"cost,omitempty"`
+	Pools     int          `json:"pools,omitempty"`
+	Actions   []actionJSON `json:"actions,omitempty"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if s.Execution == nil {
+		writeError(w, http.StatusNotImplemented, "no execution source")
+		return
+	}
+	var out planJSON
+	s.exec(func() {
+		ex := s.Execution()
+		if ex == nil {
+			return
+		}
+		p := ex.Plan()
+		out.Executing = !ex.Finished()
+		out.Cost = p.Cost()
+		out.Pools = len(p.Pools)
+		for _, st := range ex.Status() {
+			out.Actions = append(out.Actions, actionJSON{
+				Pool:    st.Pool,
+				Action:  st.Action,
+				VM:      st.VM,
+				Phase:   st.Phase.String(),
+				Err:     st.Err,
+				Started: st.Started,
+				Ended:   st.Ended,
+			})
+		}
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+// nodeJSON is one node's status in GET /v1/nodes.
+type nodeJSON struct {
+	Name       string   `json:"name"`
+	CPU        int      `json:"cpu"`
+	Memory     int      `json:"memory"`
+	UsedCPU    int      `json:"usedCPU"`
+	UsedMemory int      `json:"usedMemory"`
+	Running    []string `json:"running,omitempty"`
+	Sleeping   []string `json:"sleeping,omitempty"`
+	Draining   bool     `json:"draining"`
+	// Evacuated is true for a draining node that holds nothing
+	// anymore: safe to take offline. A node still storing suspended
+	// images stays un-evacuated — the optimizer cannot relocate an
+	// image; resume (or withdraw) the owning vjobs to free it.
+	Evacuated bool `json:"evacuated"`
+	// Offline is true for a draining node absent from the
+	// configuration (already taken down).
+	Offline bool `json:"offline"`
+}
+
+// nodeLoad is the per-node aggregation of one walk over the VM set.
+type nodeLoad struct {
+	usedCPU, usedMem  int
+	running, sleeping []string
+}
+
+// loadByNode groups usage and guests by hosting node in one O(VMs)
+// pass — per-node UsedCPU/RunningOn calls each rescan the whole VM
+// set, which would make the node endpoints O(nodes x VMs) inside the
+// Exec critical section.
+func loadByNode(cfg *vjob.Configuration) map[string]*nodeLoad {
+	out := make(map[string]*nodeLoad)
+	get := func(node string) *nodeLoad {
+		ld := out[node]
+		if ld == nil {
+			ld = &nodeLoad{}
+			out[node] = ld
+		}
+		return ld
+	}
+	for _, v := range cfg.VMs() {
+		switch cfg.StateOf(v.Name) {
+		case vjob.Running:
+			ld := get(cfg.HostOf(v.Name))
+			ld.usedCPU += v.CPUDemand
+			ld.usedMem += v.MemoryDemand
+			ld.running = append(ld.running, v.Name)
+		case vjob.Sleeping:
+			ld := get(cfg.ImageHostOf(v.Name))
+			ld.sleeping = append(ld.sleeping, v.Name)
+		}
+	}
+	return out
+}
+
+// nodeStatus renders one node from the precomputed load map; ok is
+// false when the name is neither a configured node nor a draining
+// (offline) one. Callers hold Exec.
+func (s *Server) nodeStatus(cfg *vjob.Configuration, load map[string]*nodeLoad, name string) (nodeJSON, bool) {
+	out := nodeJSON{Name: name, Draining: s.Drains.IsDrained(name)}
+	n := cfg.Node(name)
+	if n == nil {
+		if !out.Draining {
+			return out, false
+		}
+		out.Offline = true
+		out.Evacuated = true
+		return out, true
+	}
+	out.CPU, out.Memory = n.CPU, n.Memory
+	if ld := load[name]; ld != nil {
+		out.UsedCPU, out.UsedMemory = ld.usedCPU, ld.usedMem
+		out.Running, out.Sleeping = ld.running, ld.sleeping
+	}
+	out.Evacuated = out.Draining && len(out.Running) == 0 && len(out.Sleeping) == 0
+	return out, true
+}
+
+func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	if s.Config == nil {
+		writeError(w, http.StatusNotImplemented, "no configuration source")
+		return
+	}
+	var out []nodeJSON
+	s.exec(func() {
+		cfg := s.Config()
+		load := loadByNode(cfg)
+		seen := make(map[string]bool)
+		for _, n := range cfg.Nodes() {
+			st, _ := s.nodeStatus(cfg, load, n.Name)
+			out = append(out, st)
+			seen[n.Name] = true
+		}
+		// Draining nodes already taken offline are still operator
+		// state: list them too.
+		for _, name := range s.Drains.Nodes() {
+			if !seen[name] {
+				st, _ := s.nodeStatus(cfg, load, name)
+				out = append(out, st)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	if s.Config == nil {
+		writeError(w, http.StatusNotImplemented, "no configuration source")
+		return
+	}
+	id := r.PathValue("id")
+	var st nodeJSON
+	var ok bool
+	s.exec(func() {
+		cfg := s.Config()
+		st, ok = s.nodeStatus(cfg, loadByNode(cfg), id)
+	})
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown node %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if s.Drains == nil || s.Config == nil {
+		writeError(w, http.StatusNotImplemented, "no drain bridge")
+		return
+	}
+	id := r.PathValue("id")
+	var st nodeJSON
+	var ok bool
+	var hookErr error
+	s.exec(func() {
+		cfg := s.Config()
+		if cfg.Node(id) == nil && !s.Drains.IsDrained(id) {
+			ok = false
+			return
+		}
+		ok = true
+		if s.Drains.Drain(id) {
+			if s.OnDrain != nil {
+				if hookErr = s.OnDrain(id); hookErr != nil {
+					s.Drains.Undrain(id)
+					return
+				}
+			}
+			if s.Notify != nil {
+				ev := core.Event{Kind: core.NodeDown, At: now(s), Nodes: []string{id}}
+				for _, v := range cfg.RunningOn(id) {
+					ev.VMs = append(ev.VMs, v.Name)
+				}
+				s.Notify(ev)
+			}
+		}
+		st, _ = s.nodeStatus(cfg, loadByNode(cfg), id)
+	})
+	switch {
+	case !ok:
+		writeError(w, http.StatusNotFound, "unknown node %q", id)
+	case hookErr != nil:
+		writeError(w, http.StatusConflict, "drain %s: %v", id, hookErr)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleUndrain(w http.ResponseWriter, r *http.Request) {
+	if s.Drains == nil || s.Config == nil {
+		writeError(w, http.StatusNotImplemented, "no drain bridge")
+		return
+	}
+	id := r.PathValue("id")
+	var st nodeJSON
+	var ok bool
+	var hookErr error
+	s.exec(func() {
+		cfg := s.Config()
+		if cfg.Node(id) == nil && !s.Drains.IsDrained(id) {
+			ok = false
+			return
+		}
+		ok = true
+		if s.Drains.Undrain(id) {
+			if s.OnUndrain != nil {
+				if hookErr = s.OnUndrain(id); hookErr != nil {
+					s.Drains.Drain(id)
+					return
+				}
+			}
+			if s.Notify != nil {
+				s.Notify(core.Event{Kind: core.NodeUp, At: now(s), Nodes: []string{id}})
+			}
+		}
+		// Re-observe: OnUndrain may have brought the node back online.
+		fresh := s.Config()
+		st, _ = s.nodeStatus(fresh, loadByNode(fresh), id)
+	})
+	switch {
+	case !ok:
+		writeError(w, http.StatusNotFound, "unknown node %q", id)
+	case hookErr != nil:
+		writeError(w, http.StatusConflict, "undrain %s: %v", id, hookErr)
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+func now(s *Server) float64 {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return 0
+}
+
+// eventJSON is the wire form of one injected event.
+type eventJSON struct {
+	Kind  string   `json:"kind"`
+	Nodes []string `json:"nodes,omitempty"`
+	VMs   []string `json:"vms,omitempty"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.Notify == nil {
+		writeError(w, http.StatusNotImplemented, "no event sink")
+		return
+	}
+	var batch []eventJSON
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, "events: expected a JSON array of {kind,nodes,vms}: %v", err)
+		return
+	}
+	events := make([]core.Event, 0, len(batch))
+	for i, ej := range batch {
+		kind, err := core.ParseEventKind(ej.Kind)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "events[%d]: %v", i, err)
+			return
+		}
+		if kind == core.ActionFailure {
+			// Failures are born inside the executing plan; an external
+			// injection could request a repair with no failed action.
+			writeError(w, http.StatusBadRequest, "events[%d]: %s events cannot be injected", i, ej.Kind)
+			return
+		}
+		events = append(events, core.Event{Kind: kind, Nodes: ej.Nodes, VMs: ej.VMs})
+	}
+	s.exec(func() {
+		at := now(s)
+		for _, ev := range events {
+			ev.At = at
+			s.Notify(ev)
+		}
+	})
+	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(events)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.Submit == nil {
+		writeError(w, http.StatusNotImplemented, "no vjob submitter")
+		return
+	}
+	var spec VJobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "vjobs: %v", err)
+		return
+	}
+	if spec.Name == "" || len(spec.VMs) == 0 {
+		writeError(w, http.StatusBadRequest, "vjobs: a vjob needs a name and at least one VM")
+		return
+	}
+	seen := make(map[string]bool, len(spec.VMs))
+	for _, v := range spec.VMs {
+		if v.Name == "" {
+			writeError(w, http.StatusBadRequest, "vjobs: VM with empty name")
+			return
+		}
+		if seen[v.Name] {
+			writeError(w, http.StatusBadRequest, "vjobs: duplicate VM name %s", v.Name)
+			return
+		}
+		seen[v.Name] = true
+		if v.CPU < 0 || v.Memory < 0 {
+			writeError(w, http.StatusBadRequest, "vjobs: VM %s has negative demand", v.Name)
+			return
+		}
+		for i, p := range v.Phases {
+			if p.CPU < 0 || p.Seconds < 0 {
+				writeError(w, http.StatusBadRequest, "vjobs: VM %s phase %d has negative cpu or seconds", v.Name, i)
+				return
+			}
+		}
+	}
+	var err error
+	s.exec(func() { err = s.Submit(spec) })
+	if err != nil {
+		writeError(w, http.StatusConflict, "vjobs: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"submitted": spec.Name})
+}
+
+func (s *Server) handleWithdraw(w http.ResponseWriter, r *http.Request) {
+	if s.Withdraw == nil {
+		writeError(w, http.StatusNotImplemented, "no vjob withdrawer")
+		return
+	}
+	name := r.PathValue("name")
+	var err error
+	s.exec(func() { err = s.Withdraw(name) })
+	if err != nil {
+		writeError(w, http.StatusConflict, "vjobs: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"withdrawn": name})
+}

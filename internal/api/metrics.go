@@ -1,0 +1,57 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// metric is one exposition line group of GET /metrics.
+type metric struct {
+	name, help, typ string
+	value           float64
+}
+
+// metricsSnapshot gathers every gauge/counter under Exec.
+func (s *Server) metricsSnapshot() []metric {
+	snap := s.snapshot()
+	g := func(name, help, typ string, v float64) metric {
+		return metric{name: name, help: help, typ: typ, value: v}
+	}
+	executing := 0.0
+	if snap.Executing {
+		executing = 1
+	}
+	return []metric{
+		g("cwcs_iterations_total", "Wake-ups that ran the decision module.", "counter", float64(snap.Loop.Iterations)),
+		g("cwcs_solves_total", "Optimizer invocations (monolithic solves plus dirty-slice solves).", "counter", float64(snap.Loop.SolverCalls)),
+		g("cwcs_sub_solves_total", "Independent sub-problem optimizations, the comparable solve unit.", "counter", float64(snap.Loop.SubSolves)),
+		g("cwcs_slice_solves_total", "Solver invocations restricted to a dirty partition slice.", "counter", float64(snap.Loop.SliceSolves)),
+		g("cwcs_full_solves_total", "Incremental iterations that fell back to the monolithic model.", "counter", float64(snap.Loop.FullSolves)),
+		g("cwcs_repairs_total", "In-flight plan repairs spliced successfully.", "counter", float64(snap.Loop.Repairs)),
+		g("cwcs_failed_repairs_total", "Repair attempts that fell back to a full re-solve.", "counter", float64(snap.Loop.FailedRepairs)),
+		g("cwcs_events_total", "Cluster events received by the loop.", "counter", float64(snap.Loop.Events)),
+		g("cwcs_events_coalesced_total", "Events absorbed into an armed wake-up or in-flight execution.", "counter", float64(snap.Loop.Coalesced)),
+		g("cwcs_partition_reuses_total", "Wake-ups that reused the cached partition carve.", "counter", float64(snap.Loop.PartitionReuses)),
+		g("cwcs_switches_total", "Executed cluster-wide context switches.", "counter", float64(snap.Switches)),
+		g("cwcs_violation_seconds_total", "Integral of capacity violations over virtual time.", "counter", snap.ViolationSeconds),
+		g("cwcs_queue_depth", "VJobs in the submission queue.", "gauge", float64(snap.QueueDepth)),
+		g("cwcs_draining_nodes", "Nodes currently under a drain order.", "gauge", float64(len(snap.DrainingNodes))),
+		g("cwcs_executing", "1 while a context switch is executing.", "gauge", executing),
+		g("cwcs_virtual_time_seconds", "Current virtual time of the cluster.", "gauge", snap.Now),
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.Stats == nil {
+		writeError(w, http.StatusNotImplemented, "no stats source")
+		return
+	}
+	var b strings.Builder
+	for _, m := range s.metricsSnapshot() {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.typ, m.name, m.value)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -45,6 +45,17 @@ func (k EventKind) String() string {
 	}
 }
 
+// ParseEventKind maps the String name of a kind back to the kind: the
+// wire format of the control plane's POST /v1/events.
+func ParseEventKind(s string) (EventKind, error) {
+	for _, k := range []EventKind{VMArrival, VMDeparture, LoadChange, NodeDown, NodeUp, ActionFailure} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown event kind %q", s)
+}
+
 // Event is one cluster change fed into the event-driven loop
 // (Loop.Notify): the kind, when it happened, and which nodes and VMs
 // it touches. The touched elements seed the loop's dirty-set; the

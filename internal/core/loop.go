@@ -73,6 +73,10 @@ type LoopStats struct {
 	// Events counts events received; Coalesced the ones absorbed into
 	// an already-armed wake-up or an in-flight execution.
 	Events, Coalesced int
+	// PartitionReuses counts incremental wake-ups that reused the
+	// previous wake-up's partition carve instead of re-splitting the
+	// whole cluster (see the partition cache in solveDirtySlices).
+	PartitionReuses int
 }
 
 // Loop is the Entropy control loop (§3.1, Figure 4): iteratively
@@ -114,6 +118,11 @@ type Loop struct {
 	Debounce float64
 	// Rules are administrator placement rules enforced on every solve.
 	Rules []PlacementRule
+	// Drains, when non-nil, is the operator drain bridge: its Drained
+	// rules are appended to Rules at every solve, so a drain command
+	// immediately forbids the node to the optimizer and the next
+	// wake-up evacuates it.
+	Drains *DrainSet
 	// Queue supplies the live vjob queue at each iteration; required.
 	Queue func() []*vjob.VJob
 	// Done, when non-nil, is polled at each iteration; returning true
@@ -140,6 +149,22 @@ type Loop struct {
 	// lastDst is the expected destination of the last switch: the
 	// warm-start assignment of the next solve.
 	lastDst *vjob.Configuration
+
+	// Partition cache: the node/VM membership (and rescoped rules) of
+	// the last carve — or the verdict that the problem stays monolithic
+	// — reusable while no structural event, executed action or rule
+	// change invalidated it.
+	parts     []cachedPart
+	partsMono bool
+	partsGen  int
+}
+
+// cachedPart is one slice of a cached partition carve: enough to
+// rebuild the sub-problem against a fresh observation without
+// re-walking the whole cluster.
+type cachedPart struct {
+	nodes, vms []string
+	rules      []PlacementRule
 }
 
 // Start schedules the first iteration immediately and returns; the
@@ -177,6 +202,31 @@ func (l *Loop) halted() bool {
 	return l.stopped || l.ctx().Err() != nil || (l.Done != nil && l.Done())
 }
 
+// rules combines the static administrator rules with the dynamic drain
+// rules of the bridge.
+func (l *Loop) rules() []PlacementRule {
+	if l.Drains == nil {
+		return l.Rules
+	}
+	dr := l.Drains.Rules()
+	if len(dr) == 0 {
+		return l.Rules
+	}
+	return append(append([]PlacementRule(nil), l.Rules...), dr...)
+}
+
+// Busy reports whether a context switch is executing right now.
+func (l *Loop) Busy() bool { return l.executing }
+
+// Execution returns the handle of the in-flight managed execution, or
+// nil when no plan is executing (or the actuator is unmanaged).
+func (l *Loop) Execution() Execution {
+	if !l.executing {
+		return nil
+	}
+	return l.exec
+}
+
 // Notify feeds one cluster event into the event-driven loop. Events
 // received while a plan executes only mark the dirty-set — except
 // action failures, which additionally request an in-flight repair at
@@ -190,6 +240,12 @@ func (l *Loop) Notify(a Actuator, ev Event) {
 	}
 	l.Stats.Events++
 	l.dirty.add(ev)
+	switch ev.Kind {
+	case VMArrival, VMDeparture, NodeDown, NodeUp:
+		// Membership (or drain-rule) changes redraw the binding
+		// relation: the cached carve is stale.
+		l.parts, l.partsMono = nil, false
+	}
 	if l.executing {
 		if ev.Kind == ActionFailure && l.exec != nil && !l.exec.Finished() {
 			l.repairWanted = true
@@ -231,7 +287,7 @@ func (l *Loop) iterate(a Actuator) {
 	queue := l.Queue()
 	target := l.Decision.Decide(cfg, queue)
 	l.Stats.Iterations++
-	p := Problem{Src: cfg, Target: target, Rules: l.Rules}
+	p := Problem{Src: cfg, Target: target, Rules: l.rules()}
 	if p.Satisfied() {
 		l.lastDst = cfg
 		l.next(a)
@@ -306,6 +362,14 @@ func (l *Loop) execute(a Actuator, res *Result, slices int) {
 		l.next(a)
 	}
 	l.executing = true
+	// A monolithic plan may migrate VMs across slice boundaries,
+	// invalidating the cached carve. A merged slice plan cannot: each
+	// slice solve only places VMs on its own nodes, so the carve's
+	// hard bindings survive the switch and the follow-up wake-ups
+	// reuse it.
+	if slices == 0 {
+		l.parts, l.partsMono = nil, false
+	}
 	// A switch changes the region it touches: mark it dirty so the
 	// event-driven loop runs one follow-up pass and converges the
 	// decision module to a fixpoint (multi-round policies like
@@ -364,7 +428,7 @@ func (l *Loop) tryRepair(a Actuator) {
 	}
 	cur := a.Observe()
 	target := l.Decision.Decide(cur, l.Queue())
-	p := Problem{Src: cur, Target: target, Rules: l.Rules}
+	p := Problem{Src: cur, Target: target, Rules: l.rules()}
 	sr, err := l.solveDirtySlices(p, dirtyNodes, dirtyVMs)
 	if err != nil {
 		if !errors.Is(err, errNothingDirty) {
@@ -381,6 +445,9 @@ func (l *Loop) tryRepair(a Actuator) {
 		fallback()
 		return
 	}
+	// The spliced remainder came from a fresh mid-execution carve whose
+	// slices need not match the cached one: drop the cache.
+	l.parts, l.partsMono = nil, false
 	l.Stats.Repairs++
 	if final, err := repaired.Result(); err == nil {
 		l.lastDst = final
@@ -409,7 +476,7 @@ type sliceResult struct {
 // each from the last incumbent assignment.
 func (l *Loop) solveDirtySlices(p Problem, dirtyNodes, dirtyVMs map[string]bool) (*sliceResult, error) {
 	opt := l.Optimizer
-	parts, err := (Partitioner{Parts: opt.Partitions}).Split(p)
+	parts, err := l.partition(p)
 	if err != nil || len(parts) < 2 {
 		return nil, errMonolithic
 	}
@@ -452,6 +519,82 @@ func (l *Loop) solveDirtySlices(p Problem, dirtyNodes, dirtyVMs map[string]bool)
 	return out, nil
 }
 
+// partition carves the problem into slices, reusing the previous
+// wake-up's carve when it is still valid: the membership walk behind
+// Partitioner.Split is O(nodes + VMs), which dominates quiet wake-ups
+// on large clusters (a storm of harmless load changes re-carves the
+// whole cluster just to discover every slice is satisfied). The cache
+// holds only slice membership and rescoped rules; each use re-extracts
+// the slices from the fresh observation, so placements and demands are
+// always current. It is invalidated by structural events (arrivals,
+// departures, node up/down) in Notify, by every executed switch in
+// execute (actions rewrite the placement bindings the carve hangs on),
+// and by drain-rule changes via the DrainSet generation; as a final
+// guard, an Extract that fails (a VM no longer placed inside its
+// cached slice) discards the cache and re-carves.
+func (l *Loop) partition(p Problem) ([]Problem, error) {
+	if parts, ok := l.cachedPartition(p); ok {
+		l.Stats.PartitionReuses++
+		return parts, nil
+	}
+	l.parts, l.partsMono = nil, false
+	parts, err := (Partitioner{Parts: l.Optimizer.Partitions}).Split(p)
+	// A mid-execution carve (tryRepair) is not cached: the remaining
+	// pools keep rewriting placements underneath it.
+	if err != nil || l.executing {
+		return parts, err
+	}
+	l.partsGen = l.Drains.Generation()
+	if len(parts) < 2 {
+		l.partsMono = true
+		return parts, nil
+	}
+	cache := make([]cachedPart, len(parts))
+	for i, sub := range parts {
+		slice := cachedPart{rules: sub.Rules}
+		for _, n := range sub.Src.Nodes() {
+			slice.nodes = append(slice.nodes, n.Name)
+		}
+		for _, v := range sub.Src.VMs() {
+			slice.vms = append(slice.vms, v.Name)
+		}
+		cache[i] = slice
+	}
+	l.parts = cache
+	return parts, nil
+}
+
+// cachedPartition rebuilds the sub-problems from the cached carve; ok
+// is false when the cache is absent or stale.
+func (l *Loop) cachedPartition(p Problem) ([]Problem, bool) {
+	if l.executing || l.partsGen != l.Drains.Generation() {
+		return nil, false
+	}
+	if l.partsMono {
+		return nil, true
+	}
+	if l.parts == nil {
+		return nil, false
+	}
+	out := make([]Problem, len(l.parts))
+	for i, slice := range l.parts {
+		sub, err := p.Src.Extract(slice.nodes, slice.vms)
+		if err != nil {
+			return nil, false // placement drifted outside the carve: stale
+		}
+		target := make(map[string]vjob.State)
+		for _, name := range slice.vms {
+			if job := p.Src.VM(name).VJob; job != "" {
+				if st, ok := p.Target[job]; ok {
+					target[job] = st
+				}
+			}
+		}
+		out[i] = Problem{Src: sub, Target: target, Rules: slice.rules}
+	}
+	return out, true
+}
+
 // touchesSets reports whether the slice holds any dirty node or VM.
 func touchesSets(sub *vjob.Configuration, nodes, vms map[string]bool) bool {
 	for n := range nodes {
@@ -482,7 +625,7 @@ func (l *Loop) iterateIncremental(a Actuator) {
 	cfg := a.Observe()
 	target := l.Decision.Decide(cfg, l.Queue())
 	l.Stats.Iterations++
-	p := Problem{Src: cfg, Target: target, Rules: l.Rules}
+	p := Problem{Src: cfg, Target: target, Rules: l.rules()}
 	if p.Satisfied() {
 		l.lastDst = cfg
 		return

@@ -303,6 +303,71 @@ func TestEventLoopStopDuringInFlightRepair(t *testing.T) {
 	}
 }
 
+// TestEventLoopRepairRefusalFallsBackToFullResolve is the loop half
+// of the cross-slice regression: when plan.Repair refuses the splice
+// (the kept remainder depends on a dropped action), the loop must
+// count a FailedRepair, leave the executing plan alone, and converge
+// through the post-execution re-solve instead of corrupting the plan.
+func TestEventLoopRepairRefusalFallsBackToFullResolve(t *testing.T) {
+	cfg := mkCluster(4, 1, 2048)
+	ja := vjob.NewVJob("ja", 0,
+		vjob.NewVM("a1", "ja", 1, 1024), vjob.NewVM("a2", "ja", 1, 1024))
+	jb := vjob.NewVJob("jb", 0,
+		vjob.NewVM("y", "jb", 0, 2048), vjob.NewVM("z", "jb", 0, 2048))
+	for _, v := range append(ja.VMs, jb.VMs...) {
+		cfg.AddVM(v)
+	}
+	// Slice A (n00, n01): both a-VMs on n00 — a CPU violation the
+	// dirty-slice solve will fix. Slice B (n02, n03): y fills n03, z
+	// fills n02.
+	mustRun(t, cfg, "a1", "n00")
+	mustRun(t, cfg, "a2", "n00")
+	mustRun(t, cfg, "y", "n03")
+	mustRun(t, cfg, "z", "n02")
+	rules := []PlacementRule{
+		Fence{VMs: []string{"a1", "a2"}, Nodes: []string{"n00", "n01"}},
+		Fence{VMs: []string{"y", "z"}, Nodes: []string{"n02", "n03"}},
+	}
+	l, a := eventLoop(cfg, rules, []*vjob.VJob{ja, jb})
+
+	// A monolithic-origin plan is mid-execution: pool 0 moves y into
+	// slice A's n00 (freeing n03), pool 1 moves z into the freed n03.
+	// A failure in slice A requests a repair at the boundary. The
+	// re-solved slice A covers n00/n01, so y's migration is dropped —
+	// and z's kept migration then depends on an action that no longer
+	// exists. plan.Repair must refuse.
+	stub := &fakeExec{a: a, plan: &plan.Plan{Src: cfg, Pools: []plan.Pool{
+		{&plan.Migration{Machine: jb.VMs[0], Src: "n03", Dst: "n00"}},
+		{&plan.Migration{Machine: jb.VMs[1], Src: "n02", Dst: "n03"}},
+	}}}
+	l.exec = stub
+	l.executing = true
+	l.repairWanted = true
+	l.dirty.add(Event{Kind: ActionFailure, VMs: []string{"a2"}, Nodes: []string{"n00"}})
+
+	l.poolBoundary(a)
+	if l.Stats.FailedRepairs != 1 || l.Stats.Repairs != 0 {
+		t.Fatalf("refusal not counted as failed repair: %+v", l.Stats)
+	}
+	if a.splices != 0 {
+		t.Fatal("refused repair still spliced the plan")
+	}
+
+	// The execution completes as planned; the pending re-solve then
+	// fixes the region in a fresh pass.
+	l.next(a)
+	a.run(100)
+	if !cfg.Viable() {
+		t.Fatalf("loop never converged after the refusal: %v", cfg.Violations())
+	}
+	if n := len(cfg.RunningOn("n00")); n > 1 {
+		t.Fatalf("slice A still overloaded: %d VMs on n00", n)
+	}
+	if l.Stats.Iterations == 0 {
+		t.Fatal("no follow-up pass ran")
+	}
+}
+
 func TestEventLoopRepairsInFlightPlan(t *testing.T) {
 	// Two arrivals dirty both slices, so the switch carries one
 	// migration per slice in one pool. a2's migration fails: the loop

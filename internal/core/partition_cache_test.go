@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"cwcs/internal/vjob"
+)
+
+// cacheCluster builds the two-slice reuse scenario: two fenced pairs
+// of 1-CPU nodes, each hosting one busy VM and one idle VM on the same
+// node, so raising an idle VM's demand overloads its node and the only
+// fix is an intra-slice migration.
+func cacheCluster(t *testing.T) (*vjob.Configuration, []PlacementRule, []*vjob.VJob) {
+	t.Helper()
+	cfg := mkCluster(4, 1, 4096)
+	ja := vjob.NewVJob("ja", 0,
+		vjob.NewVM("a1", "ja", 1, 1024), vjob.NewVM("a2", "ja", 0, 1024))
+	jb := vjob.NewVJob("jb", 0,
+		vjob.NewVM("b1", "jb", 1, 1024), vjob.NewVM("b2", "jb", 0, 1024))
+	for _, v := range append(ja.VMs, jb.VMs...) {
+		cfg.AddVM(v)
+	}
+	mustRun(t, cfg, "a1", "n00")
+	mustRun(t, cfg, "a2", "n00")
+	mustRun(t, cfg, "b1", "n02")
+	mustRun(t, cfg, "b2", "n02")
+	rules := []PlacementRule{
+		Fence{VMs: []string{"a1", "a2"}, Nodes: []string{"n00", "n01"}},
+		Fence{VMs: []string{"b1", "b2"}, Nodes: []string{"n02", "n03"}},
+	}
+	return cfg, rules, []*vjob.VJob{ja, jb}
+}
+
+// TestPartitionCacheReusedAcrossWakeUps: consecutive wake-ups whose
+// events carry no arrivals/departures reuse the carve — including
+// across an executed switch whose plan came from slice solves.
+func TestPartitionCacheReusedAcrossWakeUps(t *testing.T) {
+	cfg, rules, jobs := cacheCluster(t)
+	l, a := eventLoop(cfg, rules, jobs)
+	l.Start(a)
+	a.run(1)
+
+	// First overload: slice A. The wake-up carves (and caches).
+	cfg.VM("a2").CPUDemand = 1
+	l.Notify(a, Event{Kind: LoadChange, At: a.now, VMs: []string{"a2"}})
+	a.run(20)
+	if cfg.HostOf("a2") != "n01" {
+		t.Fatalf("a2 on %s (want n01)", cfg.HostOf("a2"))
+	}
+	if l.Stats.PartitionReuses != 0 {
+		t.Fatalf("premature reuse: %d", l.Stats.PartitionReuses)
+	}
+
+	// Second overload: slice B. No structural event happened and the
+	// previous switch was slice-derived, so the carve is reused.
+	cfg.VM("b2").CPUDemand = 1
+	l.Notify(a, Event{Kind: LoadChange, At: a.now, VMs: []string{"b2"}})
+	a.run(40)
+	if cfg.HostOf("b2") != "n03" {
+		t.Fatalf("b2 on %s (want n03)", cfg.HostOf("b2"))
+	}
+	if l.Stats.PartitionReuses == 0 {
+		t.Fatal("carve not reused on the structurally-quiet wake-up")
+	}
+	if !cfg.Viable() {
+		t.Fatalf("non-viable: %v", cfg.Violations())
+	}
+}
+
+// TestPartitionCacheInvalidatedByArrival: a structural event forces a
+// re-carve.
+func TestPartitionCacheInvalidatedByArrival(t *testing.T) {
+	cfg, rules, jobs := cacheCluster(t)
+	l, a := eventLoop(cfg, rules, jobs)
+	l.Start(a)
+	a.run(1)
+
+	cfg.VM("a2").CPUDemand = 1
+	l.Notify(a, Event{Kind: LoadChange, At: a.now, VMs: []string{"a2"}})
+	a.run(20)
+
+	// An arrival lands in slice B and overloads it: the wake-up must
+	// re-carve, not reuse.
+	arrive(t, cfg, "b3", "jb", "n02")
+	l.Notify(a, Event{Kind: VMArrival, At: a.now, VMs: []string{"b3"}})
+	a.run(40)
+	if l.Stats.PartitionReuses != 0 {
+		t.Fatalf("stale carve reused across an arrival: %d", l.Stats.PartitionReuses)
+	}
+	if !cfg.Viable() {
+		t.Fatalf("non-viable: %v", cfg.Violations())
+	}
+}
+
+// TestPartitionCacheInvalidatedByDrainGeneration: mutating the drain
+// set without any event still invalidates via the generation stamp, so
+// the re-carve sees the new Drained rule's bindings.
+func TestPartitionCacheInvalidatedByDrainGeneration(t *testing.T) {
+	cfg, rules, jobs := cacheCluster(t)
+	l, a := eventLoop(cfg, rules, jobs)
+	l.Drains = &DrainSet{}
+	l.Start(a)
+	a.run(1)
+
+	cfg.VM("a2").CPUDemand = 1
+	l.Notify(a, Event{Kind: LoadChange, At: a.now, VMs: []string{"a2"}})
+	a.run(20)
+
+	// Drain n02 without a NodeDown event (belt-and-suspenders: the
+	// control plane always sends one, but the cache must not depend on
+	// it). Any later wake-up re-carves — seeing the Drained rule — and
+	// evacuates b1 and b2 to n03 (b2 is idle, so both fit).
+	l.Drains.Drain("n02")
+	l.Notify(a, Event{Kind: LoadChange, At: a.now, VMs: []string{"b2"}})
+	a.run(60)
+	if l.Stats.PartitionReuses != 0 {
+		t.Fatalf("stale carve reused across a drain: %d", l.Stats.PartitionReuses)
+	}
+	if n := len(cfg.RunningOn("n02")); n != 0 {
+		t.Fatalf("%d VMs still on the drained node", n)
+	}
+	if !cfg.Viable() {
+		t.Fatalf("non-viable: %v", cfg.Violations())
+	}
+}

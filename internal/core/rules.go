@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"cwcs/internal/cp"
 	"cwcs/internal/vjob"
@@ -167,6 +168,148 @@ func (r Ban) Check(cfg *vjob.Configuration) error {
 		}
 	}
 	return nil
+}
+
+// Drained keeps every VM off the named nodes: the node-maintenance
+// rule behind the control plane's drain workflow. Unlike Ban it covers
+// the whole VM population, so draining a node both evacuates its
+// current guests (the solver must find them a new host) and prevents
+// any later solve from placing new work there. Nodes absent from the
+// configuration (taken offline after evacuation) are skipped: the rule
+// stays installed across the node's whole maintenance window.
+//
+// The rule governs running placement only. A suspended image on the
+// drained node stays put — the optimizer has no image-migration
+// action; only resuming (or terminating) its vjob moves it — so such
+// a node reports evacuated=false on the control plane and refuses
+// SetNodeOffline until the images leave. Image evacuation is a
+// ROADMAP item.
+type Drained struct {
+	Nodes []string
+}
+
+// ScopeVMs returns nil: the rule covers every VM by being purely
+// restrictive on nodes, so no VM subset needs co-location.
+func (r Drained) ScopeVMs() []string { return nil }
+
+// BindNodes returns the drained nodes, so the rule travels with them
+// into whatever partition they land in.
+func (r Drained) BindNodes() []string { return r.Nodes }
+
+// Rescope intersects the drained nodes with the partition; a partition
+// holding none of them needs no rule.
+func (r Drained) Rescope(vms, nodes map[string]bool) PlacementRule {
+	kept := keepNames(r.Nodes, nodes)
+	if len(kept) == 0 {
+		return nil
+	}
+	return Drained{Nodes: kept}
+}
+
+// Apply removes the drained nodes from every VM's domain.
+func (r Drained) Apply(s *cp.Solver, vars map[string]*cp.IntVar, nodeIdx map[string]int) error {
+	for _, n := range r.Nodes {
+		idx, ok := nodeIdx[n]
+		if !ok {
+			continue // offline: not a candidate host anyway
+		}
+		for name, v := range vars {
+			if !v.Contains(idx) {
+				continue
+			}
+			if err := s.RemoveValue(v, idx); err != nil {
+				return fmt.Errorf("core: drain of %s leaves no host for %s: %w", n, name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Check verifies no VM runs on a drained node.
+func (r Drained) Check(cfg *vjob.Configuration) error {
+	for _, n := range r.Nodes {
+		if vms := cfg.RunningOn(n); len(vms) > 0 {
+			return fmt.Errorf("core: drained node %s still hosts %s", n, vms[0].Name)
+		}
+	}
+	return nil
+}
+
+// DrainSet is the bridge between operator node-lifecycle commands and
+// the decision module's rule list: it tracks the nodes asked to
+// evacuate and materializes one Drained rule per node, so each rule
+// binds only its own node in the partitioner instead of welding every
+// drained node into one slice. Install it on Loop.Drains; the control
+// plane (internal/api) mutates it and emits the matching NodeDown /
+// NodeUp events. Like the Loop itself it is not internally
+// synchronized: callers serialize through the loop's executor.
+type DrainSet struct {
+	nodes map[string]bool
+	gen   int
+}
+
+// Drain marks the node for evacuation. It reports whether the set
+// changed (false when the node was already draining).
+func (d *DrainSet) Drain(node string) bool {
+	if d.nodes == nil {
+		d.nodes = make(map[string]bool)
+	}
+	if d.nodes[node] {
+		return false
+	}
+	d.nodes[node] = true
+	d.gen++
+	return true
+}
+
+// Undrain lifts the evacuation order. It reports whether the set
+// changed.
+func (d *DrainSet) Undrain(node string) bool {
+	if !d.nodes[node] {
+		return false
+	}
+	delete(d.nodes, node)
+	d.gen++
+	return true
+}
+
+// IsDrained reports whether the node is currently draining.
+func (d *DrainSet) IsDrained(node string) bool { return d != nil && d.nodes[node] }
+
+// Nodes returns the draining nodes in name order.
+func (d *DrainSet) Nodes() []string {
+	if d == nil || len(d.nodes) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(d.nodes))
+	for n := range d.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rules materializes the drain orders as placement rules, one Drained
+// rule per node.
+func (d *DrainSet) Rules() []PlacementRule {
+	nodes := d.Nodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	out := make([]PlacementRule, len(nodes))
+	for i, n := range nodes {
+		out[i] = Drained{Nodes: []string{n}}
+	}
+	return out
+}
+
+// Generation counts the mutations since creation; the loop's partition
+// cache uses it to invalidate on rule changes.
+func (d *DrainSet) Generation() int {
+	if d == nil {
+		return 0
+	}
+	return d.gen
 }
 
 // Fence restricts the named VMs to the given node group (e.g. nodes

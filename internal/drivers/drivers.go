@@ -52,6 +52,59 @@ type Callbacks struct {
 	Done func(Report)
 }
 
+// ActionPhase is the lifecycle position of one scheduled action.
+type ActionPhase int
+
+const (
+	// ActionPending: the action's pool has not started.
+	ActionPending ActionPhase = iota
+	// ActionRunning: the action is in flight.
+	ActionRunning
+	// ActionDone: the action applied successfully.
+	ActionDone
+	// ActionFailed: the action's application failed.
+	ActionFailed
+)
+
+// String names the phase for logs and the control-plane API.
+func (p ActionPhase) String() string {
+	switch p {
+	case ActionPending:
+		return "pending"
+	case ActionRunning:
+		return "running"
+	case ActionDone:
+		return "done"
+	case ActionFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// ActionStatus is the execution status of one action of the plan, the
+// per-action progress the control plane's GET /v1/plan serves.
+type ActionStatus struct {
+	// Pool is the index of the action's pool in the current plan.
+	Pool int
+	// Action renders the action; VM names the manipulated VM.
+	Action, VM string
+	// Phase is the lifecycle position.
+	Phase ActionPhase
+	// Err holds the failure message when Phase is ActionFailed.
+	Err string
+	// Started and Ended are virtual times, meaningful from
+	// ActionRunning (Started) and ActionDone/ActionFailed (Ended) on.
+	Started, Ended float64
+}
+
+// actionRecord is the mutable progress entry behind one ActionStatus.
+type actionRecord struct {
+	phase          ActionPhase
+	err            string
+	started, ended float64
+}
+
 // Execution is a handle on an in-flight plan execution: the loop keeps
 // it to observe progress and graft repaired plans in mid-flight.
 type Execution struct {
@@ -61,6 +114,30 @@ type Execution struct {
 	rep      Report
 	cb       Callbacks
 	finished bool
+	// progress tracks per-action state, keyed by the action value
+	// itself: splices keep the pointers of the actions they retain, so
+	// records survive a mid-flight plan rewrite while records of
+	// spliced-out actions simply stop being listed.
+	progress map[plan.Action]*actionRecord
+}
+
+// Status reports the per-action progress of the plan as currently
+// scheduled, in pool order. Actions of pools that have not started are
+// ActionPending.
+func (e *Execution) Status() []ActionStatus {
+	out := make([]ActionStatus, 0, e.plan.NumActions())
+	for pi, pool := range e.plan.Pools {
+		for _, a := range pool {
+			st := ActionStatus{Pool: pi, Action: fmt.Sprint(a), VM: a.VM().Name}
+			if rec := e.progress[a]; rec != nil {
+				st.Phase = rec.phase
+				st.Err = rec.err
+				st.Started, st.Ended = rec.started, rec.ended
+			}
+			out = append(out, st)
+		}
+	}
+	return out
 }
 
 // Execute launches the plan on the cluster and calls done with a
@@ -74,7 +151,8 @@ func Execute(c *sim.Cluster, p *plan.Plan, done func(Report)) {
 // the execution handle. Like Execute it returns immediately.
 func Start(c *sim.Cluster, p *plan.Plan, cb Callbacks) *Execution {
 	e := &Execution{c: c, plan: p, cb: cb,
-		rep: Report{Start: c.Now(), Cost: p.Cost(), Actions: p.NumActions(), Pools: len(p.Pools)}}
+		progress: make(map[plan.Action]*actionRecord),
+		rep:      Report{Start: c.Now(), Cost: p.Cost(), Actions: p.NumActions(), Pools: len(p.Pools)}}
 	e.runNext()
 	return e
 }
@@ -129,8 +207,14 @@ func (e *Execution) runNext() {
 	for _, sa := range scheduleTimes(pool, now) {
 		a, at := sa.action, sa.at
 		e.c.Schedule(at, func() {
+			rec := &actionRecord{phase: ActionRunning, started: e.c.Now()}
+			e.progress[a] = rec
 			e.c.StartAction(a, func(err error) {
+				rec.ended = e.c.Now()
+				rec.phase = ActionDone
 				if err != nil {
+					rec.phase = ActionFailed
+					rec.err = err.Error()
 					e.rep.Errs = append(e.rep.Errs, err)
 					if e.cb.Failure != nil {
 						e.cb.Failure(a, err)

@@ -1,0 +1,114 @@
+package drivers
+
+import (
+	"testing"
+
+	"cwcs/internal/plan"
+	"cwcs/internal/vjob"
+)
+
+// TestExecutionStatusTracksActionLifecycle: the per-action status the
+// control plane serves — pending before the pool starts, running in
+// flight, done/failed afterwards, with virtual timestamps.
+func TestExecutionStatusTracksActionLifecycle(t *testing.T) {
+	c := newSim(t, 3, 2, 4096)
+	cfg := c.Config()
+	vm1 := vjob.NewVM("vm1", "a", 1, 1024)
+	vm2 := vjob.NewVM("vm2", "b", 1, 1024)
+	cfg.AddVM(vm1)
+	cfg.AddVM(vm2)
+	if err := cfg.SetRunning("vm1", "n00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.SetRunning("vm2", "n01"); err != nil {
+		t.Fatal(err)
+	}
+	p := &plan.Plan{Src: cfg.Clone(), Pools: []plan.Pool{
+		{&plan.Migration{Machine: vm1, Src: "n00", Dst: "n02"}},
+		{&plan.Migration{Machine: vm2, Src: "n01", Dst: "n00"}},
+	}}
+
+	e := Start(c, p, Callbacks{})
+	st := e.Status()
+	if len(st) != 2 {
+		t.Fatalf("%d statuses", len(st))
+	}
+	if st[1].Phase != ActionPending || st[1].Pool != 1 {
+		t.Fatalf("pool-1 action before start: %+v", st[1])
+	}
+
+	// Advance into pool 0: its migration is running, pool 1 pending.
+	c.Run(1)
+	st = e.Status()
+	if st[0].Phase != ActionRunning || st[0].VM != "vm1" {
+		t.Fatalf("pool-0 action mid-flight: %+v", st[0])
+	}
+	if st[0].Action == "" {
+		t.Fatal("action rendering empty")
+	}
+	if st[1].Phase != ActionPending {
+		t.Fatalf("pool-1 started early: %+v", st[1])
+	}
+
+	// Run to completion: both done, with ordered timestamps.
+	c.Run(10_000)
+	if !e.Finished() {
+		t.Fatal("execution not finished")
+	}
+	st = e.Status()
+	for i, a := range st {
+		if a.Phase != ActionDone {
+			t.Fatalf("action %d: %+v", i, a)
+		}
+		if a.Ended < a.Started {
+			t.Fatalf("action %d timestamps: %+v", i, a)
+		}
+	}
+	if st[1].Started < st[0].Ended {
+		t.Fatal("pool 1 started before pool 0 completed")
+	}
+}
+
+// TestExecutionStatusRecordsFailure: a failing action surfaces as
+// ActionFailed with its error message.
+func TestExecutionStatusRecordsFailure(t *testing.T) {
+	c := newSim(t, 2, 2, 4096)
+	cfg := c.Config()
+	vm1 := vjob.NewVM("vm1", "a", 1, 1024)
+	cfg.AddVM(vm1)
+	if err := cfg.SetRunning("vm1", "n00"); err != nil {
+		t.Fatal(err)
+	}
+	c.FailAction = func(a plan.Action) error {
+		return errInjected
+	}
+	p := &plan.Plan{Src: cfg.Clone(), Pools: []plan.Pool{
+		{&plan.Migration{Machine: vm1, Src: "n00", Dst: "n01"}},
+	}}
+	e := Start(c, p, Callbacks{})
+	c.Run(10_000)
+	st := e.Status()
+	if len(st) != 1 || st[0].Phase != ActionFailed {
+		t.Fatalf("statuses: %+v", st)
+	}
+	if st[0].Err == "" {
+		t.Fatal("failure message lost")
+	}
+}
+
+var errInjected = errInjectedType{}
+
+type errInjectedType struct{}
+
+func (errInjectedType) Error() string { return "injected failure" }
+
+func TestActionPhaseStrings(t *testing.T) {
+	for phase, want := range map[ActionPhase]string{
+		ActionPending: "pending", ActionRunning: "running",
+		ActionDone: "done", ActionFailed: "failed", ActionPhase(42): "phase(42)",
+	} {
+		if got := phase.String(); got != want {
+			t.Fatalf("%d: %q (want %q)", int(phase), got, want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"cwcs/internal/core"
 	"cwcs/internal/drivers"
 	"cwcs/internal/duration"
+	"cwcs/internal/monitor"
 	"cwcs/internal/plan"
 	"cwcs/internal/sched"
 	"cwcs/internal/sim"
@@ -197,22 +198,13 @@ func RunChurn(eventDriven bool, opts ChurnOptions) ChurnResult {
 		scheduleArrival()
 	}
 
-	// Violation-seconds integral, advanced on every simulation event.
-	lastT := 0.0
-	lastViol := 0
-	c.OnAdvance(func() {
-		now := c.Now()
-		if now > lastT {
-			res.ViolationSeconds += float64(lastViol) * (now - lastT)
-			lastT = now
-		}
-		lastViol = len(cfg.Violations())
-	})
+	violSec := monitor.WatchViolationSeconds(c)
 
 	start := time.Now()
 	loop.Start(act)
 	c.Run(opts.Horizon)
 	res.Wall = time.Since(start)
+	res.ViolationSeconds = violSec()
 
 	res.Stats = loop.Stats
 	res.Switches = len(loop.Records)

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"cwcs/internal/core"
+	"cwcs/internal/drivers"
+	"cwcs/internal/duration"
+	"cwcs/internal/monitor"
+	"cwcs/internal/sched"
+	"cwcs/internal/sim"
+	"cwcs/internal/vjob"
+	"cwcs/internal/workload"
+)
+
+// DrainOptions parameterizes the node-maintenance study: a cluster
+// under churn receives drain orders for a fraction of its nodes (the
+// control plane's POST /v1/nodes/{id}/drain path — DrainSet rules plus
+// NodeDown events), the event-driven loop evacuates them, and the run
+// records how long the evacuation took and what it cost in capacity
+// violations. Fully emptied nodes are taken offline
+// (sim.SetNodeOffline), exercising the whole lifecycle. No paper
+// analogue: the paper's testbed never loses a node (§7 names
+// resilience as future work).
+type DrainOptions struct {
+	// Nodes, NodeCPU, NodeMemory describe the cluster.
+	Nodes, NodeCPU, NodeMemory int
+	// InitialVJobs and VMsPerVJob shape the resident population.
+	InitialVJobs, VMsPerVJob int
+	// ArrivalRate is the Poisson vjob arrival rate per virtual second;
+	// arrivals stop at ArrivalStop (churn continues through the
+	// drain).
+	ArrivalRate float64
+	ArrivalStop float64
+	// WorkScale multiplies workload durations.
+	WorkScale float64
+	// Horizon is the simulation cut-off.
+	Horizon float64
+	// Debounce is the loop's settle delay; Timeout the per-solve
+	// budget.
+	Debounce float64
+	Timeout  time.Duration
+	// Workers and Partitions configure the optimizer.
+	Workers, Partitions int
+	// DrainFraction is the fraction of nodes drained at DrainAt,
+	// spread evenly over the node index space.
+	DrainFraction float64
+	DrainAt       float64
+	// Seed drives workload generation and arrivals.
+	Seed int64
+}
+
+// DefaultDrainOptions is the BENCH_drain.json scenario: evacuate 10%
+// of a 500-node cluster under churn.
+func DefaultDrainOptions() DrainOptions {
+	return DrainOptions{
+		Nodes: 500, NodeCPU: 2, NodeMemory: 4096,
+		InitialVJobs: 40, VMsPerVJob: 9,
+		ArrivalRate: 1.0 / 30, ArrivalStop: 600,
+		WorkScale:     1.0,
+		Horizon:       6000,
+		Debounce:      5,
+		Timeout:       500 * time.Millisecond,
+		DrainFraction: 0.10, DrainAt: 600,
+		Seed: 42,
+	}
+}
+
+// DrainResult is the study's measurements.
+type DrainResult struct {
+	// Nodes is the cluster size; Drained how many received the order.
+	Nodes, Drained int
+	// Evacuated counts drained nodes with no running VM at the end;
+	// Offline the subset that emptied completely (no image either) and
+	// was taken out of the configuration.
+	Evacuated, Offline int
+	// TimeToEmpty is the virtual time from DrainAt until no drained
+	// node hosted a running VM, or -1 when the horizon hit first.
+	TimeToEmpty float64
+	// ViolationSeconds integrates len(Violations()) over virtual time.
+	ViolationSeconds float64
+	// InvariantBreaches counts the structural sim.WatchInvariants
+	// errors — negative usage, placements on absent nodes (0 = the
+	// drain/offline machinery never corrupted the configuration).
+	// Capacity overloads from churn are expected and measured by
+	// ViolationSeconds instead.
+	InvariantBreaches int
+	// Stats is the loop telemetry; Switches the executed switches.
+	Stats    core.LoopStats
+	Switches int
+	// Arrived and Completed count vjobs over the run.
+	Arrived, Completed int
+	// End is the virtual time the run finished; Wall the real time it
+	// took.
+	End  float64
+	Wall time.Duration
+}
+
+// RunDrain replays the drain scenario.
+func RunDrain(opts DrainOptions) DrainResult {
+	genRng := rand.New(rand.NewSource(opts.Seed))
+	arrRng := rand.New(rand.NewSource(opts.Seed + 1))
+
+	cfg := vjob.NewConfiguration()
+	for i := 0; i < opts.Nodes; i++ {
+		cfg.AddNode(vjob.NewNode(fmt.Sprintf("node%03d", i), opts.NodeCPU, opts.NodeMemory))
+	}
+	c := sim.New(cfg, duration.Default())
+	inv := sim.WatchInvariants(c)
+
+	var jobs []*vjob.VJob
+	submit := func(i int) workload.Spec {
+		bench := workload.Benchmarks[i%len(workload.Benchmarks)]
+		class := workload.Classes[1+i%2]
+		spec := workload.NewSpec(fmt.Sprintf("vjob%03d", i), bench, class, opts.VMsPerVJob, i, genRng)
+		scalePhases(&spec, opts.WorkScale)
+		spec.Install(cfg, c)
+		jobs = append(jobs, spec.Job)
+		return spec
+	}
+	for i := 0; i < opts.InitialVJobs; i++ {
+		submit(i)
+	}
+
+	res := DrainResult{Nodes: opts.Nodes, Arrived: opts.InitialVJobs, TimeToEmpty: -1}
+
+	drains := &core.DrainSet{}
+	loop := &core.Loop{
+		Decision:    queueTerminator{c: c, inner: sched.Consolidation{}, queue: func() []*vjob.VJob { return jobs }},
+		Optimizer:   core.Optimizer{Timeout: opts.Timeout, Workers: opts.Workers, Partitions: opts.Partitions},
+		EventDriven: true,
+		Debounce:    opts.Debounce,
+		Drains:      drains,
+		Queue:       func() []*vjob.VJob { return jobs },
+	}
+	act := &drivers.Actuator{C: c}
+	c.OnLoadChange(func(vm string) {
+		loop.Notify(act, core.Event{Kind: core.LoadChange, At: c.Now(), VMs: []string{vm}})
+	})
+
+	// Poisson arrivals until ArrivalStop: the drain competes with
+	// normal churn for the loop's attention.
+	idx := opts.InitialVJobs
+	var scheduleArrival func()
+	scheduleArrival = func() {
+		dt := arrRng.ExpFloat64() / opts.ArrivalRate
+		at := c.Now() + dt
+		if at > opts.ArrivalStop {
+			return
+		}
+		c.Schedule(at, func() {
+			spec := submit(idx)
+			idx++
+			res.Arrived++
+			names := make([]string, len(spec.Job.VMs))
+			for i, v := range spec.Job.VMs {
+				names[i] = v.Name
+			}
+			loop.Notify(act, core.Event{Kind: core.VMArrival, At: c.Now(), VMs: names})
+			scheduleArrival()
+		})
+	}
+	if opts.ArrivalRate > 0 {
+		scheduleArrival()
+	}
+
+	// The drain orders: DrainFraction of the nodes, spread evenly.
+	count := int(float64(opts.Nodes)*opts.DrainFraction + 0.5)
+	if count < 1 {
+		count = 1
+	}
+	res.Drained = count
+	drained := make([]string, count)
+	drainedSet := make(map[string]bool, count)
+	for i := 0; i < count; i++ {
+		drained[i] = fmt.Sprintf("node%03d", i*opts.Nodes/count)
+		drainedSet[drained[i]] = true
+	}
+	c.Schedule(opts.DrainAt, func() {
+		for _, n := range drained {
+			drains.Drain(n)
+			ev := core.Event{Kind: core.NodeDown, At: c.Now(), Nodes: []string{n}}
+			for _, v := range cfg.RunningOn(n) {
+				ev.VMs = append(ev.VMs, v.Name)
+			}
+			loop.Notify(act, ev)
+		}
+	})
+
+	// drainedLoad reports whether any drained node still hosts a
+	// running VM, in one O(VMs) pass.
+	drainedLoad := func() bool {
+		for _, v := range cfg.VMs() {
+			if cfg.StateOf(v.Name) == vjob.Running && drainedSet[cfg.HostOf(v.Name)] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Emptiness probe: a cheap periodic tick (not per-event) that
+	// records time-to-empty once and then takes fully empty nodes
+	// offline, notifying the loop like an operator would.
+	var probe func()
+	probe = func() {
+		if res.TimeToEmpty >= 0 {
+			return
+		}
+		if !drainedLoad() {
+			res.TimeToEmpty = c.Now() - opts.DrainAt
+			for _, n := range drained {
+				if c.SetNodeOffline(n) == nil {
+					res.Offline++
+					loop.Notify(act, core.Event{Kind: core.NodeDown, At: c.Now(), Nodes: []string{n}})
+				}
+			}
+			return
+		}
+		c.Schedule(c.Now()+2, probe)
+	}
+	c.Schedule(opts.DrainAt+2, probe)
+
+	violSec := monitor.WatchViolationSeconds(c)
+
+	start := time.Now()
+	loop.Start(act)
+	c.Run(opts.Horizon)
+	res.Wall = time.Since(start)
+	res.ViolationSeconds = violSec()
+
+	for _, n := range drained {
+		if len(cfg.RunningOn(n)) == 0 {
+			res.Evacuated++
+		}
+	}
+	res.InvariantBreaches = inv.StructuralCount()
+	res.Stats = loop.Stats
+	res.Switches = len(loop.Records)
+	res.End = c.Now()
+	for _, j := range jobs {
+		if c.VJobDone(j) {
+			res.Completed++
+		}
+	}
+	return res
+}
+
+// DrainTable renders the study.
+func DrainTable(r DrainResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Drain study — evacuate %d of %d nodes under churn (event-driven loop)\n", r.Drained, r.Nodes)
+	fmt.Fprintf(&b, "%-22s %v\n", "evacuated", fmt.Sprintf("%d/%d (%d taken offline)", r.Evacuated, r.Drained, r.Offline))
+	tte := "never"
+	if r.TimeToEmpty >= 0 {
+		tte = fmt.Sprintf("%.0f s", r.TimeToEmpty)
+	}
+	fmt.Fprintf(&b, "%-22s %s\n", "time-to-empty", tte)
+	fmt.Fprintf(&b, "%-22s %.0f\n", "violation-seconds", r.ViolationSeconds)
+	fmt.Fprintf(&b, "%-22s %d\n", "invariant breaches", r.InvariantBreaches)
+	fmt.Fprintf(&b, "%-22s %d sub-solves (%d slice, %d full), %d repairs, %d partition reuses\n",
+		"solver", r.Stats.SubSolves, r.Stats.SliceSolves, r.Stats.FullSolves, r.Stats.Repairs, r.Stats.PartitionReuses)
+	fmt.Fprintf(&b, "%-22s %d switches, %d/%d vjobs completed, end t=%.0f s\n",
+		"run", r.Switches, r.Completed, r.Arrived, r.End)
+	return b.String()
+}
+
+// DrainCSV renders the result for external plotting.
+func DrainCSV(r DrainResult) string {
+	var b strings.Builder
+	b.WriteString("nodes,drained,evacuated,offline,time_to_empty,violation_seconds,invariant_breaches,sub_solves,slice_solves,full_solves,repairs,partition_reuses,switches,events,arrived,completed,end\n")
+	fmt.Fprintf(&b, "%d,%d,%d,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n",
+		r.Nodes, r.Drained, r.Evacuated, r.Offline, r.TimeToEmpty, r.ViolationSeconds,
+		r.InvariantBreaches, r.Stats.SubSolves, r.Stats.SliceSolves, r.Stats.FullSolves,
+		r.Stats.Repairs, r.Stats.PartitionReuses, r.Switches, r.Stats.Events,
+		r.Arrived, r.Completed, r.End)
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package monitor
+
+import (
+	"sort"
+
+	"cwcs/internal/core"
+	"cwcs/internal/sim"
+	"cwcs/internal/vjob"
+)
+
+// ThresholdWatcher turns periodic utilization samples into debounced
+// cluster events, the monitoring half of the control plane: sustained
+// per-node overload becomes a LoadChange event the event-driven loop
+// reacts to, and nodes leaving or joining the configuration become
+// NodeDown / NodeUp events. It is the bridge between raw monitoring
+// (Observe) and Loop.Notify — the same ingestion path the control
+// plane's POST /v1/events feeds.
+//
+// Overload detection uses hysteresis so a node oscillating around the
+// watermark does not storm the loop: a node must stay above High for
+// Sustain consecutive samples before one event fires, and no further
+// event fires until its utilization has dropped below Low again.
+type ThresholdWatcher struct {
+	// Interval is the sampling period in virtual seconds; 0 defaults
+	// to 10 s (the paper's monitoring refresh).
+	Interval float64
+	// High is the overload watermark as a utilization fraction
+	// (demand/capacity on CPU or memory, whichever is higher); 0
+	// defaults to 0.9. Strictly above High counts as hot.
+	High float64
+	// Low is the re-arm watermark; an overloaded node must drop below
+	// it before a new overload event can fire. 0 defaults to 0.7.
+	Low float64
+	// Sustain is how many consecutive hot samples trigger the event; 0
+	// defaults to 3.
+	Sustain int
+	// Emit receives the events (required for Attach; Sample returns
+	// them too).
+	Emit func(core.Event)
+
+	hot        map[string]int  // consecutive hot samples per node
+	overloaded map[string]bool // fired and not yet cooled below Low
+	known      map[string]bool // node set of the previous sample
+	primed     bool            // first sample taken (baseline set)
+	stopped    bool
+}
+
+func (w *ThresholdWatcher) interval() float64 {
+	if w.Interval <= 0 {
+		return 10
+	}
+	return w.Interval
+}
+
+func (w *ThresholdWatcher) high() float64 {
+	if w.High <= 0 {
+		return 0.9
+	}
+	return w.High
+}
+
+func (w *ThresholdWatcher) low() float64 {
+	if w.Low <= 0 {
+		return 0.7
+	}
+	return w.Low
+}
+
+func (w *ThresholdWatcher) sustain() int {
+	if w.Sustain <= 0 {
+		return 3
+	}
+	return w.Sustain
+}
+
+// utilization returns the node's demand/capacity fraction, the higher
+// of CPU and memory, from the free-resource maps of one
+// cfg.FreeResources pass (per-node UsedCPU/UsedMemory calls rescan the
+// whole VM set, which would make sampling O(nodes x VMs) on the
+// serving daemon's hottest path). Zero-capacity resources count as
+// saturated only when demanded.
+func utilization(freeCPU, freeMem map[string]int, n *vjob.Node) float64 {
+	frac := func(used, cap int) float64 {
+		if cap <= 0 {
+			if used > 0 {
+				return 2 // over any watermark
+			}
+			return 0
+		}
+		return float64(used) / float64(cap)
+	}
+	u := frac(n.CPU-freeCPU[n.Name], n.CPU)
+	if m := frac(n.Memory-freeMem[n.Name], n.Memory); m > u {
+		u = m
+	}
+	return u
+}
+
+// Sample feeds one observation of the configuration at virtual time t
+// and returns the events it triggers, in deterministic (node-name)
+// order. The first sample only takes the baseline: nodes present at
+// attach time emit nothing.
+func (w *ThresholdWatcher) Sample(t float64, cfg *vjob.Configuration) []core.Event {
+	if w.hot == nil {
+		w.hot = make(map[string]int)
+		w.overloaded = make(map[string]bool)
+		w.known = make(map[string]bool)
+	}
+	var events []core.Event
+	current := make(map[string]bool, cfg.NumNodes())
+	freeCPU, freeMem := cfg.FreeResources()
+
+	for _, n := range cfg.Nodes() {
+		current[n.Name] = true
+		if w.primed && !w.known[n.Name] {
+			events = append(events, core.Event{Kind: core.NodeUp, At: t, Nodes: []string{n.Name}})
+		}
+		u := utilization(freeCPU, freeMem, n)
+		if u > w.high() {
+			w.hot[n.Name]++
+		} else {
+			w.hot[n.Name] = 0
+		}
+		if w.overloaded[n.Name] {
+			if u < w.low() {
+				delete(w.overloaded, n.Name) // cooled: re-arm
+			}
+			continue
+		}
+		if w.hot[n.Name] >= w.sustain() {
+			w.overloaded[n.Name] = true
+			ev := core.Event{Kind: core.LoadChange, At: t, Nodes: []string{n.Name}}
+			for _, v := range cfg.RunningOn(n.Name) {
+				ev.VMs = append(ev.VMs, v.Name)
+			}
+			events = append(events, ev)
+		}
+	}
+
+	// Known nodes that vanished from the configuration went offline.
+	var downs []string
+	for name := range w.known {
+		if !current[name] {
+			downs = append(downs, name)
+		}
+	}
+	sort.Strings(downs)
+	for _, name := range downs {
+		events = append(events, core.Event{Kind: core.NodeDown, At: t, Nodes: []string{name}})
+		delete(w.hot, name)
+		delete(w.overloaded, name)
+	}
+
+	w.known = current
+	w.primed = true
+	return events
+}
+
+// Attach starts periodic sampling on the cluster, pushing every
+// triggered event through Emit, until Stop is called.
+func (w *ThresholdWatcher) Attach(c *sim.Cluster) {
+	var tick func()
+	tick = func() {
+		if w.stopped {
+			return
+		}
+		for _, ev := range w.Sample(c.Now(), c.Config()) {
+			if w.Emit != nil {
+				w.Emit(ev)
+			}
+		}
+		c.Schedule(c.Now()+w.interval(), tick)
+	}
+	tick()
+}
+
+// Stop ends the sampling (the pending tick becomes a no-op).
+func (w *ThresholdWatcher) Stop() { w.stopped = true }
+
+// WatchViolationSeconds integrates the number of capacity violations
+// over virtual time, advanced at every simulation event and phase
+// change: the cumulative exposure metric of the churn and drain
+// studies and of the control plane's /metrics. It returns the running
+// integral's getter.
+func WatchViolationSeconds(c *sim.Cluster) func() float64 {
+	total, lastT := 0.0, 0.0
+	lastViol := 0
+	c.OnAdvance(func() {
+		now := c.Now()
+		if now > lastT {
+			total += float64(lastViol) * (now - lastT)
+			lastT = now
+		}
+		lastViol = len(c.Config().Violations())
+	})
+	return func() float64 { return total }
+}

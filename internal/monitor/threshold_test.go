@@ -1,0 +1,136 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+
+	"cwcs/internal/core"
+	"cwcs/internal/duration"
+	"cwcs/internal/sim"
+	"cwcs/internal/vjob"
+)
+
+func thresholdConfig() *vjob.Configuration {
+	cfg := vjob.NewConfiguration()
+	cfg.AddNode(vjob.NewNode("n0", 2, 4096))
+	cfg.AddNode(vjob.NewNode("n1", 2, 4096))
+	cfg.AddVM(vjob.NewVM("v1", "j", 2, 1024))
+	return cfg
+}
+
+// TestThresholdSustainedOverload: one hot sample is noise; Sustain
+// consecutive hot samples fire exactly one LoadChange, and no second
+// event fires until the node cools below Low.
+func TestThresholdSustainedOverload(t *testing.T) {
+	cfg := thresholdConfig()
+	if err := cfg.SetRunning("v1", "n0"); err != nil {
+		t.Fatal(err)
+	}
+	w := &ThresholdWatcher{High: 0.9, Low: 0.5, Sustain: 2}
+
+	// CPU demand 2 of 2 = 1.0 > High: hot.
+	if evs := w.Sample(0, cfg); len(evs) != 0 {
+		t.Fatalf("first hot sample fired early: %v", evs)
+	}
+	evs := w.Sample(10, cfg)
+	if len(evs) != 1 || evs[0].Kind != core.LoadChange {
+		t.Fatalf("sustained overload events: %v", evs)
+	}
+	if len(evs[0].Nodes) != 1 || evs[0].Nodes[0] != "n0" || len(evs[0].VMs) != 1 {
+		t.Fatalf("event scope: %+v", evs[0])
+	}
+	// Still hot: hysteresis holds the event back.
+	for i := 0; i < 5; i++ {
+		if evs := w.Sample(float64(20+10*i), cfg); len(evs) != 0 {
+			t.Fatalf("re-fired while hot: %v", evs)
+		}
+	}
+	// Cool below Low, then overload again: a new event may fire.
+	cfg.VM("v1").CPUDemand = 0
+	if evs := w.Sample(100, cfg); len(evs) != 0 {
+		t.Fatalf("cooling fired: %v", evs)
+	}
+	cfg.VM("v1").CPUDemand = 2
+	w.Sample(110, cfg)
+	if evs := w.Sample(120, cfg); len(evs) != 1 {
+		t.Fatalf("re-armed overload not fired: %v", evs)
+	}
+}
+
+// TestThresholdNodeDownUp: nodes vanishing from (and returning to) the
+// configuration become NodeDown / NodeUp events.
+func TestThresholdNodeDownUp(t *testing.T) {
+	cfg := thresholdConfig()
+	w := &ThresholdWatcher{}
+	if evs := w.Sample(0, cfg); len(evs) != 0 {
+		t.Fatalf("baseline fired: %v", evs)
+	}
+	if err := cfg.RemoveNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	evs := w.Sample(10, cfg)
+	if len(evs) != 1 || evs[0].Kind != core.NodeDown || evs[0].Nodes[0] != "n1" {
+		t.Fatalf("node-down events: %v", evs)
+	}
+	if evs := w.Sample(20, cfg); len(evs) != 0 {
+		t.Fatalf("node-down re-fired: %v", evs)
+	}
+	cfg.AddNode(vjob.NewNode("n1", 2, 4096))
+	evs = w.Sample(30, cfg)
+	if len(evs) != 1 || evs[0].Kind != core.NodeUp || evs[0].Nodes[0] != "n1" {
+		t.Fatalf("node-up events: %v", evs)
+	}
+}
+
+// TestThresholdMemoryAndZeroCapacity: the utilization fraction takes
+// the worse of CPU and memory, and zero-capacity nodes only count as
+// saturated when demanded.
+func TestThresholdMemoryAndZeroCapacity(t *testing.T) {
+	cfg := vjob.NewConfiguration()
+	cfg.AddNode(vjob.NewNode("n0", 0, 1000))
+	cfg.AddVM(vjob.NewVM("v1", "j", 0, 990))
+	if err := cfg.SetRunning("v1", "n0"); err != nil {
+		t.Fatal(err)
+	}
+	w := &ThresholdWatcher{Sustain: 1}
+	// 99% memory > default High 0.9 and Sustain 1: fires immediately,
+	// and the zero-capacity CPU (with zero demand) contributes nothing.
+	if evs := w.Sample(0, cfg); len(evs) != 1 || evs[0].Kind != core.LoadChange {
+		t.Fatalf("memory overload: %v", evs)
+	}
+	if evs := w.Sample(10, cfg); len(evs) != 0 {
+		t.Fatalf("hysteresis broken: %v", evs)
+	}
+}
+
+// TestThresholdAttachFeedsSim: wired to the simulator, the watcher
+// samples on the virtual clock and pushes events through Emit.
+func TestThresholdAttachFeedsSim(t *testing.T) {
+	cfg := vjob.NewConfiguration()
+	cfg.AddNode(vjob.NewNode("n0", 1, 4096))
+	cfg.AddVM(vjob.NewVM("v1", "j", 1, 1024))
+	if err := cfg.SetRunning("v1", "n0"); err != nil {
+		t.Fatal(err)
+	}
+	c := sim.New(cfg, duration.Default())
+	c.SetWorkload("v1", []sim.Phase{{CPU: 1, Seconds: 500}})
+
+	var got []core.Event
+	w := &ThresholdWatcher{Interval: 10, High: 0.9, Low: 0.5, Sustain: 2,
+		Emit: func(ev core.Event) { got = append(got, ev) }}
+	w.Attach(c)
+	c.Run(100)
+	if len(got) != 1 || got[0].Kind != core.LoadChange {
+		t.Fatalf("attached watcher events: %v", got)
+	}
+	if got[0].At < 10 {
+		t.Fatalf("event time: %+v", got[0])
+	}
+	w.Stop()
+	before := len(got)
+	c.Run(200)
+	if len(got) != before {
+		t.Fatal("watcher kept sampling after Stop")
+	}
+	_ = fmt.Sprint(got)
+}

@@ -100,6 +100,40 @@ func TestRepairRefusesBrokenFeasibilityEdge(t *testing.T) {
 	}
 }
 
+// TestRepairRefusesCrossSliceDependency is the regression pin for the
+// cross-slice repair gap (ROADMAP): when a kept action outside the
+// re-solved region depends on a dropped action — here the dropped
+// migration was the one freeing the kept migration's destination —
+// Repair must refuse (sending the loop to a full re-solve), never
+// emit the corrupt splice.
+func TestRepairRefusesCrossSliceDependency(t *testing.T) {
+	cfg, _, _ := repairCluster(t)
+	// y fills n4; z sits on n2. The monolithic remainder first moves y
+	// into the region that later went dirty (freeing n4), then moves z
+	// into the freed n4.
+	y := vjob.NewVM("y", "j3", 0, 1024)
+	z := vjob.NewVM("z", "j4", 0, 1024)
+	cfg.AddVM(y)
+	cfg.AddVM(z)
+	if err := cfg.SetRunning("y", "n4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.SetRunning("z", "n2"); err != nil {
+		t.Fatal(err)
+	}
+	remaining := &Plan{Src: cfg, Pools: []Pool{
+		{&Migration{Machine: y, Src: "n4", Dst: "n1"}},
+		{&Migration{Machine: z, Src: "n2", Dst: "n4"}},
+	}}
+	// The dirty region is {n1, a}: y's migration touches n1 and is
+	// dropped; z's migration (n2 -> n4) touches neither and is kept —
+	// but its destination is only free if y actually left.
+	_, err := Repair(cfg, remaining, set("n1"), set("a"))
+	if err == nil {
+		t.Fatal("repair accepted a splice whose kept remainder depends on a dropped action")
+	}
+}
+
 func TestRepairRefusesOverlappingFresh(t *testing.T) {
 	cfg, a, b := repairCluster(t)
 	remaining := &Plan{Src: cfg, Pools: []Pool{

@@ -47,6 +47,11 @@ type Cluster struct {
 	workloads map[string]*workload
 	ops       map[*operation]bool
 
+	// offline holds the nodes taken out of the configuration by
+	// SetNodeOffline, keyed by name, so SetNodeOnline can restore them
+	// with their original capacities.
+	offline map[string]*vjob.Node
+
 	// checks run after every executed event and phase advance (see
 	// OnAdvance); the invariant checker hooks in here.
 	checks []func()
@@ -81,8 +86,53 @@ func New(cfg *vjob.Configuration, m duration.Model) *Cluster {
 		model:      m,
 		workloads:  make(map[string]*workload),
 		ops:        make(map[*operation]bool),
+		offline:    make(map[string]*vjob.Node),
 		actionsRun: make(map[string]int),
 	}
+}
+
+// SetNodeOffline takes an evacuated node out of the cluster: it leaves
+// the configuration (no solve can place anything there) until
+// SetNodeOnline restores it. The node must hold no VM — drain it first
+// (core.DrainSet) and let the control loop evacuate; taking a loaded
+// node down would strand its guests' placements.
+func (c *Cluster) SetNodeOffline(name string) error {
+	if c.offline[name] != nil {
+		return nil // already offline
+	}
+	n := c.cfg.Node(name)
+	if n == nil {
+		return fmt.Errorf("sim: unknown node %q", name)
+	}
+	if err := c.cfg.RemoveNode(name); err != nil {
+		return err
+	}
+	c.offline[name] = n
+	c.runChecks()
+	return nil
+}
+
+// SetNodeOnline returns an offline node to the cluster with its
+// original capacities.
+func (c *Cluster) SetNodeOnline(name string) error {
+	n := c.offline[name]
+	if n == nil {
+		return fmt.Errorf("sim: node %q is not offline", name)
+	}
+	delete(c.offline, name)
+	c.cfg.AddNode(n)
+	c.runChecks()
+	return nil
+}
+
+// OfflineNodes returns the names of the nodes currently offline, in no
+// particular order.
+func (c *Cluster) OfflineNodes() []string {
+	out := make([]string, 0, len(c.offline))
+	for n := range c.offline {
+		out = append(out, n)
+	}
+	return out
 }
 
 // Now returns the virtual time in seconds.

@@ -55,6 +55,27 @@ func (c *Configuration) AddVM(v *VM) {
 	delete(c.placement, v.Name)
 }
 
+// RemoveNode drops a node from the configuration (the effect of taking
+// an evacuated node offline for maintenance). It refuses while any VM
+// is still placed on the node — running guests or sleeping images must
+// be moved first, or their placements would dangle.
+func (c *Configuration) RemoveNode(name string) error {
+	if _, ok := c.nodes[name]; !ok {
+		return fmt.Errorf("vjob: unknown node %q", name)
+	}
+	for vm, loc := range c.placement {
+		if loc == name {
+			return fmt.Errorf("vjob: node %s still holds %s (%v)", name, vm, c.state[vm])
+		}
+	}
+	delete(c.nodes, name)
+	i := sort.SearchStrings(c.nodeOrder, name)
+	if i < len(c.nodeOrder) && c.nodeOrder[i] == name {
+		c.nodeOrder = append(c.nodeOrder[:i], c.nodeOrder[i+1:]...)
+	}
+	return nil
+}
+
 // RemoveVM drops a VM from the configuration (the effect of a stop
 // action followed by garbage collection of the Terminated vjob).
 func (c *Configuration) RemoveVM(name string) {

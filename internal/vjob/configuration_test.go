@@ -433,3 +433,39 @@ func TestViabilityMatchesBruteForce(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRemoveNodeRefusesPlacements: a node leaves the configuration
+// only once nothing — running VM or suspended image — is placed on it.
+func TestRemoveNodeRefusesPlacements(t *testing.T) {
+	c := NewConfiguration()
+	c.AddNode(NewNode("m0", 2, 4096))
+	c.AddNode(NewNode("m1", 2, 4096))
+	c.AddVM(NewVM("v1", "j", 1, 1024))
+	if err := c.RemoveNode("ghost"); err == nil {
+		t.Fatal("removed an unknown node")
+	}
+	if err := c.SetRunning("v1", "m0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveNode("m0"); err == nil {
+		t.Fatal("removed a node hosting a running VM")
+	}
+	if err := c.SetSleeping("v1", "m0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveNode("m0"); err == nil {
+		t.Fatal("removed a node holding an image")
+	}
+	if err := c.SetWaiting("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveNode("m0"); err != nil {
+		t.Fatalf("empty node not removable: %v", err)
+	}
+	if c.Node("m0") != nil || c.NumNodes() != 1 {
+		t.Fatal("node still present after removal")
+	}
+	if got := c.Nodes(); len(got) != 1 || got[0].Name != "m1" {
+		t.Fatalf("node order after removal: %v", got)
+	}
+}
