@@ -122,9 +122,9 @@ func fig11Problem(seed int64) core.Problem {
 			// overloaded (the paper's 29-vs-22 situation), so the
 			// context switch has real work to do.
 			if running || rng.Float64() < 0.5 {
-				v.CPUDemand = 1
+				v.SetCPUDemand(1)
 			} else {
-				v.CPUDemand = 0
+				v.SetCPUDemand(0)
 			}
 			cfg.AddVM(v)
 		}
@@ -132,7 +132,7 @@ func fig11Problem(seed int64) core.Problem {
 		if running { // placed by memory only, CPU over-committed
 			for _, v := range spec.Job.VMs {
 				for _, n := range cfg.Nodes() {
-					if cfg.FreeMemory(n.Name) >= v.MemoryDemand {
+					if cfg.FreeMemory(n.Name) >= v.MemoryDemand() {
 						_ = cfg.SetRunning(v.Name, n.Name)
 						break
 					}

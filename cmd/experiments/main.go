@@ -94,6 +94,10 @@ func main() {
 		r := experiments.RunDrain(drainOptions(*quick, *seed, *workers, studyParts))
 		fmt.Print(experiments.DrainTable(r))
 		writeCSV(*csvDir, "drain.csv", experiments.DrainCSV(r))
+	case "multires":
+		r := experiments.RunMultiRes(multiresOptions(*quick, *seed, *workers, studyParts))
+		fmt.Print(experiments.MultiResTable(r))
+		writeCSV(*csvDir, "multires.csv", experiments.MultiResCSV(r))
 	case "all":
 		fmt.Print(experiments.Fig1())
 		fmt.Println()
@@ -116,6 +120,8 @@ func main() {
 		fmt.Print(experiments.ChurnTable(experiments.ChurnStudy(churnOptions(*quick, *seed, *workers, studyParts))))
 		fmt.Println()
 		fmt.Print(experiments.DrainTable(experiments.RunDrain(drainOptions(*quick, *seed, *workers, studyParts))))
+		fmt.Println()
+		fmt.Print(experiments.MultiResTable(experiments.RunMultiRes(multiresOptions(*quick, *seed, *workers, studyParts))))
 	default:
 		usage()
 		os.Exit(2)
@@ -185,6 +191,19 @@ func drainOptions(quick bool, seed int64, workers, partitions int) experiments.D
 	return o
 }
 
+// multiresOptions shapes the multi-dimensional packing study.
+func multiresOptions(quick bool, seed int64, workers, partitions int) experiments.MultiResOptions {
+	o := experiments.DefaultMultiResOptions()
+	o.Seed = seed
+	o.Workers = workers
+	o.Partitions = partitions
+	if quick {
+		o.Nodes = 48
+		o.Timeout = 500 * time.Millisecond
+	}
+	return o
+}
+
 // clusterRuns executes the §5.2 experiment under both decision
 // modules. fcfsOnly skips the Entropy run (for fig12).
 func clusterRuns(quick bool, seed int64, workers, partitions int, fcfsOnly bool) (fcfs, entropy experiments.ClusterResult) {
@@ -223,5 +242,5 @@ func writeCSV(dir, name, content string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|churn|drain|all> [-quick] [-seed N] [-workers N] [-partitions N] [-csv DIR]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|churn|drain|multires|all> [-quick] [-seed N] [-workers N] [-partitions N] [-csv DIR]`)
 }

@@ -45,6 +45,20 @@ func TestPartitionOptions(t *testing.T) {
 	}
 }
 
+func TestMultiResOptionsCLI(t *testing.T) {
+	full := multiresOptions(false, 5, 2, 0)
+	if full.Nodes != 500 || full.NodeNet == 0 || full.NodeDisk == 0 {
+		t.Fatalf("full options = %+v, want the 500-node 4-dimension scenario", full)
+	}
+	if full.Seed != 5 || full.Workers != 2 || full.Partitions != 0 {
+		t.Fatalf("options not forwarded: %+v", full)
+	}
+	quick := multiresOptions(true, 5, 1, 0)
+	if quick.Nodes >= full.Nodes || quick.Timeout >= full.Timeout {
+		t.Fatalf("quick options not reduced: %+v", quick)
+	}
+}
+
 func TestClusterRunsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the reduced cluster experiment")

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"cwcs/internal/core"
 	"cwcs/internal/plan"
+	"cwcs/internal/resources"
 	"cwcs/internal/vjob"
 )
 
@@ -76,4 +79,49 @@ func TestGoldenRepairedPlan(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "repaired_plan.golden", indent(repaired.String()))
+}
+
+// TestVectorSpec pins the multi-dimensional input path: extra
+// dimensions parse into capacities/demands, drive the solve (two
+// net-heavy VMs must separate), and bad extras are rejected with the
+// same strictness as the vjob wire format.
+func TestVectorSpec(t *testing.T) {
+	v, err := vector("node n", 2, 4096, map[string]int{"net": 100, "disk": 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Get(resources.NetBW) != 100 || v.Get(resources.DiskIO) != 50 || v.Get(resources.CPU) != 2 {
+		t.Fatalf("vector = %s", v)
+	}
+	for _, bad := range []map[string]int{
+		{"tape": 1}, {"cpu": 1}, {"net": -1},
+	} {
+		if _, err := vector("x", 1, 1, bad); err == nil {
+			t.Fatalf("accepted %v", bad)
+		}
+	}
+	if _, err := vector("x", -1, 1, nil); err == nil {
+		t.Fatal("accepted negative cpu")
+	}
+
+	spec := clusterSpec{}
+	data := []byte(`{
+	  "nodes": [{"name":"n1","cpu":4,"memory":8192,"resources":{"net":100}},
+	            {"name":"n2","cpu":4,"memory":8192,"resources":{"net":100}}],
+	  "vms": [{"name":"v1","vjob":"j","cpu":1,"memory":512,"resources":{"net":60},"state":"running","node":"n1"},
+	          {"name":"v2","vjob":"j","cpu":1,"memory":512,"resources":{"net":60},"state":"running","node":"n1"}]}`)
+	if err := json.Unmarshal(data, &spec); err != nil {
+		t.Fatal(err)
+	}
+	cfg, targets, err := build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Optimizer{Workers: 1}.Solve(core.Problem{Src: cfg, Target: targets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 512 || res.Dst.HostOf("v1") == res.Dst.HostOf("v2") {
+		t.Fatalf("net-aware solve: cost=%d hosts %s/%s", res.Cost, res.Dst.HostOf("v1"), res.Dst.HostOf("v2"))
+	}
 }

@@ -11,6 +11,10 @@
 //	           "state": "running", "node": "n1"}, ...],
 //	  "targets": {"j1": "sleeping", "j2": "running"}
 //	}
+//
+// Nodes and VMs may additionally carry extra resource dimensions in a
+// "resources" object ({"net": 1000, "disk": 600}, wire names from
+// internal/resources); the optimizer then packs those dimensions too.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	"cwcs/internal/core"
+	"cwcs/internal/resources"
 	"cwcs/internal/vjob"
 )
 
@@ -29,14 +34,17 @@ type clusterSpec struct {
 		Name   string `json:"name"`
 		CPU    int    `json:"cpu"`
 		Memory int    `json:"memory"`
+		// Resources carries extra dimensions (net, disk) by wire name.
+		Resources map[string]int `json:"resources"`
 	} `json:"nodes"`
 	VMs []struct {
-		Name   string `json:"name"`
-		VJob   string `json:"vjob"`
-		CPU    int    `json:"cpu"`
-		Memory int    `json:"memory"`
-		State  string `json:"state"`
-		Node   string `json:"node"`
+		Name      string         `json:"name"`
+		VJob      string         `json:"vjob"`
+		CPU       int            `json:"cpu"`
+		Memory    int            `json:"memory"`
+		Resources map[string]int `json:"resources"`
+		State     string         `json:"state"`
+		Node      string         `json:"node"`
 	} `json:"vms"`
 	Targets map[string]string `json:"targets"`
 	// Rules are optional placement constraints: {"type": "spread" |
@@ -130,10 +138,18 @@ func main() {
 func build(spec clusterSpec) (*vjob.Configuration, map[string]vjob.State, error) {
 	cfg := vjob.NewConfiguration()
 	for _, n := range spec.Nodes {
-		cfg.AddNode(vjob.NewNode(n.Name, n.CPU, n.Memory))
+		cap, err := vector(fmt.Sprintf("node %s", n.Name), n.CPU, n.Memory, n.Resources)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.AddNode(vjob.NewNodeRes(n.Name, cap))
 	}
 	for _, v := range spec.VMs {
-		cfg.AddVM(vjob.NewVM(v.Name, v.VJob, v.CPU, v.Memory))
+		demand, err := vector(fmt.Sprintf("vm %s", v.Name), v.CPU, v.Memory, v.Resources)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.AddVM(vjob.NewVMRes(v.Name, v.VJob, demand))
 		switch v.State {
 		case "running":
 			if err := cfg.SetRunning(v.Name, v.Node); err != nil {
@@ -194,4 +210,16 @@ func splitLines(s string) []string {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "planviz:", err)
 	os.Exit(1)
+}
+
+// vector assembles a resource vector from the dedicated cpu/memory
+// fields plus the extras map through resources.FromWire, the single
+// home of the wire format's strictness (unknown kinds, duplicated base
+// kinds and negative quantities are rejected).
+func vector(what string, cpu, memory int, extras map[string]int) (resources.Vector, error) {
+	v, err := resources.FromWire(cpu, memory, extras)
+	if err != nil {
+		return resources.Vector{}, fmt.Errorf("%s: %w", what, err)
+	}
+	return v, nil
 }

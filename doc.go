@@ -19,4 +19,14 @@
 // NodeDown event, the event-driven loop evacuates the node's guests,
 // and /undrain restores it. On SIGTERM the daemon finishes the
 // in-flight context switch before exiting.
+//
+// The packing model is multi-dimensional (DESIGN.md §8): nodes and VMs
+// carry resource vectors over a registry of kinds — CPU, memory,
+// network bandwidth, disk I/O — with one viability constraint compiled
+// per dimension a workload actually demands, a dominant-resource FFD
+// baseline, per-dimension monitoring thresholds, and per-node
+// per-dimension gauges on /metrics. Dimensions nothing demands compile
+// away, so the paper's CPU+memory instances solve unchanged
+// (`experiments multires` quantifies what the 2-D model over-commits
+// on heterogeneous clusters).
 package cwcs

@@ -24,6 +24,7 @@ import (
 
 	"cwcs/internal/core"
 	"cwcs/internal/drivers"
+	"cwcs/internal/resources"
 	"cwcs/internal/vjob"
 )
 
@@ -242,16 +243,19 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// nodeJSON is one node's status in GET /v1/nodes.
+// nodeJSON is one node's status in GET /v1/nodes. CPU/memory keep
+// their historical flat fields; Resources carries every dimension with
+// non-zero capacity or usage — the authoritative per-dimension view.
 type nodeJSON struct {
-	Name       string   `json:"name"`
-	CPU        int      `json:"cpu"`
-	Memory     int      `json:"memory"`
-	UsedCPU    int      `json:"usedCPU"`
-	UsedMemory int      `json:"usedMemory"`
-	Running    []string `json:"running,omitempty"`
-	Sleeping   []string `json:"sleeping,omitempty"`
-	Draining   bool     `json:"draining"`
+	Name       string                  `json:"name"`
+	CPU        int                     `json:"cpu"`
+	Memory     int                     `json:"memory"`
+	UsedCPU    int                     `json:"usedCPU"`
+	UsedMemory int                     `json:"usedMemory"`
+	Resources  map[string]resourceJSON `json:"resources,omitempty"`
+	Running    []string                `json:"running,omitempty"`
+	Sleeping   []string                `json:"sleeping,omitempty"`
+	Draining   bool                    `json:"draining"`
 	// Evacuated is true for a draining node that holds nothing
 	// anymore: safe to take offline. A node still storing suspended
 	// images stays un-evacuated — the optimizer cannot relocate an
@@ -262,9 +266,15 @@ type nodeJSON struct {
 	Offline bool `json:"offline"`
 }
 
+// resourceJSON is one dimension's used/capacity pair.
+type resourceJSON struct {
+	Used     int `json:"used"`
+	Capacity int `json:"capacity"`
+}
+
 // nodeLoad is the per-node aggregation of one walk over the VM set.
 type nodeLoad struct {
-	usedCPU, usedMem  int
+	used              resources.Vector
 	running, sleeping []string
 }
 
@@ -286,8 +296,7 @@ func loadByNode(cfg *vjob.Configuration) map[string]*nodeLoad {
 		switch cfg.StateOf(v.Name) {
 		case vjob.Running:
 			ld := get(cfg.HostOf(v.Name))
-			ld.usedCPU += v.CPUDemand
-			ld.usedMem += v.MemoryDemand
+			ld.used = ld.used.Add(v.Demand)
 			ld.running = append(ld.running, v.Name)
 		case vjob.Sleeping:
 			ld := get(cfg.ImageHostOf(v.Name))
@@ -311,10 +320,22 @@ func (s *Server) nodeStatus(cfg *vjob.Configuration, load map[string]*nodeLoad, 
 		out.Evacuated = true
 		return out, true
 	}
-	out.CPU, out.Memory = n.CPU, n.Memory
+	out.CPU, out.Memory = n.CPU(), n.Memory()
+	var used resources.Vector
 	if ld := load[name]; ld != nil {
-		out.UsedCPU, out.UsedMemory = ld.usedCPU, ld.usedMem
+		used = ld.used
 		out.Running, out.Sleeping = ld.running, ld.sleeping
+	}
+	out.UsedCPU = used.Get(resources.CPU)
+	out.UsedMemory = used.Get(resources.Memory)
+	for _, k := range resources.Kinds() {
+		if n.Capacity.Get(k) == 0 && used.Get(k) == 0 {
+			continue
+		}
+		if out.Resources == nil {
+			out.Resources = make(map[string]resourceJSON)
+		}
+		out.Resources[k.String()] = resourceJSON{Used: used.Get(k), Capacity: n.Capacity.Get(k)}
 	}
 	out.Evacuated = out.Draining && len(out.Running) == 0 && len(out.Sleeping) == 0
 	return out, true

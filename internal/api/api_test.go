@@ -18,6 +18,7 @@ import (
 	"cwcs/internal/drivers"
 	"cwcs/internal/duration"
 	"cwcs/internal/monitor"
+	"cwcs/internal/resources"
 	"cwcs/internal/sched"
 	"cwcs/internal/sim"
 	"cwcs/internal/vjob"
@@ -568,4 +569,65 @@ func TestDrainHookFailureRollsBack(t *testing.T) {
 			t.Fatal("drain not rolled back")
 		}
 	})
+}
+
+// TestNodeResourceDimensions: the node endpoints report every
+// dimension with capacity or usage, and /metrics exports the labeled
+// per-node per-kind gauges.
+func TestNodeResourceDimensions(t *testing.T) {
+	b := newTestbed(t, 2, 2, 4096)
+	// Upgrade node000 with extra dimensions and host a net-hungry VM.
+	n0 := b.cfg.Node("node000")
+	n0.Capacity.Set(resources.NetBW, 1000)
+	n0.Capacity.Set(resources.DiskIO, 600)
+	d := resources.New(1, 1024)
+	d.Set(resources.NetBW, 250)
+	v := vjob.NewVMRes("net-vm", "jn", d)
+	b.cfg.AddVM(v)
+	if err := b.cfg.SetRunning("net-vm", "node000"); err != nil {
+		t.Fatal(err)
+	}
+
+	var st nodeJSON
+	if err := json.Unmarshal(b.get(t, "/v1/nodes/node000", http.StatusOK), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Resources["net"].Used != 250 || st.Resources["net"].Capacity != 1000 {
+		t.Fatalf("net dimension: %+v", st.Resources)
+	}
+	if st.Resources["cpu"].Used != 1 || st.Resources["cpu"].Capacity != 2 {
+		t.Fatalf("cpu dimension: %+v", st.Resources)
+	}
+	if st.Resources["disk"].Capacity != 600 {
+		t.Fatalf("disk dimension: %+v", st.Resources)
+	}
+	if st.UsedCPU != 1 || st.UsedMemory != 1024 {
+		t.Fatalf("flat fields drifted: %+v", st)
+	}
+	// node001 stays 2-D: no net/disk entries.
+	var st1 nodeJSON
+	if err := json.Unmarshal(b.get(t, "/v1/nodes/node001", http.StatusOK), &st1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st1.Resources["net"]; ok {
+		t.Fatalf("2-D node grew a net dimension: %+v", st1.Resources)
+	}
+	if st1.Resources["memory"].Capacity != 4096 {
+		t.Fatalf("memory dimension: %+v", st1.Resources)
+	}
+
+	body := string(b.get(t, "/metrics", http.StatusOK))
+	for _, want := range []string{
+		`cwcs_node_resource_used{node="node000",kind="net"} 250`,
+		`cwcs_node_resource_capacity{node="node000",kind="net"} 1000`,
+		`cwcs_node_resource_used{node="node001",kind="memory"} 0`,
+		`cwcs_node_resource_capacity{node="node001",kind="cpu"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, `{node="node001",kind="net"}`) {
+		t.Fatalf("2-D node exports a net gauge:\n%s", body)
+	}
 }

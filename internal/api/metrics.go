@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"cwcs/internal/resources"
 )
 
 // metric is one exposition line group of GET /metrics.
@@ -42,6 +44,39 @@ func (s *Server) metricsSnapshot() []metric {
 	}
 }
 
+// nodeGauge is one labeled sample of the per-node resource gauges.
+type nodeGauge struct {
+	node, kind     string
+	used, capacity float64
+}
+
+// nodeGauges walks the configuration once under Exec and returns one
+// sample per node and per dimension the node offers (or over-uses), in
+// node then registry order.
+func (s *Server) nodeGauges() []nodeGauge {
+	var out []nodeGauge
+	s.exec(func() {
+		cfg := s.Config()
+		load := loadByNode(cfg)
+		for _, n := range cfg.Nodes() {
+			var used resources.Vector
+			if ld := load[n.Name]; ld != nil {
+				used = ld.used
+			}
+			for _, k := range resources.Kinds() {
+				if n.Capacity.Get(k) == 0 && used.Get(k) == 0 {
+					continue
+				}
+				out = append(out, nodeGauge{
+					node: n.Name, kind: k.String(),
+					used: float64(used.Get(k)), capacity: float64(n.Capacity.Get(k)),
+				})
+			}
+		}
+	})
+	return out
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.Stats == nil {
 		writeError(w, http.StatusNotImplemented, "no stats source")
@@ -50,6 +85,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	for _, m := range s.metricsSnapshot() {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.typ, m.name, m.value)
+	}
+	if s.Config != nil {
+		gauges := s.nodeGauges()
+		b.WriteString("# HELP cwcs_node_resource_used Per-node per-dimension resource demand of running VMs.\n# TYPE cwcs_node_resource_used gauge\n")
+		for _, g := range gauges {
+			fmt.Fprintf(&b, "cwcs_node_resource_used{node=%q,kind=%q} %g\n", g.node, g.kind, g.used)
+		}
+		b.WriteString("# HELP cwcs_node_resource_capacity Per-node per-dimension resource capacity.\n# TYPE cwcs_node_resource_capacity gauge\n")
+		for _, g := range gauges {
+			fmt.Fprintf(&b, "cwcs_node_resource_capacity{node=%q,kind=%q} %g\n", g.node, g.kind, g.capacity)
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.WriteHeader(http.StatusOK)

@@ -11,6 +11,7 @@ import (
 
 	"cwcs/internal/cp"
 	"cwcs/internal/plan"
+	"cwcs/internal/resources"
 	"cwcs/internal/vjob"
 )
 
@@ -144,6 +145,10 @@ type compiled struct {
 	prefs   []int   // per runner: preferred node index, -1 when none
 	hints   []int   // per runner: warm-start node index, -1 when none
 	maxObj  int
+	// active marks the resource dimensions some runner demands: one
+	// cp.Packing instance compiles per active dimension, zero-demand
+	// dimensions compile away entirely.
+	active [resources.MaxKinds]bool
 }
 
 // compile expands the problem into the shared model ingredients.
@@ -172,14 +177,27 @@ func (o Optimizer) compile(p Problem) (*compiled, error) {
 	// then CPU demand.
 	sort.SliceStable(c.runners, func(i, j int) bool {
 		a, b := c.runners[i].vm, c.runners[j].vm
-		if a.MemoryDemand != b.MemoryDemand {
-			return a.MemoryDemand > b.MemoryDemand
+		if a.MemoryDemand() != b.MemoryDemand() {
+			return a.MemoryDemand() > b.MemoryDemand()
 		}
-		if a.CPUDemand != b.CPUDemand {
-			return a.CPUDemand > b.CPUDemand
+		if a.CPUDemand() != b.CPUDemand() {
+			return a.CPUDemand() > b.CPUDemand()
 		}
 		return a.Name < b.Name
 	})
+
+	// Active dimensions: a resource kind some to-be-running VM actually
+	// demands. Only these compile into cp.Packing instances below, so a
+	// CPU+memory instance builds exactly the two constraints it always
+	// did and extra registered kinds cost nothing until a workload uses
+	// them.
+	for _, g := range c.runners {
+		for _, k := range resources.Kinds() {
+			if g.vm.Demand.Get(k) > 0 {
+				c.active[k] = true
+			}
+		}
+	}
 
 	c.allowed = make([][]int, len(c.runners))
 	c.prefs = make([]int, len(c.runners))
@@ -188,7 +206,7 @@ func (o Optimizer) compile(p Problem) (*compiled, error) {
 	for i, g := range c.runners {
 		var allowed []int
 		for j, n := range c.nodes {
-			if n.CPU >= g.vm.CPUDemand && n.Memory >= g.vm.MemoryDemand {
+			if g.vm.Demand.Fits(n.Capacity) {
 				allowed = append(allowed, j)
 			}
 		}
@@ -242,21 +260,25 @@ func (o Optimizer) buildModel(p Problem, c *compiled, strat searchStrategy) (*se
 		}
 	}
 
-	cpuW := make([]int, len(c.runners))
-	memW := make([]int, len(c.runners))
-	cpuC := make([]int, len(c.nodes))
-	memC := make([]int, len(c.nodes))
-	for i, g := range c.runners {
-		cpuW[i] = g.vm.CPUDemand
-		memW[i] = g.vm.MemoryDemand
-	}
-	for j, n := range c.nodes {
-		cpuC[j] = n.CPU
-		memC[j] = n.Memory
-	}
+	// One multi-knapsack viability constraint per ACTIVE dimension
+	// (§4.3, generalized): dimensions no runner demands never build a
+	// Packing instance, so the 2-D instances of the paper solve with
+	// exactly the cpu and memory propagators they always had.
 	if len(c.runners) > 0 {
-		s.Post(&cp.Packing{Name: "cpu", Items: vars, Weights: cpuW, Capacity: cpuC, UseKnapsack: strat.useKnapsack})
-		s.Post(&cp.Packing{Name: "memory", Items: vars, Weights: memW, Capacity: memC, UseKnapsack: strat.useKnapsack})
+		for _, k := range resources.Kinds() {
+			if !c.active[k] {
+				continue
+			}
+			w := make([]int, len(c.runners))
+			capacity := make([]int, len(c.nodes))
+			for i, g := range c.runners {
+				w[i] = g.vm.Demand.Get(k)
+			}
+			for j, n := range c.nodes {
+				capacity[j] = n.Capacity.Get(k)
+			}
+			s.Post(&cp.Packing{Name: k.String(), Items: vars, Weights: w, Capacity: capacity, UseKnapsack: strat.useKnapsack})
+		}
 	}
 
 	varByName := make(map[string]*cp.IntVar, len(c.runners))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cwcs/internal/resources"
 	"cwcs/internal/vjob"
 )
 
@@ -55,22 +56,32 @@ const defaultMaxPartitionNodes = 16
 // atom is one indivisible slice of the cluster: a connected component
 // of the binding relation.
 type atom struct {
-	nodes          []string
-	vms            []string
-	capCPU, capMem int
-	demCPU, demMem int
+	nodes []string
+	vms   []string
+	cap   resources.Vector
+	dem   resources.Vector
 }
 
 // pressure is how far the atom's running demand exceeds its capacity,
-// normalized by cluster totals so CPU and memory compare; positive
-// means the atom cannot absorb its own load.
-func (a *atom) pressure(totCPU, totMem float64) float64 {
-	p := float64(a.demCPU-a.capCPU) / totCPU
-	if m := float64(a.demMem-a.capMem) / totMem; m > p {
-		p = m
+// the max over resource dimensions normalized by cluster totals so
+// every dimension compares; positive means the atom cannot absorb its
+// own load on some dimension. Dimensions the cluster offers nothing of
+// are skipped.
+func (a *atom) pressure(tot resources.Vector) float64 {
+	p := mathInfNeg
+	for _, k := range resources.Kinds() {
+		if tot.Get(k) <= 0 {
+			continue
+		}
+		if d := float64(a.dem.Get(k)-a.cap.Get(k)) / float64(tot.Get(k)); d > p {
+			p = d
+		}
 	}
 	return p
 }
+
+// mathInfNeg starts max-accumulations below any real pressure value.
+const mathInfNeg = -1e18
 
 // Split decomposes the problem. It returns nil (no error) when the
 // problem should stay monolithic: fewer than two partitions asked or
@@ -168,16 +179,14 @@ func (pt Partitioner) Split(p Problem) ([]Problem, error) {
 		}
 		return a
 	}
-	totCPU, totMem := 0.0, 0.0
+	var tot resources.Vector
 	for _, n := range nodes {
 		a := get(rootOf(nodeKey(n.Name)))
 		a.nodes = append(a.nodes, n.Name)
-		a.capCPU += n.CPU
-		a.capMem += n.Memory
-		totCPU += float64(n.CPU)
-		totMem += float64(n.Memory)
+		a.cap = a.cap.Add(n.Capacity)
+		tot = tot.Add(n.Capacity)
 	}
-	if totCPU == 0 || totMem == 0 {
+	if tot.Get(resources.CPU) == 0 || tot.Get(resources.Memory) == 0 {
 		return nil, nil
 	}
 	covered := make(map[string]bool)
@@ -202,8 +211,7 @@ func (pt Partitioner) Split(p Problem) ([]Problem, error) {
 		a := get(root)
 		a.vms = append(a.vms, v.Name)
 		if wantOf(p, v) == vjob.Running {
-			a.demCPU += v.CPUDemand
-			a.demMem += v.MemoryDemand
+			a.dem = a.dem.Add(v.Demand)
 		}
 	}
 
@@ -225,7 +233,7 @@ func (pt Partitioner) Split(p Problem) ([]Problem, error) {
 	// Pack atoms into bins along the viable/non-viable seam.
 	sort.SliceStable(nodeAtoms, func(i, j int) bool {
 		a, b := atoms[nodeAtoms[i]], atoms[nodeAtoms[j]]
-		pa, pb := a.pressure(totCPU, totMem), b.pressure(totCPU, totMem)
+		pa, pb := a.pressure(tot), b.pressure(tot)
 		if pa != pb {
 			return pa > pb
 		}
@@ -233,8 +241,8 @@ func (pt Partitioner) Split(p Problem) ([]Problem, error) {
 	})
 	sort.SliceStable(floating, func(i, j int) bool {
 		a, b := atoms[floating[i]], atoms[floating[j]]
-		if a.demMem != b.demMem {
-			return a.demMem > b.demMem
+		if am, bm := a.dem.Get(resources.Memory), b.dem.Get(resources.Memory); am != bm {
+			return am > bm
 		}
 		return a.vms[0] < b.vms[0]
 	})
@@ -248,7 +256,7 @@ func (pt Partitioner) Split(p Problem) ([]Problem, error) {
 		// Overloaded atoms spread to the roomiest bins; headroom atoms
 		// backfill the neediest (most overloaded, then still-empty)
 		// ones.
-		assignAtom(atoms, bins, binOf, root, atoms[root].pressure(totCPU, totMem) > 0, totCPU, totMem)
+		assignAtom(atoms, bins, binOf, root, atoms[root].pressure(tot) > 0, tot)
 	}
 	// Drop bins the greedy pass left without nodes (possible when a few
 	// giant atoms absorbed everything).
@@ -271,7 +279,7 @@ func (pt Partitioner) Split(p Problem) ([]Problem, error) {
 	}
 	// Floating cohorts (all-waiting vjobs) go where the room is.
 	for _, root := range floating {
-		assignAtom(atoms, bins, binOf, root, true, totCPU, totMem)
+		assignAtom(atoms, bins, binOf, root, true, tot)
 	}
 
 	// Materialize the sub-problems.
@@ -312,12 +320,20 @@ func (pt Partitioner) Split(p Problem) ([]Problem, error) {
 
 // assignAtom adds the atom to the bin with the widest (wide) or
 // tightest slack, breaking ties towards fewer nodes then lower index.
-func assignAtom(atoms map[string]*atom, bins []*atom, binOf map[string]int, root string, wide bool, totCPU, totMem float64) {
+// Slack is the minimum over resource dimensions of the bin's
+// normalized headroom — a bin tight on any one dimension is a tight
+// bin.
+func assignAtom(atoms map[string]*atom, bins []*atom, binOf map[string]int, root string, wide bool, tot resources.Vector) {
 	a := atoms[root]
 	slack := func(b *atom) float64 {
-		s := float64(b.capCPU-b.demCPU) / totCPU
-		if m := float64(b.capMem-b.demMem) / totMem; m < s {
-			s = m
+		s := 1e18
+		for _, k := range resources.Kinds() {
+			if tot.Get(k) <= 0 {
+				continue
+			}
+			if m := float64(b.cap.Get(k)-b.dem.Get(k)) / float64(tot.Get(k)); m < s {
+				s = m
+			}
 		}
 		return s
 	}
@@ -335,10 +351,8 @@ func assignAtom(atoms map[string]*atom, bins []*atom, binOf map[string]int, root
 	b := bins[best]
 	b.nodes = append(b.nodes, a.nodes...)
 	b.vms = append(b.vms, a.vms...)
-	b.capCPU += a.capCPU
-	b.capMem += a.capMem
-	b.demCPU += a.demCPU
-	b.demMem += a.demMem
+	b.cap = b.cap.Add(a.cap)
+	b.dem = b.dem.Add(a.dem)
 	binOf[root] = best
 }
 

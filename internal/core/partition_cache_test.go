@@ -41,7 +41,7 @@ func TestPartitionCacheReusedAcrossWakeUps(t *testing.T) {
 	a.run(1)
 
 	// First overload: slice A. The wake-up carves (and caches).
-	cfg.VM("a2").CPUDemand = 1
+	cfg.VM("a2").SetCPUDemand(1)
 	l.Notify(a, Event{Kind: LoadChange, At: a.now, VMs: []string{"a2"}})
 	a.run(20)
 	if cfg.HostOf("a2") != "n01" {
@@ -53,7 +53,7 @@ func TestPartitionCacheReusedAcrossWakeUps(t *testing.T) {
 
 	// Second overload: slice B. No structural event happened and the
 	// previous switch was slice-derived, so the carve is reused.
-	cfg.VM("b2").CPUDemand = 1
+	cfg.VM("b2").SetCPUDemand(1)
 	l.Notify(a, Event{Kind: LoadChange, At: a.now, VMs: []string{"b2"}})
 	a.run(40)
 	if cfg.HostOf("b2") != "n03" {
@@ -75,7 +75,7 @@ func TestPartitionCacheInvalidatedByArrival(t *testing.T) {
 	l.Start(a)
 	a.run(1)
 
-	cfg.VM("a2").CPUDemand = 1
+	cfg.VM("a2").SetCPUDemand(1)
 	l.Notify(a, Event{Kind: LoadChange, At: a.now, VMs: []string{"a2"}})
 	a.run(20)
 
@@ -102,7 +102,7 @@ func TestPartitionCacheInvalidatedByDrainGeneration(t *testing.T) {
 	l.Start(a)
 	a.run(1)
 
-	cfg.VM("a2").CPUDemand = 1
+	cfg.VM("a2").SetCPUDemand(1)
 	l.Notify(a, Event{Kind: LoadChange, At: a.now, VMs: []string{"a2"}})
 	a.run(20)
 

@@ -207,10 +207,10 @@ func TestSplitSeamsMixOverloadWithHeadroom(t *testing.T) {
 	for i, sub := range parts {
 		capCPU, dem := 0, 0
 		for _, n := range sub.Src.Nodes() {
-			capCPU += n.CPU
+			capCPU += n.CPU()
 		}
 		for _, v := range sub.Src.VMs() {
-			dem += v.CPUDemand
+			dem += v.CPUDemand()
 		}
 		if dem > capCPU {
 			t.Fatalf("partition %d not packable: demand %d > capacity %d", i, dem, capCPU)
@@ -239,7 +239,7 @@ func randomProblem(t *testing.T, rng *rand.Rand) Problem {
 		case 0: // running, memory-first-fit (CPU may over-commit)
 			for _, v := range j.VMs {
 				for _, n := range c.Nodes() {
-					if c.FreeMemory(n.Name) >= v.MemoryDemand {
+					if c.FreeMemory(n.Name) >= v.MemoryDemand() {
 						mustRun(t, c, v.Name, n.Name)
 						break
 					}

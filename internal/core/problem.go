@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"cwcs/internal/plan"
+	"cwcs/internal/resources"
 	"cwcs/internal/vjob"
 )
 
@@ -74,12 +75,12 @@ func (g vmGoal) runContribution(node string) int {
 		if node == g.curLoc {
 			return 0
 		}
-		return g.vm.MemoryDemand
+		return g.vm.MemoryDemand()
 	case vjob.Sleeping:
 		if node == g.curLoc {
-			return g.vm.MemoryDemand
+			return g.vm.MemoryDemand()
 		}
-		return 2 * g.vm.MemoryDemand
+		return 2 * g.vm.MemoryDemand()
 	default: // waiting: a run action
 		return 0
 	}
@@ -89,7 +90,7 @@ func (g vmGoal) runContribution(node string) int {
 // (suspends of running VMs headed to Sleeping). Stops are free.
 func (g vmGoal) fixedCost() int {
 	if g.want == vjob.Sleeping && g.cur == vjob.Running {
-		return g.vm.MemoryDemand
+		return g.vm.MemoryDemand()
 	}
 	return 0
 }
@@ -103,10 +104,10 @@ func (g vmGoal) fixedCost() int {
 // while steering the search towards nodes that are free immediately —
 // the paper's "perform actions as early as possible".
 type costModel struct {
-	// freeCPU/freeMem cache the source configuration's per-node free
-	// capacities: contribution runs in the propagator's inner loop and
-	// cannot afford configuration scans.
-	freeCPU, freeMem map[string]int
+	// free caches the source configuration's per-node free capacities,
+	// every dimension at once: contribution runs in the propagator's
+	// inner loop and cannot afford configuration scans.
+	free map[string]resources.Vector
 	// minRelease[node] is the cheapest cost among the actions that
 	// liberate resources on the node (0 when a hosted VM is being
 	// stopped; Dm for a suspend or an outbound migration); missing
@@ -115,10 +116,8 @@ type costModel struct {
 }
 
 func newCostModel(src *vjob.Configuration, goals []vmGoal) *costModel {
-	freeCPU, freeMem := src.FreeResources()
 	m := &costModel{
-		freeCPU:    freeCPU,
-		freeMem:    freeMem,
+		free:       src.FreeResources(),
 		minRelease: make(map[string]int),
 	}
 	for _, g := range goals {
@@ -130,7 +129,7 @@ func newCostModel(src *vjob.Configuration, goals []vmGoal) *costModel {
 		case vjob.Terminated:
 			rel = 0 // stop
 		default:
-			rel = g.vm.MemoryDemand // suspend or migration away
+			rel = g.vm.MemoryDemand() // suspend or migration away
 		}
 		if cur, ok := m.minRelease[g.curLoc]; !ok || rel < cur {
 			m.minRelease[g.curLoc] = rel
@@ -146,7 +145,7 @@ func (m *costModel) contribution(g vmGoal, node string) int {
 	if g.cur == vjob.Running && node == g.curLoc {
 		return c // staying put: no action, no delay
 	}
-	if m.freeCPU[node] >= g.vm.CPUDemand && m.freeMem[node] >= g.vm.MemoryDemand {
+	if g.vm.Demand.Fits(m.free[node]) {
 		return c // fits immediately: the action can start in pool 0
 	}
 	if rel, ok := m.minRelease[node]; ok {

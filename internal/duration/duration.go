@@ -163,19 +163,19 @@ func (m Model) ActionDuration(a plan.Action) (time.Duration, Transfer) {
 	case *plan.Stop:
 		return m.Shutdown(), Local
 	case *plan.Migration:
-		return m.Migrate(a.Machine.MemoryDemand), Local
+		return m.Migrate(a.Machine.MemoryDemand()), Local
 	case *plan.Suspend:
 		tr := Local
 		if a.To != a.On {
 			tr = SCP
 		}
-		return m.Suspend(a.Machine.MemoryDemand, tr), tr
+		return m.Suspend(a.Machine.MemoryDemand(), tr), tr
 	case *plan.Resume:
 		tr := Local
 		if !a.Local() {
 			tr = SCP
 		}
-		return m.Resume(a.Machine.MemoryDemand, tr), tr
+		return m.Resume(a.Machine.MemoryDemand(), tr), tr
 	default:
 		panic(fmt.Sprintf("duration: unknown action type %T", a))
 	}

@@ -167,8 +167,8 @@ func RunCluster(decision core.DecisionModule, opts ClusterOptions) ClusterResult
 		scalePhases(&spec, opts.WorkScale)
 		// The §5.2 experiment uses 512-2048 MiB VMs.
 		for _, v := range spec.Job.VMs {
-			if v.MemoryDemand < 512 {
-				v.MemoryDemand = 512
+			if v.MemoryDemand() < 512 {
+				v.SetMemoryDemand(512)
 			}
 		}
 		spec.Install(cfg, c)

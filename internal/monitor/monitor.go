@@ -50,8 +50,8 @@ type Recorder struct {
 func Observe(t float64, cfg *vjob.Configuration) Sample {
 	s := Sample{T: t}
 	for _, n := range cfg.Nodes() {
-		s.CapCPU += n.CPU
-		s.CapMem += n.Memory
+		s.CapCPU += n.CPU()
+		s.CapMem += n.Memory()
 		s.UsedCPU += cfg.UsedCPU(n.Name)
 		s.UsedMem += cfg.UsedMemory(n.Name)
 	}

@@ -4,33 +4,44 @@ import (
 	"sort"
 
 	"cwcs/internal/core"
+	"cwcs/internal/resources"
 	"cwcs/internal/sim"
 	"cwcs/internal/vjob"
 )
 
 // ThresholdWatcher turns periodic utilization samples into debounced
 // cluster events, the monitoring half of the control plane: sustained
-// per-node overload becomes a LoadChange event the event-driven loop
-// reacts to, and nodes leaving or joining the configuration become
-// NodeDown / NodeUp events. It is the bridge between raw monitoring
-// (Observe) and Loop.Notify — the same ingestion path the control
-// plane's POST /v1/events feeds.
+// per-node overload on ANY resource dimension becomes a LoadChange
+// event the event-driven loop reacts to, and nodes leaving or joining
+// the configuration become NodeDown / NodeUp events. It is the bridge
+// between raw monitoring (Observe) and Loop.Notify — the same
+// ingestion path the control plane's POST /v1/events feeds.
 //
 // Overload detection uses hysteresis so a node oscillating around the
-// watermark does not storm the loop: a node must stay above High for
-// Sustain consecutive samples before one event fires, and no further
-// event fires until its utilization has dropped below Low again.
+// watermark does not storm the loop: a dimension must stay above its
+// High for Sustain consecutive samples before one event fires, and no
+// further event fires for that dimension until its utilization has
+// dropped below its Low again. Watermarks default to High/Low for
+// every dimension; PerKind overrides them per resource kind (a
+// network-bound cluster may want net to trip at 0.8 while memory
+// keeps 0.9).
 type ThresholdWatcher struct {
 	// Interval is the sampling period in virtual seconds; 0 defaults
 	// to 10 s (the paper's monitoring refresh).
 	Interval float64
-	// High is the overload watermark as a utilization fraction
-	// (demand/capacity on CPU or memory, whichever is higher); 0
-	// defaults to 0.9. Strictly above High counts as hot.
+	// High is the default overload watermark as a utilization fraction
+	// (demand/capacity, per dimension); 0 defaults to 0.9. Strictly
+	// above High counts as hot.
 	High float64
-	// Low is the re-arm watermark; an overloaded node must drop below
-	// it before a new overload event can fire. 0 defaults to 0.7.
+	// Low is the default re-arm watermark; an overloaded dimension
+	// must drop below it before a new overload event can fire. 0
+	// defaults to 0.7.
 	Low float64
+	// PerKind overrides the watermarks for individual resource
+	// dimensions; kinds absent from the map use High/Low. A zero field
+	// inside a Watermarks entry falls back to the corresponding
+	// default too, so {High: 0.8} only moves the trip point.
+	PerKind map[resources.Kind]Watermarks
 	// Sustain is how many consecutive hot samples trigger the event; 0
 	// defaults to 3.
 	Sustain int
@@ -38,11 +49,23 @@ type ThresholdWatcher struct {
 	// them too).
 	Emit func(core.Event)
 
-	hot        map[string]int  // consecutive hot samples per node
-	overloaded map[string]bool // fired and not yet cooled below Low
-	known      map[string]bool // node set of the previous sample
-	primed     bool            // first sample taken (baseline set)
+	hot        map[nodeKind]int  // consecutive hot samples per node and dimension
+	overloaded map[nodeKind]bool // fired and not yet cooled below Low
+	known      map[string]bool   // node set of the previous sample
+	primed     bool              // first sample taken (baseline set)
 	stopped    bool
+}
+
+// Watermarks is one dimension's High/Low pair for PerKind overrides.
+type Watermarks struct {
+	High, Low float64
+}
+
+// nodeKind keys the hysteresis state: one overload state machine per
+// node and resource dimension.
+type nodeKind struct {
+	node string
+	kind resources.Kind
 }
 
 func (w *ThresholdWatcher) interval() float64 {
@@ -52,18 +75,32 @@ func (w *ThresholdWatcher) interval() float64 {
 	return w.Interval
 }
 
-func (w *ThresholdWatcher) high() float64 {
+func (w *ThresholdWatcher) high(k resources.Kind) float64 {
+	if m, ok := w.PerKind[k]; ok && m.High > 0 {
+		return m.High
+	}
 	if w.High <= 0 {
 		return 0.9
 	}
 	return w.High
 }
 
-func (w *ThresholdWatcher) low() float64 {
-	if w.Low <= 0 {
-		return 0.7
+func (w *ThresholdWatcher) low(k resources.Kind) float64 {
+	l := w.Low
+	if m, ok := w.PerKind[k]; ok && m.Low > 0 {
+		l = m.Low
+	} else if l <= 0 {
+		l = 0.7
 	}
-	return w.Low
+	// The re-arm threshold must sit at or below the trip threshold, or
+	// a utilization between them would fire and re-arm on every sample
+	// — the very storm the hysteresis exists to prevent. A PerKind
+	// High override below the (defaulted) Low is clamped rather than
+	// inverted.
+	if h := w.high(k); l > h {
+		l = h
+	}
+	return l
 }
 
 func (w *ThresholdWatcher) sustain() int {
@@ -73,27 +110,21 @@ func (w *ThresholdWatcher) sustain() int {
 	return w.Sustain
 }
 
-// utilization returns the node's demand/capacity fraction, the higher
-// of CPU and memory, from the free-resource maps of one
-// cfg.FreeResources pass (per-node UsedCPU/UsedMemory calls rescan the
-// whole VM set, which would make sampling O(nodes x VMs) on the
-// serving daemon's hottest path). Zero-capacity resources count as
-// saturated only when demanded.
-func utilization(freeCPU, freeMem map[string]int, n *vjob.Node) float64 {
-	frac := func(used, cap int) float64 {
-		if cap <= 0 {
-			if used > 0 {
-				return 2 // over any watermark
-			}
-			return 0
+// utilization returns the node's demand/capacity fraction on one
+// dimension, from the free-resource map of one cfg.FreeResources pass
+// (per-node Used calls rescan the whole VM set, which would make
+// sampling O(nodes x VMs) on the serving daemon's hottest path).
+// Zero-capacity resources count as saturated only when demanded.
+func utilization(free map[string]resources.Vector, n *vjob.Node, k resources.Kind) float64 {
+	cap := n.Capacity.Get(k)
+	used := cap - free[n.Name].Get(k)
+	if cap <= 0 {
+		if used > 0 {
+			return 2 // over any watermark
 		}
-		return float64(used) / float64(cap)
+		return 0
 	}
-	u := frac(n.CPU-freeCPU[n.Name], n.CPU)
-	if m := frac(n.Memory-freeMem[n.Name], n.Memory); m > u {
-		u = m
-	}
-	return u
+	return float64(used) / float64(cap)
 }
 
 // Sample feeds one observation of the configuration at virtual time t
@@ -102,33 +133,43 @@ func utilization(freeCPU, freeMem map[string]int, n *vjob.Node) float64 {
 // attach time emit nothing.
 func (w *ThresholdWatcher) Sample(t float64, cfg *vjob.Configuration) []core.Event {
 	if w.hot == nil {
-		w.hot = make(map[string]int)
-		w.overloaded = make(map[string]bool)
+		w.hot = make(map[nodeKind]int)
+		w.overloaded = make(map[nodeKind]bool)
 		w.known = make(map[string]bool)
 	}
 	var events []core.Event
 	current := make(map[string]bool, cfg.NumNodes())
-	freeCPU, freeMem := cfg.FreeResources()
+	free := cfg.FreeResources()
 
 	for _, n := range cfg.Nodes() {
 		current[n.Name] = true
 		if w.primed && !w.known[n.Name] {
 			events = append(events, core.Event{Kind: core.NodeUp, At: t, Nodes: []string{n.Name}})
 		}
-		u := utilization(freeCPU, freeMem, n)
-		if u > w.high() {
-			w.hot[n.Name]++
-		} else {
-			w.hot[n.Name] = 0
-		}
-		if w.overloaded[n.Name] {
-			if u < w.low() {
-				delete(w.overloaded, n.Name) // cooled: re-arm
+		// Each dimension runs its own hysteresis state machine; the
+		// node fires at most one LoadChange per sample however many
+		// dimensions tripped together.
+		fired := false
+		for _, k := range resources.Kinds() {
+			key := nodeKind{node: n.Name, kind: k}
+			u := utilization(free, n, k)
+			if u > w.high(k) {
+				w.hot[key]++
+			} else {
+				w.hot[key] = 0
 			}
-			continue
+			if w.overloaded[key] {
+				if u < w.low(k) {
+					delete(w.overloaded, key) // cooled: re-arm
+				}
+				continue
+			}
+			if w.hot[key] >= w.sustain() {
+				w.overloaded[key] = true
+				fired = true
+			}
 		}
-		if w.hot[n.Name] >= w.sustain() {
-			w.overloaded[n.Name] = true
+		if fired {
 			ev := core.Event{Kind: core.LoadChange, At: t, Nodes: []string{n.Name}}
 			for _, v := range cfg.RunningOn(n.Name) {
 				ev.VMs = append(ev.VMs, v.Name)
@@ -147,8 +188,10 @@ func (w *ThresholdWatcher) Sample(t float64, cfg *vjob.Configuration) []core.Eve
 	sort.Strings(downs)
 	for _, name := range downs {
 		events = append(events, core.Event{Kind: core.NodeDown, At: t, Nodes: []string{name}})
-		delete(w.hot, name)
-		delete(w.overloaded, name)
+		for _, k := range resources.Kinds() {
+			delete(w.hot, nodeKind{node: name, kind: k})
+			delete(w.overloaded, nodeKind{node: name, kind: k})
+		}
 	}
 
 	w.known = current

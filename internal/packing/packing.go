@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cwcs/internal/resources"
 	"cwcs/internal/vjob"
 )
 
@@ -29,35 +30,86 @@ func (e ErrNoFit) Error() string {
 // slice is sorted in place and returned for chaining.
 func SortDecreasing(vms []*vjob.VM) []*vjob.VM {
 	sort.SliceStable(vms, func(i, j int) bool {
-		if vms[i].MemoryDemand != vms[j].MemoryDemand {
-			return vms[i].MemoryDemand > vms[j].MemoryDemand
+		if vms[i].MemoryDemand() != vms[j].MemoryDemand() {
+			return vms[i].MemoryDemand() > vms[j].MemoryDemand()
 		}
-		if vms[i].CPUDemand != vms[j].CPUDemand {
-			return vms[i].CPUDemand > vms[j].CPUDemand
+		if vms[i].CPUDemand() != vms[j].CPUDemand() {
+			return vms[i].CPUDemand() > vms[j].CPUDemand()
 		}
 		return vms[i].Name < vms[j].Name
 	})
 	return vms
 }
 
+// SortByDominantShare orders VMs by decreasing dominant-resource score
+// — each VM's largest per-dimension share of the cluster capacity —
+// breaking ties by the §3.2 (memory, CPU, name) ordering. On
+// heterogeneous multi-dimensional workloads the score keeps a
+// net-hungry VM ahead of a slightly larger-in-memory compute VM, which
+// is what makes first-fit competitive across dimensions (DRF-style
+// packing). The slice is sorted in place and returned for chaining.
+func SortByDominantShare(total resources.Vector, vms []*vjob.VM) []*vjob.VM {
+	sort.SliceStable(vms, func(i, j int) bool {
+		si, sj := vms[i].Demand.DominantShare(total), vms[j].Demand.DominantShare(total)
+		if si != sj {
+			return si > sj
+		}
+		if vms[i].MemoryDemand() != vms[j].MemoryDemand() {
+			return vms[i].MemoryDemand() > vms[j].MemoryDemand()
+		}
+		if vms[i].CPUDemand() != vms[j].CPUDemand() {
+			return vms[i].CPUDemand() > vms[j].CPUDemand()
+		}
+		return vms[i].Name < vms[j].Name
+	})
+	return vms
+}
+
+// orderForPacking picks the decreasing order for a packing pass: the
+// paper's (memory, CPU) ordering on pure 2-D instances — bit-for-bit
+// the published FFD — and the weighted dominant-resource score as soon
+// as any node or VM uses an extra dimension.
+func orderForPacking(c *vjob.Configuration, vms []*vjob.VM) []*vjob.VM {
+	ordered := append([]*vjob.VM(nil), vms...)
+	var total resources.Vector
+	multi := false
+	for _, n := range c.Nodes() {
+		total = total.Add(n.Capacity)
+		multi = multi || n.Capacity.HasExtra()
+	}
+	if !multi {
+		for _, v := range vms {
+			if v.Demand.HasExtra() {
+				multi = true
+				break
+			}
+		}
+	}
+	if multi {
+		return SortByDominantShare(total, ordered)
+	}
+	return SortDecreasing(ordered)
+}
+
 // FirstFitDecrease places every VM of vms as Running in c using the
-// First Fit Decrease heuristic: VMs are considered in decreasing
-// (memory, CPU) order and assigned to the first node with sufficient
-// free resources. The configuration is mutated; on failure it is left
-// untouched and an ErrNoFit is returned. Free resources are tracked
-// incrementally, so a full pass costs O(nodes·VMs) rather than the
-// quadratic rescans of Configuration.Fits.
+// First Fit Decrease heuristic: VMs are considered in decreasing order
+// — (memory, CPU) on 2-D instances, dominant-resource score when extra
+// dimensions are in play — and assigned to the first node with
+// sufficient free resources on every dimension. The configuration is
+// mutated; on failure it is left untouched and an ErrNoFit is
+// returned. Free resources are tracked incrementally, so a full pass
+// costs O(nodes·VMs) rather than the quadratic rescans of
+// Configuration.Fits.
 func FirstFitDecrease(c *vjob.Configuration, vms []*vjob.VM) error {
-	ordered := SortDecreasing(append([]*vjob.VM(nil), vms...))
-	freeCPU, freeMem := c.FreeResources()
+	ordered := orderForPacking(c, vms)
+	free := c.FreeResources()
 	nodes := c.Nodes()
 	assigned := make(map[string]string, len(vms))
 	for _, v := range ordered {
 		placed := false
 		for _, n := range nodes {
-			if freeCPU[n.Name] >= v.CPUDemand && freeMem[n.Name] >= v.MemoryDemand {
-				freeCPU[n.Name] -= v.CPUDemand
-				freeMem[n.Name] -= v.MemoryDemand
+			if v.Demand.Fits(free[n.Name]) {
+				free[n.Name] = free[n.Name].Sub(v.Demand)
 				assigned[v.Name] = n.Name
 				placed = true
 				break
@@ -66,7 +118,7 @@ func FirstFitDecrease(c *vjob.Configuration, vms []*vjob.VM) error {
 		if !placed {
 			return ErrNoFit{VM: v}
 		}
-		creditOldHost(c, v, freeCPU, freeMem)
+		creditOldHost(c, v, free)
 	}
 	return commit(c, assigned, vms)
 }
@@ -75,28 +127,27 @@ func FirstFitDecrease(c *vjob.Configuration, vms []*vjob.VM) error {
 // goes to the fitting node with the LEAST remaining memory, keeping
 // large holes available for large VMs.
 func BestFitDecrease(c *vjob.Configuration, vms []*vjob.VM) error {
-	ordered := SortDecreasing(append([]*vjob.VM(nil), vms...))
-	freeCPU, freeMem := c.FreeResources()
+	ordered := orderForPacking(c, vms)
+	free := c.FreeResources()
 	nodes := c.Nodes()
 	assigned := make(map[string]string, len(vms))
 	for _, v := range ordered {
 		best := ""
 		bestFree := -1
 		for _, n := range nodes {
-			if freeCPU[n.Name] < v.CPUDemand || freeMem[n.Name] < v.MemoryDemand {
+			if !v.Demand.Fits(free[n.Name]) {
 				continue
 			}
-			if best == "" || freeMem[n.Name] < bestFree {
-				best, bestFree = n.Name, freeMem[n.Name]
+			if freeMem := free[n.Name].Get(resources.Memory); best == "" || freeMem < bestFree {
+				best, bestFree = n.Name, freeMem
 			}
 		}
 		if best == "" {
 			return ErrNoFit{VM: v}
 		}
-		freeCPU[best] -= v.CPUDemand
-		freeMem[best] -= v.MemoryDemand
+		free[best] = free[best].Sub(v.Demand)
 		assigned[v.Name] = best
-		creditOldHost(c, v, freeCPU, freeMem)
+		creditOldHost(c, v, free)
 	}
 	return commit(c, assigned, vms)
 }
@@ -105,10 +156,9 @@ func BestFitDecrease(c *vjob.Configuration, vms []*vjob.VM) error {
 // on its current host to the free pool: the commit will move it, so
 // later VMs of the same pass may use the space (the behavior of the
 // former clone-based implementation).
-func creditOldHost(c *vjob.Configuration, v *vjob.VM, freeCPU, freeMem map[string]int) {
+func creditOldHost(c *vjob.Configuration, v *vjob.VM, free map[string]resources.Vector) {
 	if host := c.HostOf(v.Name); host != "" {
-		freeCPU[host] += v.CPUDemand
-		freeMem[host] += v.MemoryDemand
+		free[host] = free[host].Add(v.Demand)
 	}
 }
 

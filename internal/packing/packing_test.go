@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"cwcs/internal/resources"
 	"cwcs/internal/vjob"
 )
 
@@ -271,5 +272,86 @@ func TestRepackCreditsFreedHost(t *testing.T) {
 	}
 	if !c.Viable() {
 		t.Fatalf("non-viable best-fit packing:\n%s", c)
+	}
+}
+
+// TestSortByDominantShare: a net-hungry VM outranks a bigger-in-memory
+// compute VM once shares are weighted by cluster capacity.
+func TestSortByDominantShare(t *testing.T) {
+	total := resources.New(100, 100000)
+	total.Set(resources.NetBW, 1000)
+	netVM := vjob.NewVMRes("net", "", func() resources.Vector {
+		d := resources.New(1, 1024)
+		d.Set(resources.NetBW, 500) // 50% of cluster net
+		return d
+	}())
+	memVM := vjob.NewVM("mem", "", 1, 4096) // ~4% of cluster memory
+	got := SortByDominantShare(total, []*vjob.VM{memVM, netVM})
+	if got[0].Name != "net" {
+		t.Fatalf("order = [%s %s]", got[0].Name, got[1].Name)
+	}
+	// Ties fall back to the §3.2 (memory, CPU, name) ordering.
+	a := vjob.NewVM("a", "", 1, 2048)
+	b := vjob.NewVM("b", "", 1, 1024)
+	tied := SortByDominantShare(resources.New(100, 100000), []*vjob.VM{b, a})
+	if tied[0].Name != "a" {
+		t.Fatalf("tie order = [%s %s]", tied[0].Name, tied[1].Name)
+	}
+}
+
+// TestFFDMultiDimension: first-fit must respect every dimension — two
+// net-heavy VMs that fit one node on CPU/memory spread across nodes —
+// and pure 2-D inputs keep the historical (memory, CPU) ordering.
+func TestFFDMultiDimension(t *testing.T) {
+	cfg := vjob.NewConfiguration()
+	cap := resources.New(4, 8192)
+	cap.Set(resources.NetBW, 100)
+	cfg.AddNode(vjob.NewNodeRes("n1", cap))
+	cfg.AddNode(vjob.NewNodeRes("n2", cap))
+	d := resources.New(1, 512)
+	d.Set(resources.NetBW, 60)
+	v1 := vjob.NewVMRes("v1", "", d)
+	v2 := vjob.NewVMRes("v2", "", d)
+	cfg.AddVM(v1)
+	cfg.AddVM(v2)
+	if err := FirstFitDecrease(cfg, []*vjob.VM{v1, v2}); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.HostOf("v1") == cfg.HostOf("v2") {
+		t.Fatalf("net-heavy VMs packed together on %s", cfg.HostOf("v1"))
+	}
+	if !cfg.Viable() {
+		t.Fatalf("FFD produced violations: %v", cfg.Violations())
+	}
+	// Over-subscribing the dimension reports the culprit.
+	v3 := vjob.NewVMRes("v3", "", d)
+	cfg.AddVM(v3)
+	v4 := vjob.NewVMRes("v4", "", d)
+	cfg.AddVM(v4)
+	err := FirstFitDecrease(cfg, []*vjob.VM{v3, v4})
+	var nf ErrNoFit
+	if !errors.As(err, &nf) {
+		t.Fatalf("err = %v, want ErrNoFit", err)
+	}
+}
+
+// TestBFDMultiDimension: best-fit honours the extra dimensions too.
+func TestBFDMultiDimension(t *testing.T) {
+	cfg := vjob.NewConfiguration()
+	cap := resources.New(4, 8192)
+	cap.Set(resources.DiskIO, 100)
+	cfg.AddNode(vjob.NewNodeRes("n1", cap))
+	cfg.AddNode(vjob.NewNodeRes("n2", cap))
+	d := resources.New(1, 512)
+	d.Set(resources.DiskIO, 70)
+	v1 := vjob.NewVMRes("v1", "", d)
+	v2 := vjob.NewVMRes("v2", "", d)
+	cfg.AddVM(v1)
+	cfg.AddVM(v2)
+	if err := BestFitDecrease(cfg, []*vjob.VM{v1, v2}); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Viable() {
+		t.Fatalf("BFD produced violations: %v", cfg.Violations())
 	}
 }

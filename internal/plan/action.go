@@ -47,7 +47,7 @@ type Migration struct {
 func (a *Migration) VM() *vjob.VM { return a.Machine }
 
 // Cost is the VM memory demand (Table 1).
-func (a *Migration) Cost() int { return a.Machine.MemoryDemand }
+func (a *Migration) Cost() int { return a.Machine.MemoryDemand() }
 
 // FeasibleIn reports whether Dst currently offers the VM's demands.
 func (a *Migration) FeasibleIn(c *vjob.Configuration) bool {
@@ -134,7 +134,7 @@ type Suspend struct {
 func (a *Suspend) VM() *vjob.VM { return a.Machine }
 
 // Cost is the VM memory demand (Table 1).
-func (a *Suspend) Cost() int { return a.Machine.MemoryDemand }
+func (a *Suspend) Cost() int { return a.Machine.MemoryDemand() }
 
 // FeasibleIn always reports true: suspending only liberates resources.
 func (a *Suspend) FeasibleIn(*vjob.Configuration) bool { return true }
@@ -170,9 +170,9 @@ func (a *Resume) Local() bool { return a.From == a.On }
 // Cost is Dm for a local resume and 2·Dm for a remote one (Table 1).
 func (a *Resume) Cost() int {
 	if a.Local() {
-		return a.Machine.MemoryDemand
+		return a.Machine.MemoryDemand()
 	}
-	return 2 * a.Machine.MemoryDemand
+	return 2 * a.Machine.MemoryDemand()
 }
 
 // FeasibleIn reports whether On currently offers the VM's demands.

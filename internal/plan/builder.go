@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cwcs/internal/resources"
 	"cwcs/internal/vjob"
 )
 
@@ -74,19 +75,18 @@ func (b Builder) Plan(g *Graph) (*Plan, error) {
 // space; resources released by actions of the pool are NOT credited,
 // because a parallel action cannot rely on a concurrent completion.
 func extractPool(cur *vjob.Configuration, remaining []Action) (Pool, []Action) {
-	freeCPU, freeMem := cur.FreeResources()
+	free := cur.FreeResources()
 	var pool Pool
 	var rest []Action
 	for _, a := range remaining {
-		node, cpu, mem := demandOf(a)
+		node, demand := demandOf(a)
 		if node == "" { // pure release: always feasible
 			pool = append(pool, a)
 			continue
 		}
-		if freeCPU[node] >= cpu && freeMem[node] >= mem {
+		if demand.Fits(free[node]) {
 			pool = append(pool, a)
-			freeCPU[node] -= cpu
-			freeMem[node] -= mem
+			free[node] = free[node].Sub(demand)
 		} else {
 			rest = append(rest, a)
 		}
@@ -95,17 +95,18 @@ func extractPool(cur *vjob.Configuration, remaining []Action) (Pool, []Action) {
 }
 
 // demandOf returns the node an action consumes resources on, with the
-// amounts, or "" for pure-release actions (suspend, stop).
-func demandOf(a Action) (node string, cpu, mem int) {
+// per-dimension amounts, or "" for pure-release actions (suspend,
+// stop).
+func demandOf(a Action) (node string, demand resources.Vector) {
 	switch a := a.(type) {
 	case *Migration:
-		return a.Dst, a.Machine.CPUDemand, a.Machine.MemoryDemand
+		return a.Dst, a.Machine.Demand
 	case *Run:
-		return a.On, a.Machine.CPUDemand, a.Machine.MemoryDemand
+		return a.On, a.Machine.Demand
 	case *Resume:
-		return a.On, a.Machine.CPUDemand, a.Machine.MemoryDemand
+		return a.On, a.Machine.Demand
 	default:
-		return "", 0, 0
+		return "", resources.Vector{}
 	}
 }
 

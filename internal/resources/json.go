@@ -1,0 +1,90 @@
+package resources
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// MarshalJSON encodes the vector as an object keyed by wire names, in
+// registry order, omitting zero dimensions — so a vector that only
+// uses the paper's 2-D model round-trips through the same bytes
+// whether or not extra kinds are registered.
+func (v Vector) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	first := true
+	for _, k := range Kinds() {
+		if v[k] == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteByte('"')
+		b.WriteString(k.String())
+		b.WriteString(`":`)
+		b.WriteString(strconv.Itoa(v[k]))
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// UnmarshalJSON decodes an object of wire-name keys. Unknown kinds and
+// negative quantities are rejected — the same trust boundary every
+// other decoder of the wire format enforces — and absent dimensions
+// stay zero.
+func (v *Vector) UnmarshalJSON(data []byte) error {
+	var m map[string]int
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("resources: vector: %w", err)
+	}
+	var out Vector
+	for name, x := range m {
+		k, err := ParseKind(name)
+		if err != nil {
+			return err
+		}
+		if x < 0 {
+			return fmt.Errorf("resources: vector has negative %s", name)
+		}
+		out[k] = x
+	}
+	*v = out
+	return nil
+}
+
+// FromWire assembles a vector from the wire format's dedicated
+// cpu/memory fields plus the extras object, enforcing the interchange
+// format's trust boundary in one place: negative quantities, unknown
+// kinds and base kinds duplicated inside the extras map are rejected.
+// Both the vjob configuration decoder and cmd/planviz build on it.
+func FromWire(cpu, memory int, extras map[string]int) (Vector, error) {
+	if cpu < 0 || memory < 0 {
+		return Vector{}, fmt.Errorf("resources: negative cpu or memory")
+	}
+	v := New(cpu, memory)
+	// Deterministic error selection (fuzzing, tests): walk keys sorted.
+	names := make([]string, 0, len(extras))
+	for name := range extras {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		k, err := ParseKind(name)
+		if err != nil {
+			return Vector{}, err
+		}
+		if k == CPU || k == Memory {
+			return Vector{}, fmt.Errorf("resources: %s duplicated inside resources", name)
+		}
+		if extras[name] < 0 {
+			return Vector{}, fmt.Errorf("resources: negative %s", name)
+		}
+		v.Set(k, extras[name])
+	}
+	return v, nil
+}

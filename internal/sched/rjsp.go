@@ -125,7 +125,7 @@ func (s StaticFCFS) shadow(v *vjob.VM) *vjob.VM {
 	if !s.ReserveFullCPU {
 		return v
 	}
-	return vjob.NewVM(v.Name, v.VJob, 1, v.MemoryDemand)
+	return vjob.NewVM(v.Name, v.VJob, 1, v.MemoryDemand())
 }
 
 func (s StaticFCFS) shadowJob(j *vjob.VJob) *vjob.VJob {

@@ -198,10 +198,10 @@ func (c *Cluster) applyPhaseDemand(vm string, w *workload) {
 		return
 	}
 	if w.done || w.idx >= len(w.phases) {
-		v.CPUDemand = 0
+		v.SetCPUDemand(0)
 		return
 	}
-	v.CPUDemand = w.phases[w.idx].CPU
+	v.SetCPUDemand(w.phases[w.idx].CPU)
 }
 
 // WorkloadDone reports whether the VM finished all its phases (VMs
@@ -347,11 +347,11 @@ func (c *Cluster) rates() map[string]float64 {
 				continue
 			}
 			active = append(active, v)
-			demand += v.CPUDemand
+			demand += v.CPUDemand()
 		}
 		share := 1.0
-		if demand > n.CPU && demand > 0 {
-			share = float64(n.CPU) / float64(demand)
+		if cpu := n.CPU(); demand > cpu && demand > 0 {
+			share = float64(cpu) / float64(demand)
 		}
 		f := decel[n.Name]
 		if f == 0 {
@@ -359,7 +359,7 @@ func (c *Cluster) rates() map[string]float64 {
 		}
 		for _, v := range active {
 			r := share / f
-			if v.CPUDemand == 0 {
+			if v.CPUDemand() == 0 {
 				// Communication phases elapse in real time, modulo
 				// operation deceleration.
 				r = 1 / f
@@ -435,7 +435,7 @@ func (c *Cluster) Run(until float64) {
 func (c *Cluster) advancePhase(vm string, w *workload) {
 	before := -1
 	if v := c.cfg.VM(vm); v != nil {
-		before = v.CPUDemand
+		before = v.CPUDemand()
 	}
 	w.idx++
 	if w.idx >= len(w.phases) {
@@ -447,7 +447,7 @@ func (c *Cluster) advancePhase(vm string, w *workload) {
 	c.applyPhaseDemand(vm, w)
 	after := before
 	if v := c.cfg.VM(vm); v != nil {
-		after = v.CPUDemand
+		after = v.CPUDemand()
 	}
 	if after != before || w.done {
 		c.notifyLoad(vm)

@@ -78,7 +78,7 @@ func TestWorkloadProgressAtFullSpeed(t *testing.T) {
 	if !c.WorkloadDone("vm1") {
 		t.Fatal("workload not done after enough time")
 	}
-	if got := c.Config().VM("vm1").CPUDemand; got != 0 {
+	if got := c.Config().VM("vm1").CPUDemand(); got != 0 {
 		t.Fatalf("finished VM still demands %d CPU", got)
 	}
 }
@@ -121,11 +121,11 @@ func TestPhaseTransitionsUpdateDemand(t *testing.T) {
 		{CPU: 1, Seconds: 10},
 	})
 	c.Run(12)
-	if got := c.Config().VM("vm1").CPUDemand; got != 0 {
+	if got := c.Config().VM("vm1").CPUDemand(); got != 0 {
 		t.Fatalf("demand during communication phase = %d, want 0", got)
 	}
 	c.Run(16)
-	if got := c.Config().VM("vm1").CPUDemand; got != 1 {
+	if got := c.Config().VM("vm1").CPUDemand(); got != 1 {
 		t.Fatalf("demand in third phase = %d, want 1", got)
 	}
 	c.Run(100)

@@ -34,8 +34,8 @@ func TestOnLoadChangeFiresOnPhaseShift(t *testing.T) {
 	if len(got) != 2 {
 		t.Fatalf("load-change events = %v, want 2", got)
 	}
-	if cfg.VM("v1").CPUDemand != 0 {
-		t.Fatalf("demand = %d after completion", cfg.VM("v1").CPUDemand)
+	if cfg.VM("v1").CPUDemand() != 0 {
+		t.Fatalf("demand = %d after completion", cfg.VM("v1").CPUDemand())
 	}
 	if !c.WorkloadDone("v1") {
 		t.Fatal("workload not done")

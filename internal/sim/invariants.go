@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cwcs/internal/resources"
 	"cwcs/internal/vjob"
 )
 
@@ -54,15 +55,13 @@ func (w *Invariants) audit() {
 			w.structural++
 		}
 	}
-	freeCPU, freeMem := cfg.FreeResources()
+	free := cfg.FreeResources()
 	for _, n := range cfg.Nodes() {
-		if freeCPU[n.Name] > n.CPU {
-			w.errs = append(w.errs, fmt.Errorf("sim: t=%.1f: node %s has negative CPU usage %d", w.c.Now(), n.Name, n.CPU-freeCPU[n.Name]))
-			w.structural++
-		}
-		if freeMem[n.Name] > n.Memory {
-			w.errs = append(w.errs, fmt.Errorf("sim: t=%.1f: node %s has negative memory usage %d", w.c.Now(), n.Name, n.Memory-freeMem[n.Name]))
-			w.structural++
+		for _, k := range resources.Kinds() {
+			if got, cap := free[n.Name].Get(k), n.Capacity.Get(k); got > cap {
+				w.errs = append(w.errs, fmt.Errorf("sim: t=%.1f: node %s has negative %s usage %d", w.c.Now(), n.Name, k, cap-got))
+				w.structural++
+			}
 		}
 	}
 	if w.baseline == nil {

@@ -6,6 +6,7 @@ import (
 
 	"cwcs/internal/duration"
 	"cwcs/internal/plan"
+	"cwcs/internal/resources"
 	"cwcs/internal/vjob"
 )
 
@@ -59,5 +60,39 @@ func TestInvariantsTolerateBaselineOvercommit(t *testing.T) {
 	}
 	if cfg.HostOf("b") != "n1" {
 		t.Fatal("migration did not land")
+	}
+}
+
+// TestInvariantsWatchEveryDimension: an overload introduced on an
+// extra dimension (network) after the baseline is reported just like a
+// CPU one, and stays a capacity violation — not a structural breach.
+func TestInvariantsWatchEveryDimension(t *testing.T) {
+	cfg := vjob.NewConfiguration()
+	cap := resources.New(8, 16384)
+	cap.Set(resources.NetBW, 100)
+	cfg.AddNode(vjob.NewNodeRes("n0", cap))
+	c := New(cfg, duration.Default())
+	w := WatchInvariants(c)
+
+	c.Schedule(10, func() {
+		for _, name := range []string{"a", "b"} {
+			d := resources.New(1, 512)
+			d.Set(resources.NetBW, 60)
+			cfg.AddVM(vjob.NewVMRes(name, "j", d))
+			if err := cfg.SetRunning(name, "n0"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	c.Run(100)
+	err := w.Err()
+	if err == nil {
+		t.Fatal("introduced net overload not reported")
+	}
+	if !strings.Contains(err.Error(), "net") {
+		t.Fatalf("report does not name the dimension: %v", err)
+	}
+	if w.StructuralCount() != 0 {
+		t.Fatalf("capacity overload mis-filed as structural: %d", w.StructuralCount())
 	}
 }

@@ -54,7 +54,7 @@ func TestNodeOfflineOnlineRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := cfg.Node("n1")
-	if n == nil || n.CPU != 2 || n.Memory != 4096 {
+	if n == nil || n.CPU() != 2 || n.Memory() != 4096 {
 		t.Fatalf("restored node: %+v", n)
 	}
 	if len(c.OfflineNodes()) != 0 {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"cwcs/internal/resources"
 )
 
 // Configuration is a snapshot of the cluster: the set of nodes, the set
@@ -234,71 +236,71 @@ func (c *Configuration) InState(s State) []*VM {
 	return out
 }
 
-// UsedCPU returns the total CPU demand of the VMs running on the node.
-func (c *Configuration) UsedCPU(node string) int {
-	sum := 0
+// Used returns the per-dimension demand of the VMs running on the
+// node. It rescans the VM set; hot paths use FreeResources instead.
+func (c *Configuration) Used(node string) resources.Vector {
+	var sum resources.Vector
 	for _, v := range c.RunningOn(node) {
-		sum += v.CPUDemand
+		sum = sum.Add(v.Demand)
 	}
 	return sum
+}
+
+// UsedCPU returns the total CPU demand of the VMs running on the node.
+func (c *Configuration) UsedCPU(node string) int {
+	return c.Used(node).Get(resources.CPU)
 }
 
 // UsedMemory returns the total memory demand of the VMs running on the
 // node, in MiB.
 func (c *Configuration) UsedMemory(node string) int {
-	sum := 0
-	for _, v := range c.RunningOn(node) {
-		sum += v.MemoryDemand
+	return c.Used(node).Get(resources.Memory)
+}
+
+// Free returns the node's remaining resources per dimension (zero for
+// unknown nodes).
+func (c *Configuration) Free(node string) resources.Vector {
+	n := c.nodes[node]
+	if n == nil {
+		return resources.Vector{}
 	}
-	return sum
+	return n.Capacity.Sub(c.Used(node))
 }
 
 // FreeCPU returns the node's remaining processing units.
 func (c *Configuration) FreeCPU(node string) int {
-	n := c.nodes[node]
-	if n == nil {
-		return 0
-	}
-	return n.CPU - c.UsedCPU(node)
+	return c.Free(node).Get(resources.CPU)
 }
 
 // FreeMemory returns the node's remaining memory in MiB.
 func (c *Configuration) FreeMemory(node string) int {
-	n := c.nodes[node]
-	if n == nil {
-		return 0
-	}
-	return n.Memory - c.UsedMemory(node)
+	return c.Free(node).Get(resources.Memory)
 }
 
 // Fits reports whether the VM's demands fit in the node's current free
-// resources.
+// resources, on every dimension.
 func (c *Configuration) Fits(v *VM, node string) bool {
-	return c.FreeCPU(node) >= v.CPUDemand && c.FreeMemory(node) >= v.MemoryDemand
+	return v.Demand.Fits(c.Free(node))
 }
 
-// FreeResources returns the free CPU and memory of every node in one
-// O(nodes + VMs) pass. Hot paths (the FFD heuristic, plan pool
-// extraction, the cost model) use it instead of calling
-// FreeCPU/FreeMemory per node, which rescans the whole VM set each
-// call and turns thousand-node clusters quadratic.
-func (c *Configuration) FreeResources() (cpu, mem map[string]int) {
-	cpu = make(map[string]int, len(c.nodes))
-	mem = make(map[string]int, len(c.nodes))
+// FreeResources returns the free resources of every node, every
+// dimension at once, in one O(nodes + VMs) pass. Hot paths (the FFD
+// heuristic, plan pool extraction, the cost model, monitoring) use it
+// instead of calling Free per node, which rescans the whole VM set
+// each call and turns thousand-node clusters quadratic.
+func (c *Configuration) FreeResources() map[string]resources.Vector {
+	free := make(map[string]resources.Vector, len(c.nodes))
 	for name, n := range c.nodes {
-		cpu[name] = n.CPU
-		mem[name] = n.Memory
+		free[name] = n.Capacity
 	}
 	for vm, st := range c.state {
 		if st != Running {
 			continue
 		}
-		v := c.vms[vm]
 		node := c.placement[vm]
-		cpu[node] -= v.CPUDemand
-		mem[node] -= v.MemoryDemand
+		free[node] = free[node].Sub(c.vms[vm].Demand)
 	}
-	return cpu, mem
+	return free
 }
 
 // Clone returns a deep copy of the placement and state mapping. Node

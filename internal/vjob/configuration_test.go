@@ -1,6 +1,7 @@
 package vjob
 
 import (
+	"cwcs/internal/resources"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -419,11 +420,11 @@ func TestViabilityMatchesBruteForce(t *testing.T) {
 			cpu, mem := 0, 0
 			for _, v := range c.VMs() {
 				if c.StateOf(v.Name) == Running && c.HostOf(v.Name) == n.Name {
-					cpu += v.CPUDemand
-					mem += v.MemoryDemand
+					cpu += v.CPUDemand()
+					mem += v.MemoryDemand()
 				}
 			}
-			if cpu > n.CPU || mem > n.Memory {
+			if cpu > n.CPU() || mem > n.Memory() {
 				viable = false
 			}
 		}
@@ -467,5 +468,51 @@ func TestRemoveNodeRefusesPlacements(t *testing.T) {
 	}
 	if got := c.Nodes(); len(got) != 1 || got[0].Name != "m1" {
 		t.Fatalf("node order after removal: %v", got)
+	}
+}
+
+// TestViolationsMultiDimension: Violations reports every over-committed
+// dimension by wire name, in node then registry order.
+func TestViolationsMultiDimension(t *testing.T) {
+	c := NewConfiguration()
+	cap := resources.New(2, 4096)
+	cap.Set(resources.NetBW, 100)
+	c.AddNode(NewNodeRes("n1", cap))
+	d := resources.New(3, 512)
+	d.Set(resources.NetBW, 150)
+	c.AddVM(NewVMRes("v1", "j", d))
+	mustRun(t, c, "v1", "n1")
+	vs := c.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs[0].Resource != "cpu" || vs[0].Demand != 3 || vs[0].Capacity != 2 {
+		t.Fatalf("cpu violation = %+v", vs[0])
+	}
+	if vs[1].Resource != "net" || vs[1].Demand != 150 || vs[1].Capacity != 100 {
+		t.Fatalf("net violation = %+v", vs[1])
+	}
+}
+
+// TestFreeResourcesMultiDimension: the single-pass free map carries
+// every dimension at once and matches the per-node accessors.
+func TestFreeResourcesMultiDimension(t *testing.T) {
+	c := NewConfiguration()
+	cap := resources.New(4, 8192)
+	cap.Set(resources.DiskIO, 600)
+	c.AddNode(NewNodeRes("n1", cap))
+	d := resources.New(1, 1024)
+	d.Set(resources.DiskIO, 150)
+	c.AddVM(NewVMRes("v1", "j", d))
+	mustRun(t, c, "v1", "n1")
+	free := c.FreeResources()
+	if got := free["n1"]; got.Get(resources.DiskIO) != 450 || got.Get(resources.CPU) != 3 {
+		t.Fatalf("free = %s", got)
+	}
+	if free["n1"] != c.Free("n1") {
+		t.Fatalf("FreeResources disagrees with Free: %s vs %s", free["n1"], c.Free("n1"))
+	}
+	if c.FreeCPU("n1") != 3 || c.FreeMemory("n1") != 7168 {
+		t.Fatal("compat accessors drifted")
 	}
 }

@@ -21,6 +21,15 @@ func FuzzConfigurationJSON(f *testing.F) {
 	f.Add([]byte(`{"nodes":[{"name":"n","cpu":0,"memory":0}],` +
 		`"vms":[{"name":"v","cpu":0,"memory":0,"state":"running","node":"n"}]}`))
 	f.Add([]byte(`null`))
+	// Multi-dimensional seeds: extra kinds ride in "resources"; a
+	// zero-valued or absent extras map is the 2-D fast path and must
+	// normalize away on re-encode.
+	f.Add([]byte(`{"nodes":[{"name":"n1","cpu":2,"memory":4096,"resources":{"net":1000,"disk":600}}],` +
+		`"vms":[{"name":"vm1","cpu":1,"memory":512,"resources":{"net":250},"state":"running","node":"n1"}]}`))
+	f.Add([]byte(`{"nodes":[{"name":"n1","cpu":2,"memory":4096,"resources":{"disk":0}}],"vms":[]}`))
+	f.Add([]byte(`{"nodes":[{"name":"n1","cpu":2,"memory":4096,"resources":{"tape":5}}],"vms":[]}`))
+	f.Add([]byte(`{"nodes":[{"name":"n1","cpu":2,"memory":4096,"resources":{"cpu":9}}],"vms":[]}`))
+	f.Add([]byte(`{"nodes":[{"name":"n1","cpu":1,"memory":1,"resources":{"net":-3}}],"vms":[]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var c Configuration
@@ -64,6 +73,19 @@ func FuzzConfigurationJSON(f *testing.F) {
 		for i := 1; i < len(nodes); i++ {
 			if nodes[i-1].Name >= nodes[i].Name {
 				t.Fatalf("nodes not in deterministic order: %q before %q", nodes[i-1].Name, nodes[i].Name)
+			}
+		}
+		// The decoder is the trust boundary of the resource model: no
+		// accepted vector may carry a negative dimension (unknown kinds
+		// never make it this far — ParseKind rejects the whole input).
+		for _, n := range nodes {
+			if n.Capacity.AnyNegative() {
+				t.Fatalf("node %s decoded with negative capacity %s", n.Name, n.Capacity)
+			}
+		}
+		for _, v := range c.VMs() {
+			if v.Demand.AnyNegative() {
+				t.Fatalf("VM %s decoded with negative demand %s", v.Name, v.Demand)
 			}
 		}
 	})

@@ -3,6 +3,8 @@ package vjob
 import (
 	"encoding/json"
 	"fmt"
+
+	"cwcs/internal/resources"
 )
 
 // configJSON is the serialized form of a Configuration, the format
@@ -12,19 +14,53 @@ type configJSON struct {
 	VMs   []vmJSON   `json:"vms"`
 }
 
+// The paper's two dimensions keep their dedicated fields; extra
+// registered dimensions (net, disk) ride in the optional "resources"
+// object, zero dimensions omitted — so a 2-D configuration encodes to
+// exactly the bytes it did before the multi-resource model existed.
 type nodeJSON struct {
-	Name   string `json:"name"`
-	CPU    int    `json:"cpu"`
-	Memory int    `json:"memory"`
+	Name      string         `json:"name"`
+	CPU       int            `json:"cpu"`
+	Memory    int            `json:"memory"`
+	Resources map[string]int `json:"resources,omitempty"`
 }
 
 type vmJSON struct {
-	Name   string `json:"name"`
-	VJob   string `json:"vjob,omitempty"`
-	CPU    int    `json:"cpu"`
-	Memory int    `json:"memory"`
-	State  string `json:"state"`
-	Node   string `json:"node,omitempty"`
+	Name      string         `json:"name"`
+	VJob      string         `json:"vjob,omitempty"`
+	CPU       int            `json:"cpu"`
+	Memory    int            `json:"memory"`
+	Resources map[string]int `json:"resources,omitempty"`
+	State     string         `json:"state"`
+	Node      string         `json:"node,omitempty"`
+}
+
+// extraMap extracts the non-zero extra dimensions of v as a wire map,
+// nil when the vector lives in the 2-D fast path. encoding/json sorts
+// map keys, so the encoding is deterministic.
+func extraMap(v resources.Vector) map[string]int {
+	var out map[string]int
+	for _, k := range resources.ExtraKinds() {
+		if x := v.Get(k); x != 0 {
+			if out == nil {
+				out = make(map[string]int)
+			}
+			out[k.String()] = x
+		}
+	}
+	return out
+}
+
+// vectorOf rebuilds a full vector from the dedicated cpu/memory fields
+// plus the extras map through resources.FromWire, the single home of
+// the interchange format's trust boundary (unknown kinds, duplicated
+// base kinds and negative quantities are rejected).
+func vectorOf(what string, cpu, memory int, extras map[string]int) (resources.Vector, error) {
+	v, err := resources.FromWire(cpu, memory, extras)
+	if err != nil {
+		return resources.Vector{}, fmt.Errorf("vjob: %s: %w", what, err)
+	}
+	return v, nil
 }
 
 // MarshalJSON encodes the configuration with nodes and VMs in
@@ -32,16 +68,22 @@ type vmJSON struct {
 func (c *Configuration) MarshalJSON() ([]byte, error) {
 	out := configJSON{}
 	for _, n := range c.Nodes() {
-		out.Nodes = append(out.Nodes, nodeJSON{Name: n.Name, CPU: n.CPU, Memory: n.Memory})
+		out.Nodes = append(out.Nodes, nodeJSON{
+			Name:      n.Name,
+			CPU:       n.CPU(),
+			Memory:    n.Memory(),
+			Resources: extraMap(n.Capacity),
+		})
 	}
 	for _, v := range c.VMs() {
 		out.VMs = append(out.VMs, vmJSON{
-			Name:   v.Name,
-			VJob:   v.VJob,
-			CPU:    v.CPUDemand,
-			Memory: v.MemoryDemand,
-			State:  c.StateOf(v.Name).String(),
-			Node:   c.LocationOf(v.Name),
+			Name:      v.Name,
+			VJob:      v.VJob,
+			CPU:       v.CPUDemand(),
+			Memory:    v.MemoryDemand(),
+			Resources: extraMap(v.Demand),
+			State:     c.StateOf(v.Name).String(),
+			Node:      c.LocationOf(v.Name),
 		})
 	}
 	return json.Marshal(out)
@@ -62,19 +104,21 @@ func (c *Configuration) UnmarshalJSON(data []byte) error {
 			// round trip.
 			return fmt.Errorf("vjob: node with empty name")
 		}
-		if n.CPU < 0 || n.Memory < 0 {
-			return fmt.Errorf("vjob: node %s has negative capacity", n.Name)
+		cap, err := vectorOf("node "+n.Name, n.CPU, n.Memory, n.Resources)
+		if err != nil {
+			return err
 		}
-		c.AddNode(NewNode(n.Name, n.CPU, n.Memory))
+		c.AddNode(NewNodeRes(n.Name, cap))
 	}
 	for _, v := range in.VMs {
 		if v.Name == "" {
 			return fmt.Errorf("vjob: VM with empty name")
 		}
-		if v.CPU < 0 || v.Memory < 0 {
-			return fmt.Errorf("vjob: VM %s has negative demand", v.Name)
+		demand, err := vectorOf("VM "+v.Name, v.CPU, v.Memory, v.Resources)
+		if err != nil {
+			return err
 		}
-		c.AddVM(NewVM(v.Name, v.VJob, v.CPU, v.Memory))
+		c.AddVM(NewVMRes(v.Name, v.VJob, demand))
 		switch v.State {
 		case "running":
 			if err := c.SetRunning(v.Name, v.Node); err != nil {

@@ -1,9 +1,12 @@
 package vjob
 
 import (
+	"bytes"
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"cwcs/internal/resources"
 )
 
 func TestJSONRoundTrip(t *testing.T) {
@@ -29,7 +32,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	if !c.Equal(&back) {
 		t.Fatalf("round trip lost state:\n%s\nvs\n%s", c, &back)
 	}
-	if back.VM("a").VJob != "j1" || back.VM("a").MemoryDemand != 1024 {
+	if back.VM("a").VJob != "j1" || back.VM("a").MemoryDemand() != 1024 {
 		t.Fatal("VM attributes lost")
 	}
 	if back.StateOf("w") != Waiting {
@@ -87,5 +90,71 @@ func TestJSONOverwritesReceiver(t *testing.T) {
 	}
 	if c.Node("x") != nil || c.Node("y") == nil {
 		t.Fatal("receiver not reset on unmarshal")
+	}
+}
+
+func TestJSONResourceVectors(t *testing.T) {
+	in := `{"nodes":[{"name":"n1","cpu":2,"memory":4096,"resources":{"disk":600,"net":1000}}],` +
+		`"vms":[{"name":"v1","cpu":1,"memory":512,"resources":{"net":250},"state":"running","node":"n1"}]}`
+	var c Configuration
+	if err := json.Unmarshal([]byte(in), &c); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Node("n1").Capacity.Get(resources.NetBW); got != 1000 {
+		t.Fatalf("node net capacity = %d", got)
+	}
+	if got := c.VM("v1").Demand.Get(resources.NetBW); got != 250 {
+		t.Fatalf("vm net demand = %d", got)
+	}
+	if got := c.VM("v1").Demand.Get(resources.DiskIO); got != 0 {
+		t.Fatalf("vm disk demand = %d", got)
+	}
+	data, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Configuration
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(&back) || back.Node("n1").Capacity != c.Node("n1").Capacity ||
+		back.VM("v1").Demand != c.VM("v1").Demand {
+		t.Fatalf("round trip changed vectors:\n%s", data)
+	}
+}
+
+func TestJSONZeroExtrasNormalize(t *testing.T) {
+	// Explicit zero extras decode onto the 2-D fast path and re-encode
+	// without a resources object at all.
+	in := `{"nodes":[{"name":"n1","cpu":2,"memory":4096,"resources":{"net":0}}],"vms":[]}`
+	var c Configuration
+	if err := json.Unmarshal([]byte(in), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Node("n1").Capacity != resources.New(2, 4096) {
+		t.Fatalf("capacity = %s", c.Node("n1").Capacity)
+	}
+	data, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("resources")) {
+		t.Fatalf("zero extras survived the round trip: %s", data)
+	}
+}
+
+func TestJSONResourceErrors(t *testing.T) {
+	cases := []string{
+		`{"nodes":[{"name":"n","cpu":1,"memory":1,"resources":{"tape":5}}]}`,   // unknown kind
+		`{"nodes":[{"name":"n","cpu":1,"memory":1,"resources":{"cpu":5}}]}`,    // base kind duplicated
+		`{"nodes":[{"name":"n","cpu":1,"memory":1,"resources":{"memory":5}}]}`, // base kind duplicated
+		`{"nodes":[{"name":"n","cpu":1,"memory":1,"resources":{"net":-1}}]}`,   // negative extra
+		`{"vms":[{"name":"v","cpu":1,"memory":1,"resources":{"disk":-2}}]}`,    // negative extra on a VM
+	}
+	for _, tc := range cases {
+		var c Configuration
+		if err := json.Unmarshal([]byte(tc), &c); err == nil {
+			t.Errorf("accepted %s", tc)
+		}
 	}
 }

@@ -6,34 +6,52 @@
 // Switch of Virtualized Jobs": a configuration maps every VM either to
 // a hosting node (running), to a node holding its suspended image
 // (sleeping), or to the waiting queue. A configuration is viable when
-// every running VM has access to the CPU and memory it demands.
+// every running VM has access to the resources it demands, on every
+// registered dimension (internal/resources).
 package vjob
 
-import "fmt"
+import (
+	"fmt"
 
-// Node is a working node of the cluster. Capacities use the paper's
-// units: CPU in processing units (a computing VM demands a whole one)
-// and memory in MiB.
+	"cwcs/internal/resources"
+)
+
+// Node is a working node of the cluster. Capacity is per resource
+// dimension, in the paper's units for the first two: CPU in processing
+// units (a computing VM demands a whole one) and memory in MiB; extra
+// dimensions (network bandwidth, disk I/O) use the registry's units.
 type Node struct {
 	// Name identifies the node (e.g. "node-3"). Names must be unique
 	// within a configuration.
 	Name string
-	// CPU is the number of processing units the node offers.
-	CPU int
-	// Memory is the node memory capacity available to VMs, in MiB.
-	Memory int
+	// Capacity is the per-dimension resource capacity available to
+	// VMs.
+	Capacity resources.Capacity
 }
 
-// NewNode returns a node with the given capacities. It panics when a
-// capacity is negative, since such a node cannot exist.
+// NewNode returns a node with the given CPU and memory capacities (the
+// paper's 2-D model). It panics when a capacity is negative, since
+// such a node cannot exist.
 func NewNode(name string, cpu, memory int) *Node {
-	if cpu < 0 || memory < 0 {
-		panic(fmt.Sprintf("vjob: node %s with negative capacity (cpu=%d, mem=%d)", name, cpu, memory))
-	}
-	return &Node{Name: name, CPU: cpu, Memory: memory}
+	return NewNodeRes(name, resources.New(cpu, memory))
 }
+
+// NewNodeRes returns a node with a full capacity vector. It panics on
+// negative capacities.
+func NewNodeRes(name string, cap resources.Capacity) *Node {
+	if cap.AnyNegative() {
+		panic(fmt.Sprintf("vjob: node %s with negative capacity (%s)", name, cap))
+	}
+	return &Node{Name: name, Capacity: cap}
+}
+
+// CPU returns the number of processing units the node offers.
+func (n *Node) CPU() int { return n.Capacity.Get(resources.CPU) }
+
+// Memory returns the node memory capacity in MiB.
+func (n *Node) Memory() int { return n.Capacity.Get(resources.Memory) }
 
 // String returns a compact human-readable description of the node.
 func (n *Node) String() string {
-	return fmt.Sprintf("%s[cpu=%d,mem=%d]", n.Name, n.CPU, n.Memory)
+	return fmt.Sprintf("%s[%s]", n.Name, n.Capacity)
 }

@@ -85,7 +85,7 @@ func NewVJob(name string, priority int, vms ...*VM) *VJob {
 func (j *VJob) TotalMemory() int {
 	sum := 0
 	for _, v := range j.VMs {
-		sum += v.MemoryDemand
+		sum += v.MemoryDemand()
 	}
 	return sum
 }
@@ -95,7 +95,7 @@ func (j *VJob) TotalMemory() int {
 func (j *VJob) TotalCPU() int {
 	sum := 0
 	for _, v := range j.VMs {
-		sum += v.CPUDemand
+		sum += v.CPUDemand()
 	}
 	return sum
 }

@@ -1,13 +1,18 @@
 package vjob
 
-import "fmt"
+import (
+	"fmt"
+
+	"cwcs/internal/resources"
+)
 
 // Violation describes one node whose running VMs over-commit a
 // resource, making the configuration non-viable.
 type Violation struct {
 	// Node is the overloaded node's name.
 	Node string
-	// Resource is "cpu" or "memory".
+	// Resource is the wire name of the over-committed dimension
+	// ("cpu", "memory", "net", "disk").
 	Resource string
 	// Demand is the aggregated demand of the running VMs.
 	Demand int
@@ -22,41 +27,40 @@ func (v Violation) Error() string {
 		v.Node, v.Resource, v.Demand, v.Capacity)
 }
 
-// Violations returns every capacity violation of the configuration, in
-// node order. An empty slice means the configuration is viable: every
-// running VM has access to sufficient memory and processing units
-// (Section 3.2 of the paper). Waiting and sleeping VMs consume nothing.
+// Violations returns every capacity violation of the configuration —
+// any registered resource dimension on any node — in node then
+// dimension order. An empty slice means the configuration is viable:
+// every running VM has access to the resources it demands (Section
+// 3.2 of the paper, generalized to the multi-dimensional model).
+// Waiting and sleeping VMs consume nothing.
 //
 // The scan is a single O(nodes + VMs) pass: plan validation calls this
 // after every pool, so a per-node VM rescan would dominate large
 // cluster runs.
 func (c *Configuration) Violations() []Violation {
-	cpu := make(map[string]int)
-	mem := make(map[string]int)
+	used := make(map[string]resources.Vector)
 	for vm, st := range c.state {
 		if st != Running {
 			continue
 		}
-		v := c.vms[vm]
 		node := c.placement[vm]
-		cpu[node] += v.CPUDemand
-		mem[node] += v.MemoryDemand
+		used[node] = used[node].Add(c.vms[vm].Demand)
 	}
 	var out []Violation
 	for _, name := range c.nodeOrder {
 		n := c.nodes[name]
-		if cpu[name] > n.CPU {
-			out = append(out, Violation{Node: name, Resource: "cpu", Demand: cpu[name], Capacity: n.CPU})
-		}
-		if mem[name] > n.Memory {
-			out = append(out, Violation{Node: name, Resource: "memory", Demand: mem[name], Capacity: n.Memory})
+		u := used[name]
+		for _, k := range resources.Kinds() {
+			if u.Get(k) > n.Capacity.Get(k) {
+				out = append(out, Violation{Node: name, Resource: k.String(), Demand: u.Get(k), Capacity: n.Capacity.Get(k)})
+			}
 		}
 	}
 	return out
 }
 
 // Viable reports whether every running VM has access to sufficient
-// memory and CPU resources.
+// resources on every dimension.
 func (c *Configuration) Viable() bool { return len(c.Violations()) == 0 }
 
 // VJobState derives the state of a vjob from the states of its VMs. A

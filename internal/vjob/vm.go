@@ -1,11 +1,18 @@
 package vjob
 
-import "fmt"
+import (
+	"fmt"
 
-// VM is a virtual machine. Demands are what the VM currently asks for:
-// CPUDemand in processing units (1 while the embedded task computes, 0
-// otherwise) and MemoryDemand in MiB. MemoryDemand also drives the cost
-// of the actions that manipulate the VM (Table 1 of the paper).
+	"cwcs/internal/resources"
+)
+
+// VM is a virtual machine. Demand is what the VM currently asks for,
+// per resource dimension: CPU in processing units (1 while the
+// embedded task computes, 0 otherwise), memory in MiB — which also
+// drives the cost of the actions that manipulate the VM (Table 1 of
+// the paper) — plus any extra registered dimension (network bandwidth,
+// disk I/O). The CPUDemand/MemoryDemand accessors keep the paper's 2-D
+// call sites readable.
 type VM struct {
 	// Name identifies the VM (e.g. "vjob2-vm4"). Names must be unique
 	// within a configuration.
@@ -13,22 +20,39 @@ type VM struct {
 	// VJob is the name of the virtualized job this VM belongs to, or
 	// empty for a standalone VM.
 	VJob string
-	// CPUDemand is the current processing-unit demand.
-	CPUDemand int
-	// MemoryDemand is the current memory demand in MiB.
-	MemoryDemand int
+	// Demand is the current per-dimension resource demand.
+	Demand resources.Vector
 }
 
-// NewVM returns a VM owned by the named vjob. It panics on negative
-// demands.
+// NewVM returns a VM owned by the named vjob, demanding the paper's
+// two dimensions. It panics on negative demands.
 func NewVM(name, job string, cpu, memory int) *VM {
-	if cpu < 0 || memory < 0 {
-		panic(fmt.Sprintf("vjob: VM %s with negative demand (cpu=%d, mem=%d)", name, cpu, memory))
-	}
-	return &VM{Name: name, VJob: job, CPUDemand: cpu, MemoryDemand: memory}
+	return NewVMRes(name, job, resources.New(cpu, memory))
 }
+
+// NewVMRes returns a VM with a full demand vector. It panics on
+// negative demands, since such a VM cannot exist.
+func NewVMRes(name, job string, demand resources.Vector) *VM {
+	if demand.AnyNegative() {
+		panic(fmt.Sprintf("vjob: VM %s with negative demand (%s)", name, demand))
+	}
+	return &VM{Name: name, VJob: job, Demand: demand}
+}
+
+// CPUDemand returns the current processing-unit demand.
+func (v *VM) CPUDemand() int { return v.Demand.Get(resources.CPU) }
+
+// MemoryDemand returns the current memory demand in MiB.
+func (v *VM) MemoryDemand() int { return v.Demand.Get(resources.Memory) }
+
+// SetCPUDemand updates the processing-unit demand (the simulator's
+// phase advances go through here).
+func (v *VM) SetCPUDemand(cpu int) { v.Demand.Set(resources.CPU, cpu) }
+
+// SetMemoryDemand updates the memory demand in MiB.
+func (v *VM) SetMemoryDemand(mem int) { v.Demand.Set(resources.Memory, mem) }
 
 // String returns a compact human-readable description of the VM.
 func (v *VM) String() string {
-	return fmt.Sprintf("%s[cpu=%d,mem=%d]", v.Name, v.CPUDemand, v.MemoryDemand)
+	return fmt.Sprintf("%s[%s]", v.Name, v.Demand)
 }

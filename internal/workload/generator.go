@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"cwcs/internal/resources"
 	"cwcs/internal/vjob"
 )
 
@@ -28,9 +29,17 @@ type GenerateOptions struct {
 	// NodeCPU and NodeMemory are per-node capacities (paper: 2 CPUs,
 	// 4096 MiB).
 	NodeCPU, NodeMemory int
+	// NodeNet and NodeDisk are the extra-dimension capacities (Mbit/s
+	// and MiB/s); zero leaves the cluster in the paper's 2-D model.
+	NodeNet, NodeDisk int
 	// VMs is the target number of VMs; vjobs of 9 or 18 VMs are added
 	// until the target is reached.
 	VMs int
+	// NetFraction and DiskFraction are the probabilities a generated
+	// vjob is net-bound or disk-bound (see Profile); both zero keeps
+	// every vjob compute-bound and the rng stream identical to the
+	// pre-multi-resource generator.
+	NetFraction, DiskFraction float64
 }
 
 // DefaultGenerateOptions returns the paper's §5.1 parameters.
@@ -45,8 +54,11 @@ func DefaultGenerateOptions(vms int) GenerateOptions {
 // vjobs get their images on random nodes, and the rest wait.
 func GenerateConfiguration(rng *rand.Rand, opts GenerateOptions) Generated {
 	cfg := vjob.NewConfiguration()
+	cap := resources.New(opts.NodeCPU, opts.NodeMemory)
+	cap.Set(resources.NetBW, opts.NodeNet)
+	cap.Set(resources.DiskIO, opts.NodeDisk)
 	for i := 0; i < opts.Nodes; i++ {
-		cfg.AddNode(vjob.NewNode(fmt.Sprintf("node%03d", i), opts.NodeCPU, opts.NodeMemory))
+		cfg.AddNode(vjob.NewNodeRes(fmt.Sprintf("node%03d", i), cap))
 	}
 	g := Generated{Cfg: cfg}
 	placed := 0
@@ -64,14 +76,25 @@ func GenerateConfiguration(rng *rand.Rand, opts GenerateOptions) Generated {
 		bench := Benchmarks[rng.Intn(len(Benchmarks))]
 		class := Classes[rng.Intn(len(Classes))]
 		spec := NewSpec(fmt.Sprintf("job%03d", i), bench, class, n, i, rng)
+		// Profile draw only when the generator is asked for a
+		// heterogeneous mix: pure 2-D runs keep the historical rng
+		// stream, so published seeds reproduce byte-identically.
+		if opts.NetFraction > 0 || opts.DiskFraction > 0 {
+			switch draw := rng.Float64(); {
+			case draw < opts.NetFraction:
+				NetBound.Apply(spec.Job)
+			case draw < opts.NetFraction+opts.DiskFraction:
+				DiskBound.Apply(spec.Job)
+			}
+		}
 		// Roughly 60% of the VMs are computing right now (demanding an
 		// entire processing unit); the others are staging or in
 		// communication phases and release their CPU.
 		for _, v := range spec.Job.VMs {
 			if rng.Float64() < 0.6 {
-				v.CPUDemand = 1
+				v.SetCPUDemand(1)
 			} else {
-				v.CPUDemand = 0
+				v.SetCPUDemand(0)
 			}
 		}
 		for _, v := range spec.Job.VMs {
@@ -108,7 +131,7 @@ func placeByMemory(rng *rand.Rand, cfg *vjob.Configuration, j *vjob.VJob) bool {
 		placed := false
 		for k := 0; k < len(nodes); k++ {
 			n := nodes[(off+k)%len(nodes)]
-			if cfg.FreeMemory(n.Name) >= v.MemoryDemand {
+			if cfg.FreeMemory(n.Name) >= v.MemoryDemand() {
 				if err := cfg.SetRunning(v.Name, n.Name); err == nil {
 					placed = true
 					break

@@ -21,12 +21,12 @@ func TestNewSpecShape(t *testing.T) {
 		}
 		okMem := false
 		for _, m := range MemorySizes {
-			if v.MemoryDemand == m {
+			if v.MemoryDemand() == m {
 				okMem = true
 			}
 		}
 		if !okMem {
-			t.Fatalf("memory %d not in paper sizes", v.MemoryDemand)
+			t.Fatalf("memory %d not in paper sizes", v.MemoryDemand())
 		}
 	}
 	if s.TotalWork() <= 0 {
@@ -41,7 +41,7 @@ func TestSpecDeterministicWithSeed(t *testing.T) {
 		t.Fatal("same seed, different workload")
 	}
 	for i := range a.Job.VMs {
-		if a.Job.VMs[i].MemoryDemand != b.Job.VMs[i].MemoryDemand {
+		if a.Job.VMs[i].MemoryDemand() != b.Job.VMs[i].MemoryDemand() {
 			t.Fatal("same seed, different memory")
 		}
 	}
