@@ -11,6 +11,7 @@
 //	experiments fig13 [-quick]    utilization & completion, Entropy vs FCFS
 //	experiments partition [-quick] partitioned vs monolithic solve scaling
 //	experiments churn [-quick]    periodic vs event-driven loop under churn
+//	experiments repairstorm [-quick]  repair widening off/on under failure storms
 //	experiments drain [-quick]    drain/evacuate a node fraction under churn
 //	experiments all  [-quick]     everything above
 //
@@ -90,6 +91,10 @@ func main() {
 		rows := experiments.ChurnStudy(churnOptions(*quick, *seed, *workers, studyParts))
 		fmt.Print(experiments.ChurnTable(rows))
 		writeCSV(*csvDir, "churn.csv", experiments.ChurnCSV(rows))
+	case "repairstorm":
+		rows := experiments.RepairStormStudy(repairStormOptions(*quick, *seed, *workers, studyParts))
+		fmt.Print(experiments.RepairStormTable(rows))
+		writeCSV(*csvDir, "repairstorm.csv", experiments.RepairStormCSV(rows))
 	case "drain":
 		r := experiments.RunDrain(drainOptions(*quick, *seed, *workers, studyParts))
 		fmt.Print(experiments.DrainTable(r))
@@ -118,6 +123,8 @@ func main() {
 		fmt.Print(experiments.PartitionTable(experiments.PartitionStudy(partitionOptions(*quick, *seed, *workers, studyParts))))
 		fmt.Println()
 		fmt.Print(experiments.ChurnTable(experiments.ChurnStudy(churnOptions(*quick, *seed, *workers, studyParts))))
+		fmt.Println()
+		fmt.Print(experiments.RepairStormTable(experiments.RepairStormStudy(repairStormOptions(*quick, *seed, *workers, studyParts))))
 		fmt.Println()
 		fmt.Print(experiments.DrainTable(experiments.RunDrain(drainOptions(*quick, *seed, *workers, studyParts))))
 		fmt.Println()
@@ -168,6 +175,21 @@ func churnOptions(quick bool, seed int64, workers, partitions int) experiments.C
 		o.WorkScale = 0.2
 		o.Horizon = 2000
 		o.Timeout = 100 * time.Millisecond
+	}
+	return o
+}
+
+// repairStormOptions shapes the repair-widening failure-storm study.
+func repairStormOptions(quick bool, seed int64, workers, partitions int) experiments.RepairStormOptions {
+	o := experiments.DefaultRepairStormOptions()
+	o.Churn.Seed = seed
+	o.Churn.Workers = workers
+	o.Churn.Partitions = partitions
+	if quick {
+		co := churnOptions(true, seed, workers, partitions)
+		co.WatchInvariants = true
+		o.Churn = co
+		o.Rates = []float64{0.10}
 	}
 	return o
 }
@@ -242,5 +264,5 @@ func writeCSV(dir, name, content string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|churn|drain|multires|all> [-quick] [-seed N] [-workers N] [-partitions N] [-csv DIR]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|churn|repairstorm|drain|multires|all> [-quick] [-seed N] [-workers N] [-partitions N] [-csv DIR]`)
 }

@@ -264,7 +264,23 @@ type nodeJSON struct {
 	// Offline is true for a draining node absent from the
 	// configuration (already taken down).
 	Offline bool `json:"offline"`
+	// Reason explains a draining, not-yet-evacuated node:
+	// "in-progress" while running guests remain (the loop is still
+	// migrating them away), "pinned-by-image" when only suspended
+	// images remain — the optimizer cannot relocate an image, so the
+	// node sits un-evacuated until the owning vjobs resume or are
+	// withdrawn. Empty otherwise.
+	Reason string `json:"reason,omitempty"`
+	// PinnedBy lists the vjobs owning the pinning images when Reason
+	// is "pinned-by-image" — the operator's resume/withdraw targets.
+	PinnedBy []string `json:"pinnedBy,omitempty"`
 }
+
+// Reason values of a draining, not-yet-evacuated node.
+const (
+	ReasonInProgress    = "in-progress"
+	ReasonPinnedByImage = "pinned-by-image"
+)
 
 // resourceJSON is one dimension's used/capacity pair.
 type resourceJSON struct {
@@ -338,7 +354,35 @@ func (s *Server) nodeStatus(cfg *vjob.Configuration, load map[string]*nodeLoad, 
 		out.Resources[k.String()] = resourceJSON{Used: used.Get(k), Capacity: n.Capacity.Get(k)}
 	}
 	out.Evacuated = out.Draining && len(out.Running) == 0 && len(out.Sleeping) == 0
+	if out.Draining && !out.Evacuated {
+		if len(out.Running) > 0 {
+			out.Reason = ReasonInProgress
+		} else {
+			out.Reason = ReasonPinnedByImage
+			out.PinnedBy = pinningVJobs(cfg, out.Sleeping)
+		}
+	}
 	return out, true
+}
+
+// pinningVJobs resolves the sleeping images to their owning vjobs,
+// deduplicated and sorted. Standalone VMs (no vjob) report their own
+// name.
+func pinningVJobs(cfg *vjob.Configuration, sleeping []string) []string {
+	seen := make(map[string]bool, len(sleeping))
+	var out []string
+	for _, name := range sleeping {
+		owner := name
+		if v := cfg.VM(name); v != nil && v.VJob != "" {
+			owner = v.VJob
+		}
+		if !seen[owner] {
+			seen[owner] = true
+			out = append(out, owner)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {

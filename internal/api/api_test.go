@@ -313,6 +313,64 @@ func TestNodeEndpoints(t *testing.T) {
 	b.do(t, "POST", "/v1/nodes/ghost/undrain", nil, http.StatusNotFound)
 }
 
+// TestNodePinnedByImageReason pins the drain-stuck diagnosis: a
+// draining node whose only remaining content is a suspended image
+// reports reason "pinned-by-image" with the owning vjobs, while a
+// draining node still running guests reports "in-progress" — so an
+// operator can tell a stuck drain from a slow one.
+func TestNodePinnedByImageReason(t *testing.T) {
+	b := newTestbed(t, 3, 2, 4096)
+	b.place("ja", 1, 1, 1024, []string{"node000"})
+	// jb suspends to node001: the drain order can never evacuate the
+	// image — only resuming or withdrawing jb frees the node.
+	b.locked(func() {
+		vm := vjob.NewVM("jb-vm0", "jb", 1, 1024)
+		b.cfg.AddVM(vm)
+		if err := b.cfg.SetSleeping("jb-vm0", "node001"); err != nil {
+			t.Fatalf("suspend jb-vm0: %v", err)
+		}
+	})
+
+	var st nodeJSON
+	if err := json.Unmarshal(b.do(t, "POST", "/v1/nodes/node001/drain", nil, http.StatusAccepted), &st); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st.Evacuated || st.Reason != ReasonPinnedByImage {
+		t.Fatalf("draining image node: %+v", st)
+	}
+	if len(st.PinnedBy) != 1 || st.PinnedBy[0] != "jb" {
+		t.Fatalf("pinnedBy = %v, want [jb]", st.PinnedBy)
+	}
+	// The diagnosis persists on reads, and survives the loop running:
+	// the optimizer cannot move an image.
+	b.advance(60)
+	st = nodeJSON{}
+	if err := json.Unmarshal(b.get(t, "/v1/nodes/node001", http.StatusOK), &st); err != nil {
+		t.Fatalf("node001: %v", err)
+	}
+	if st.Evacuated || st.Reason != ReasonPinnedByImage || len(st.PinnedBy) != 1 {
+		t.Fatalf("after loop: %+v", st)
+	}
+
+	// A draining node with running guests is merely in progress: no
+	// pinning vjobs are reported.
+	st = nodeJSON{}
+	if err := json.Unmarshal(b.do(t, "POST", "/v1/nodes/node000/drain", nil, http.StatusAccepted), &st); err != nil {
+		t.Fatalf("drain node000: %v", err)
+	}
+	if st.Reason != ReasonInProgress || st.PinnedBy != nil {
+		t.Fatalf("draining busy node: %+v", st)
+	}
+	// An undrained node carries no reason at all.
+	st = nodeJSON{}
+	if err := json.Unmarshal(b.get(t, "/v1/nodes/node002", http.StatusOK), &st); err != nil {
+		t.Fatalf("node002: %v", err)
+	}
+	if st.Reason != "" || st.PinnedBy != nil {
+		t.Fatalf("clean node: %+v", st)
+	}
+}
+
 func TestMetricsExposition(t *testing.T) {
 	b := newTestbed(t, 4, 2, 4096)
 	b.place("ja", 2, 1, 1024, []string{"node000", "node001"})
@@ -320,6 +378,8 @@ func TestMetricsExposition(t *testing.T) {
 	text := string(b.get(t, "/metrics", http.StatusOK))
 	for _, name := range []string{
 		"cwcs_solves_total", "cwcs_sub_solves_total", "cwcs_repairs_total",
+		"cwcs_failed_repairs_total", "cwcs_widened_repairs_total",
+		"cwcs_repair_expansions_total",
 		"cwcs_violation_seconds_total", "cwcs_queue_depth", "cwcs_switches_total",
 		"cwcs_partition_reuses_total",
 	} {

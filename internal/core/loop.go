@@ -70,6 +70,12 @@ type LoopStats struct {
 	// Repairs counts in-flight plan repairs spliced successfully;
 	// FailedRepairs the attempts that had to fall back.
 	Repairs, FailedRepairs int
+	// WidenedRepairs is the subset of Repairs that could only splice
+	// after widening the repair region over a broken dependency chain
+	// (plan.ErrBrokenDependency); RepairExpansions counts the widening
+	// steps themselves, so RepairExpansions/WidenedRepairs is the mean
+	// expansion depth of the chains absorbed.
+	WidenedRepairs, RepairExpansions int
 	// Events counts events received; Coalesced the ones absorbed into
 	// an already-armed wake-up or an in-flight execution.
 	Events, Coalesced int
@@ -123,6 +129,12 @@ type Loop struct {
 	// immediately forbids the node to the optimizer and the next
 	// wake-up evacuates it.
 	Drains *DrainSet
+	// RepairWiden bounds how many times one in-flight repair may widen
+	// its region over a broken dependency chain before giving up and
+	// falling back to the post-execution full pass. 0 means
+	// DefaultRepairWiden; negative disables widening entirely (every
+	// broken chain falls back — kept for A/B studies of the widening).
+	RepairWiden int
 	// Queue supplies the live vjob queue at each iteration; required.
 	Queue func() []*vjob.VJob
 	// Done, when non-nil, is polled at each iteration; returning true
@@ -408,19 +420,42 @@ func (l *Loop) poolBoundary(a Actuator) {
 	l.tryRepair(a)
 }
 
+// DefaultRepairWiden is the region-expansion bound of an in-flight
+// repair. Each widening step pulls at least one more partition slice
+// into the re-solved region and pays one more round of slice solves;
+// a chain still broken after three expansions spans so much of the
+// cluster that the post-execution full pass is the cheaper recovery.
+const DefaultRepairWiden = 3
+
+func (l *Loop) repairWiden() int {
+	if l.RepairWiden == 0 {
+		return DefaultRepairWiden
+	}
+	if l.RepairWiden < 0 {
+		return 0
+	}
+	return l.RepairWiden
+}
+
 // tryRepair re-solves the dirty slices against the live configuration
-// and splices the result into the executing plan. On any obstacle —
-// undecomposable problem, failed slice solve, a splice that would
-// break feasibility — the dirty region is put back and a full
-// incremental pass runs once the execution completes.
+// and splices the result into the executing plan. When the splice
+// would strand a kept action whose feasibility depended on a dropped
+// one (plan.ErrBrokenDependency), the broken chain's dependency
+// closure joins the dirty region and the repair re-carves and
+// re-solves the widened region, up to repairWiden() times. On any
+// other obstacle — undecomposable problem, failed slice solve, a true
+// infeasibility, an exhausted widening budget — the dirty region is
+// put back and a full incremental pass runs once the execution
+// completes.
 func (l *Loop) tryRepair(a Actuator) {
 	dirtyNodes, dirtyVMs := l.dirty.take()
 	// A mid-flight repair never discharges the dirty-set: the region
 	// is only clean once a post-execution iteration sees it satisfied.
 	// Re-adding the taken sets on every path preserves the fixpoint
 	// follow-up pass execute() arranged (the switch's own self-dirty
-	// marks travel through this take too); the follow-up is cheap —
-	// satisfied slices skip the solver entirely.
+	// marks travel through this take too, and widened elements travel
+	// with them); the follow-up is cheap — satisfied slices skip the
+	// solver entirely.
 	defer l.dirty.addSets(dirtyNodes, dirtyVMs)
 	fallback := func() {
 		l.resolvePending = true
@@ -429,28 +464,56 @@ func (l *Loop) tryRepair(a Actuator) {
 	cur := a.Observe()
 	target := l.Decision.Decide(cur, l.Queue())
 	p := Problem{Src: cur, Target: target, Rules: l.rules()}
-	sr, err := l.solveDirtySlices(p, dirtyNodes, dirtyVMs)
-	if err != nil {
-		if !errors.Is(err, errNothingDirty) {
+	// coverNodes/coverVMs grow with each widening: a satisfied slice
+	// inside the widened region contributes coverage without a solve
+	// (its optimal plan is empty), which is what lets Repair drop the
+	// broken chain's kept actions there.
+	var coverNodes, coverVMs map[string]bool
+	for widened := 0; ; {
+		sr, err := l.solveDirtySlices(p, dirtyNodes, dirtyVMs, coverNodes, coverVMs)
+		if err != nil {
+			if !errors.Is(err, errNothingDirty) {
+				fallback()
+			}
+			return
+		}
+		repaired, err := plan.Repair(cur, l.exec.Remaining(), sr.nodes, sr.vms, sr.plans...)
+		if err != nil {
+			var broken *plan.ErrBrokenDependency
+			if errors.As(err, &broken) && widened < l.repairWiden() {
+				widened++
+				l.Stats.RepairExpansions++
+				if coverNodes == nil {
+					coverNodes, coverVMs = map[string]bool{}, map[string]bool{}
+				}
+				for _, n := range broken.Nodes {
+					dirtyNodes[n] = true
+					coverNodes[n] = true
+				}
+				for _, v := range broken.VMs {
+					dirtyVMs[v] = true
+					coverVMs[v] = true
+				}
+				continue
+			}
 			fallback()
+			return
+		}
+		if err := l.exec.Splice(repaired); err != nil {
+			fallback()
+			return
+		}
+		// The spliced remainder came from a fresh mid-execution carve
+		// whose slices need not match the cached one: drop the cache.
+		l.parts, l.partsMono = nil, false
+		l.Stats.Repairs++
+		if widened > 0 {
+			l.Stats.WidenedRepairs++
+		}
+		if final, err := repaired.Result(); err == nil {
+			l.lastDst = final
 		}
 		return
-	}
-	repaired, err := plan.Repair(cur, l.exec.Remaining(), sr.nodes, sr.vms, sr.plans...)
-	if err != nil {
-		fallback()
-		return
-	}
-	if err := l.exec.Splice(repaired); err != nil {
-		fallback()
-		return
-	}
-	// The spliced remainder came from a fresh mid-execution carve whose
-	// slices need not match the cached one: drop the cache.
-	l.parts, l.partsMono = nil, false
-	l.Stats.Repairs++
-	if final, err := repaired.Result(); err == nil {
-		l.lastDst = final
 	}
 }
 
@@ -473,8 +536,12 @@ type sliceResult struct {
 
 // solveDirtySlices splits the problem with the PR 2 partitioner and
 // re-solves only the slices containing dirty elements, warm-starting
-// each from the last incumbent assignment.
-func (l *Loop) solveDirtySlices(p Problem, dirtyNodes, dirtyVMs map[string]bool) (*sliceResult, error) {
+// each from the last incumbent assignment. coverNodes/coverVMs (nil
+// outside a widened repair) name elements whose slices must enter the
+// result's coverage even when satisfied: such a slice contributes no
+// plan — staying put is its provably optimal reconfiguration — but
+// its region lets plan.Repair drop the broken chain's kept actions.
+func (l *Loop) solveDirtySlices(p Problem, dirtyNodes, dirtyVMs, coverNodes, coverVMs map[string]bool) (*sliceResult, error) {
 	opt := l.Optimizer
 	parts, err := l.partition(p)
 	if err != nil || len(parts) < 2 {
@@ -487,6 +554,7 @@ func (l *Loop) solveDirtySlices(p Problem, dirtyNodes, dirtyVMs map[string]bool)
 	opt.Partitions = 1
 	opt.WarmStart = l.lastDst
 	out := &sliceResult{nodes: map[string]bool{}, vms: map[string]bool{}}
+	covered := false
 	for _, sub := range parts {
 		if !touchesSets(sub.Src, dirtyNodes, dirtyVMs) {
 			continue
@@ -494,6 +562,10 @@ func (l *Loop) solveDirtySlices(p Problem, dirtyNodes, dirtyVMs map[string]bool)
 		// A satisfied slice needs no plan — its optimal plan is empty
 		// — so the event storm of harmless load changes costs nothing.
 		if sub.Satisfied() {
+			if touchesSets(sub.Src, coverNodes, coverVMs) {
+				out.cover(sub.Src)
+				covered = true
+			}
 			continue
 		}
 		l.Stats.SolverCalls++
@@ -506,17 +578,22 @@ func (l *Loop) solveDirtySlices(p Problem, dirtyNodes, dirtyVMs map[string]bool)
 		out.plans = append(out.plans, res.Plan)
 		out.dsts = append(out.dsts, res.Dst)
 		out.srcs = append(out.srcs, sub.Src)
-		for _, n := range sub.Src.Nodes() {
-			out.nodes[n.Name] = true
-		}
-		for _, v := range sub.Src.VMs() {
-			out.vms[v.Name] = true
-		}
+		out.cover(sub.Src)
 	}
-	if len(out.plans) == 0 {
+	if len(out.plans) == 0 && !covered {
 		return nil, errNothingDirty
 	}
 	return out, nil
+}
+
+// cover records a slice's full node/VM region in the result.
+func (s *sliceResult) cover(sub *vjob.Configuration) {
+	for _, n := range sub.Nodes() {
+		s.nodes[n.Name] = true
+	}
+	for _, v := range sub.VMs() {
+		s.vms[v.Name] = true
+	}
 }
 
 // partition carves the problem into slices, reusing the previous
@@ -617,9 +694,10 @@ func (l *Loop) iterateIncremental(a Actuator) {
 	if l.halted() || l.executing {
 		return
 	}
+	pending := l.resolvePending
 	l.resolvePending = false
 	dirtyNodes, dirtyVMs := l.dirty.take()
-	if len(dirtyNodes) == 0 && len(dirtyVMs) == 0 {
+	if len(dirtyNodes) == 0 && len(dirtyVMs) == 0 && !pending {
 		return
 	}
 	cfg := a.Observe()
@@ -630,7 +708,7 @@ func (l *Loop) iterateIncremental(a Actuator) {
 		l.lastDst = cfg
 		return
 	}
-	sr, err := l.solveDirtySlices(p, dirtyNodes, dirtyVMs)
+	sr, err := l.solveDirtySlices(p, dirtyNodes, dirtyVMs, nil, nil)
 	switch {
 	case err != nil:
 		// Monolithic fallback under the same budget. This covers an

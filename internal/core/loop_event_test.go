@@ -303,12 +303,15 @@ func TestEventLoopStopDuringInFlightRepair(t *testing.T) {
 	}
 }
 
-// TestEventLoopRepairRefusalFallsBackToFullResolve is the loop half
-// of the cross-slice regression: when plan.Repair refuses the splice
-// (the kept remainder depends on a dropped action), the loop must
-// count a FailedRepair, leave the executing plan alone, and converge
-// through the post-execution re-solve instead of corrupting the plan.
-func TestEventLoopRepairRefusalFallsBackToFullResolve(t *testing.T) {
+// crossSliceRepairCluster is the cross-slice dependency scenario: a
+// monolithic-origin plan mid-execution whose pool 0 moves y from slice
+// B into slice A's n00 (freeing n03) and whose pool 1 moves z into the
+// freed n03. A failure in slice A requests a repair at the boundary;
+// the re-solved slice A covers n00/n01, so y's migration is dropped —
+// and z's kept migration then depends on an action that no longer
+// exists.
+func crossSliceRepairCluster(t *testing.T) (*Loop, *fakeManaged, *vjob.Configuration) {
+	t.Helper()
 	cfg := mkCluster(4, 1, 2048)
 	ja := vjob.NewVJob("ja", 0,
 		vjob.NewVM("a1", "ja", 1, 1024), vjob.NewVM("a2", "ja", 1, 1024))
@@ -329,13 +332,6 @@ func TestEventLoopRepairRefusalFallsBackToFullResolve(t *testing.T) {
 		Fence{VMs: []string{"y", "z"}, Nodes: []string{"n02", "n03"}},
 	}
 	l, a := eventLoop(cfg, rules, []*vjob.VJob{ja, jb})
-
-	// A monolithic-origin plan is mid-execution: pool 0 moves y into
-	// slice A's n00 (freeing n03), pool 1 moves z into the freed n03.
-	// A failure in slice A requests a repair at the boundary. The
-	// re-solved slice A covers n00/n01, so y's migration is dropped —
-	// and z's kept migration then depends on an action that no longer
-	// exists. plan.Repair must refuse.
 	stub := &fakeExec{a: a, plan: &plan.Plan{Src: cfg, Pools: []plan.Pool{
 		{&plan.Migration{Machine: jb.VMs[0], Src: "n03", Dst: "n00"}},
 		{&plan.Migration{Machine: jb.VMs[1], Src: "n02", Dst: "n03"}},
@@ -344,10 +340,68 @@ func TestEventLoopRepairRefusalFallsBackToFullResolve(t *testing.T) {
 	l.executing = true
 	l.repairWanted = true
 	l.dirty.add(Event{Kind: ActionFailure, VMs: []string{"a2"}, Nodes: []string{"n00"}})
+	return l, a, cfg
+}
+
+// TestEventLoopRepairWidensOverCrossSliceDependency is the positive
+// pin of the cross-slice repair fix: the broken dependency chain
+// (z's kept migration stranded by dropping y's) is absorbed by
+// widening the repair region instead of falling back to a monolithic
+// re-solve.
+func TestEventLoopRepairWidensOverCrossSliceDependency(t *testing.T) {
+	l, a, cfg := crossSliceRepairCluster(t)
+
+	l.poolBoundary(a)
+	if l.Stats.Repairs != 1 || l.Stats.FailedRepairs != 0 {
+		t.Fatalf("widened repair did not splice: %+v", l.Stats)
+	}
+	if l.Stats.WidenedRepairs != 1 || l.Stats.RepairExpansions == 0 {
+		t.Fatalf("widening not recorded: %+v", l.Stats)
+	}
+	if l.Stats.FullSolves != 0 {
+		t.Fatalf("widened repair fell back to a monolithic solve: %+v", l.Stats)
+	}
+	if a.splices != 1 {
+		t.Fatalf("splices = %d, want 1", a.splices)
+	}
+	// The spliced remainder must drop the whole broken chain: neither
+	// y's nor z's stale migration survives in the execution.
+	for _, act := range l.exec.Plan().Actions() {
+		if name := act.VM().Name; name == "y" || name == "z" {
+			t.Fatalf("stale chain action survived the splice: %s", act)
+		}
+	}
+
+	// The execution completes; the widened region stayed dirty, so the
+	// follow-up pass converges the cluster.
+	l.next(a)
+	a.run(100)
+	if !cfg.Viable() {
+		t.Fatalf("loop never converged after the widened splice: %v", cfg.Violations())
+	}
+	if n := len(cfg.RunningOn("n00")); n > 1 {
+		t.Fatalf("slice A still overloaded: %d VMs on n00", n)
+	}
+	if l.Stats.Iterations == 0 {
+		t.Fatal("no follow-up pass ran")
+	}
+}
+
+// TestEventLoopRepairRefusalFallsBackToFullResolve pins the
+// pre-widening behavior behind RepairWiden < 0: the refusal counts a
+// FailedRepair, leaves the executing plan alone, and the loop
+// converges through the post-execution re-solve instead of corrupting
+// the plan.
+func TestEventLoopRepairRefusalFallsBackToFullResolve(t *testing.T) {
+	l, a, cfg := crossSliceRepairCluster(t)
+	l.RepairWiden = -1
 
 	l.poolBoundary(a)
 	if l.Stats.FailedRepairs != 1 || l.Stats.Repairs != 0 {
 		t.Fatalf("refusal not counted as failed repair: %+v", l.Stats)
+	}
+	if l.Stats.WidenedRepairs != 0 || l.Stats.RepairExpansions != 0 {
+		t.Fatalf("widening ran despite RepairWiden < 0: %+v", l.Stats)
 	}
 	if a.splices != 0 {
 		t.Fatal("refused repair still spliced the plan")
@@ -365,6 +419,39 @@ func TestEventLoopRepairRefusalFallsBackToFullResolve(t *testing.T) {
 	}
 	if l.Stats.Iterations == 0 {
 		t.Fatal("no follow-up pass ran")
+	}
+}
+
+// TestEventLoopFallbackResolvePendingForcesFullPass pins the fallback
+// contract on its own: resolvePending alone — even with an empty
+// dirty-set at wake-up — must arm the post-execution wake and drive a
+// full incremental pass. Before the fix, iterateIncremental cleared
+// the flag and returned early when the dirty elements had vanished,
+// leaving the refused region violated until an unrelated event.
+func TestEventLoopFallbackResolvePendingForcesFullPass(t *testing.T) {
+	l, a, cfg := crossSliceRepairCluster(t)
+	l.RepairWiden = -1
+
+	l.poolBoundary(a)
+	if !l.resolvePending {
+		t.Fatalf("fallback did not set resolvePending: %+v", l.Stats)
+	}
+	// Simulate the dirty elements being consumed elsewhere: the pending
+	// flag must carry the re-solve on its own.
+	l.dirty.take()
+	l.next(a)
+	if !l.wakeArmed {
+		t.Fatal("resolvePending alone did not arm the post-execution wake")
+	}
+	a.run(100)
+	if l.Stats.Iterations == 0 {
+		t.Fatalf("pending re-solve never ran an incremental pass: %+v", l.Stats)
+	}
+	if l.Stats.FullSolves == 0 {
+		t.Fatalf("pending re-solve with an empty dirty-set must go monolithic: %+v", l.Stats)
+	}
+	if !cfg.Viable() {
+		t.Fatalf("pending re-solve never converged the cluster: %v", cfg.Violations())
 	}
 }
 

@@ -11,7 +11,6 @@ import (
 	"cwcs/internal/drivers"
 	"cwcs/internal/duration"
 	"cwcs/internal/monitor"
-	"cwcs/internal/plan"
 	"cwcs/internal/sched"
 	"cwcs/internal/sim"
 	"cwcs/internal/vjob"
@@ -49,6 +48,20 @@ type ChurnOptions struct {
 	// FailureRate is the probability an action fails on completion
 	// (exercising the repair path).
 	FailureRate float64
+	// StormRate, StormFrom and StormUntil overlay a failure storm on
+	// FailureRate: inside [StormFrom, StormUntil) actions fail at
+	// StormRate instead (see sim.FailureStorm). A zero-length window
+	// keeps the flat rate.
+	StormRate             float64
+	StormFrom, StormUntil float64
+	// RepairWiden is handed to core.Loop.RepairWiden: 0 keeps the
+	// default region-widening bound, negative disables widening (the
+	// refuse-and-fall-back behavior, for A/B studies).
+	RepairWiden int
+	// WatchInvariants attaches sim.WatchInvariants and reports its
+	// structural-breach count; off by default because the audit runs
+	// after every simulation event.
+	WatchInvariants bool
 	// Seed drives workload generation, arrivals and failures; the two
 	// modes replay the identical scenario.
 	Seed int64
@@ -85,6 +98,9 @@ type ChurnResult struct {
 	// FinalViolations is the violation count at the horizon (0 = the
 	// loop reached a violation-free configuration).
 	FinalViolations int
+	// Breaches is the structural invariant-breach count (only audited
+	// when ChurnOptions.WatchInvariants is set; always expected 0).
+	Breaches int
 	// Arrived and Completed count vjobs over the run.
 	Arrived, Completed int
 	// End is the virtual time the simulation went quiescent.
@@ -132,6 +148,7 @@ func RunChurn(eventDriven bool, opts ChurnOptions) ChurnResult {
 		Interval:    opts.Interval,
 		EventDriven: eventDriven,
 		Debounce:    opts.Debounce,
+		RepairWiden: opts.RepairWiden,
 		Queue:       func() []*vjob.VJob { return jobs },
 		Done: func() bool {
 			if c.Now() <= opts.ArrivalStop {
@@ -153,14 +170,20 @@ func RunChurn(eventDriven bool, opts ChurnOptions) ChurnResult {
 
 	act := &drivers.Actuator{C: c}
 
-	// Injected action failures (the flaky-driver model).
-	if opts.FailureRate > 0 {
-		c.FailAction = func(a plan.Action) error {
-			if failRng.Float64() < opts.FailureRate {
-				return fmt.Errorf("churn: injected driver failure on %s", a)
-			}
-			return nil
-		}
+	// Injected action failures (the flaky-driver model), optionally
+	// spiked by a storm window. The storm draws the same one-variate-
+	// per-action stream as the flat rate, so seeded runs stay
+	// comparable across rates.
+	if opts.FailureRate > 0 || opts.StormRate > 0 {
+		c.InstallFailureStorm(failRng, sim.FailureStorm{
+			Base: opts.FailureRate, Storm: opts.StormRate,
+			From: opts.StormFrom, Until: opts.StormUntil,
+		})
+	}
+
+	var inv *sim.Invariants
+	if opts.WatchInvariants {
+		inv = sim.WatchInvariants(c)
 	}
 
 	// Event feed: load changes from the simulator, arrivals from the
@@ -212,6 +235,9 @@ func RunChurn(eventDriven bool, opts ChurnOptions) ChurnResult {
 		res.Failures += r.Failures
 	}
 	res.FinalViolations = len(cfg.Violations())
+	if inv != nil {
+		res.Breaches = inv.StructuralCount()
+	}
 	res.End = c.Now()
 	for _, j := range jobs {
 		if c.VJobDone(j) {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"time"
 
@@ -77,6 +78,15 @@ type DrainResult struct {
 	// Offline the subset that emptied completely (no image either) and
 	// was taken out of the configuration.
 	Evacuated, Offline int
+	// PinnedByImage counts drained nodes that lost every running VM
+	// but still store suspended images at the end — stuck, not in
+	// progress: the optimizer cannot relocate an image, so these nodes
+	// never go offline until the owning vjobs resume or are withdrawn.
+	// PinnedVJobs lists those owners (sorted, deduplicated) — the
+	// operator's resume/withdraw targets, mirroring the control
+	// plane's pinned-by-image reason on GET /v1/nodes/{id}.
+	PinnedByImage int
+	PinnedVJobs   []string
 	// TimeToEmpty is the virtual time from DrainAt until no drained
 	// node hosted a running VM, or -1 when the horizon hit first.
 	TimeToEmpty float64
@@ -231,11 +241,27 @@ func RunDrain(opts DrainOptions) DrainResult {
 	res.Wall = time.Since(start)
 	res.ViolationSeconds = violSec()
 
+	pinned := make(map[string]bool)
 	for _, n := range drained {
-		if len(cfg.RunningOn(n)) == 0 {
-			res.Evacuated++
+		if len(cfg.RunningOn(n)) != 0 {
+			continue
+		}
+		res.Evacuated++
+		if sleeping := cfg.SleepingOn(n); len(sleeping) > 0 {
+			res.PinnedByImage++
+			for _, v := range sleeping {
+				owner := v.Name
+				if v.VJob != "" {
+					owner = v.VJob
+				}
+				pinned[owner] = true
+			}
 		}
 	}
+	for owner := range pinned {
+		res.PinnedVJobs = append(res.PinnedVJobs, owner)
+	}
+	sort.Strings(res.PinnedVJobs)
 	res.InvariantBreaches = inv.StructuralCount()
 	res.Stats = loop.Stats
 	res.Switches = len(loop.Records)
@@ -258,6 +284,10 @@ func DrainTable(r DrainResult) string {
 		tte = fmt.Sprintf("%.0f s", r.TimeToEmpty)
 	}
 	fmt.Fprintf(&b, "%-22s %s\n", "time-to-empty", tte)
+	if r.PinnedByImage > 0 {
+		fmt.Fprintf(&b, "%-22s %d node(s) pinned by suspended images of %s\n",
+			"pinned-by-image", r.PinnedByImage, strings.Join(r.PinnedVJobs, ","))
+	}
 	fmt.Fprintf(&b, "%-22s %.0f\n", "violation-seconds", r.ViolationSeconds)
 	fmt.Fprintf(&b, "%-22s %d\n", "invariant breaches", r.InvariantBreaches)
 	fmt.Fprintf(&b, "%-22s %d sub-solves (%d slice, %d full), %d repairs, %d partition reuses\n",
@@ -270,9 +300,9 @@ func DrainTable(r DrainResult) string {
 // DrainCSV renders the result for external plotting.
 func DrainCSV(r DrainResult) string {
 	var b strings.Builder
-	b.WriteString("nodes,drained,evacuated,offline,time_to_empty,violation_seconds,invariant_breaches,sub_solves,slice_solves,full_solves,repairs,partition_reuses,switches,events,arrived,completed,end\n")
-	fmt.Fprintf(&b, "%d,%d,%d,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n",
-		r.Nodes, r.Drained, r.Evacuated, r.Offline, r.TimeToEmpty, r.ViolationSeconds,
+	b.WriteString("nodes,drained,evacuated,offline,pinned_by_image,time_to_empty,violation_seconds,invariant_breaches,sub_solves,slice_solves,full_solves,repairs,partition_reuses,switches,events,arrived,completed,end\n")
+	fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n",
+		r.Nodes, r.Drained, r.Evacuated, r.Offline, r.PinnedByImage, r.TimeToEmpty, r.ViolationSeconds,
 		r.InvariantBreaches, r.Stats.SubSolves, r.Stats.SliceSolves, r.Stats.FullSolves,
 		r.Stats.Repairs, r.Stats.PartitionReuses, r.Switches, r.Stats.Events,
 		r.Arrived, r.Completed, r.End)

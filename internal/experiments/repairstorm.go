@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RepairStormOptions parameterizes the repair-storm study: the churn
+// scenario pushed past its flat 2% action-failure rate, replayed at
+// each storm rate twice — widening disabled (the PR 3 refuse-and-
+// fall-back behavior) and enabled — to measure how many former failed
+// repairs the region-widening splice recovers, and what it costs in
+// violation exposure. Event-driven only: the periodic loop has no
+// repair path to storm.
+type RepairStormOptions struct {
+	// Churn is the underlying scenario; FailureRate and RepairWiden
+	// are overridden per cell.
+	Churn ChurnOptions
+	// Rates are the action-failure rates swept.
+	Rates []float64
+}
+
+// DefaultRepairStormOptions is the BENCH_repair.json scenario: the
+// 500-node churn cluster at 5/10/20% action-failure rates, with the
+// structural-invariant audit on (a widened splice that corrupted the
+// plan would surface here, not just in violation-seconds).
+func DefaultRepairStormOptions() RepairStormOptions {
+	churn := DefaultChurnOptions()
+	churn.WatchInvariants = true
+	return RepairStormOptions{Churn: churn, Rates: []float64{0.05, 0.10, 0.20}}
+}
+
+// RepairStormResult is one (rate, widening) cell of the study.
+type RepairStormResult struct {
+	// Rate is the action-failure rate of the cell.
+	Rate float64
+	// Widen reports whether region-widening was enabled.
+	Widen bool
+	// Repairs counts successful splices; WidenedRepairs the subset
+	// that needed region expansion; RepairExpansions the expansion
+	// steps; FailedRepairs the fall-backs to a post-execution
+	// re-solve.
+	Repairs, WidenedRepairs, RepairExpansions, FailedRepairs int
+	// FullSolves counts monolithic fallbacks of the incremental loop.
+	FullSolves int
+	// ViolationSeconds integrates violation exposure over the run;
+	// FinalViolations is the count at the horizon.
+	ViolationSeconds float64
+	FinalViolations  int
+	// Breaches is the structural invariant-breach count (must be 0).
+	Breaches int
+	// Switches counts executed context switches.
+	Switches int
+}
+
+// RepairStormStudy replays the scenario for every (rate, widening)
+// cell. Within a rate the two cells replay the identical seeded
+// scenario, so their repair counters are directly comparable.
+func RepairStormStudy(opts RepairStormOptions) []RepairStormResult {
+	var rows []RepairStormResult
+	for _, rate := range opts.Rates {
+		for _, widen := range []bool{false, true} {
+			co := opts.Churn
+			co.FailureRate = rate
+			co.RepairWiden = -1
+			if widen {
+				co.RepairWiden = 0
+			}
+			r := RunChurn(true, co)
+			rows = append(rows, RepairStormResult{
+				Rate:             rate,
+				Widen:            widen,
+				Repairs:          r.Stats.Repairs,
+				WidenedRepairs:   r.Stats.WidenedRepairs,
+				RepairExpansions: r.Stats.RepairExpansions,
+				FailedRepairs:    r.Stats.FailedRepairs,
+				FullSolves:       r.Stats.FullSolves,
+				ViolationSeconds: r.ViolationSeconds,
+				FinalViolations:  r.FinalViolations,
+				Breaches:         r.Breaches,
+				Switches:         r.Switches,
+			})
+		}
+	}
+	return rows
+}
+
+// RecoveredFraction reports, for one rate's (off, on) pair, the share
+// of the widening-off FailedRepairs that became successful splices
+// with widening on. 1.0 means every former fallback now splices.
+func RecoveredFraction(off, on RepairStormResult) float64 {
+	if off.FailedRepairs == 0 {
+		return 0
+	}
+	rec := off.FailedRepairs - on.FailedRepairs
+	if rec < 0 {
+		rec = 0
+	}
+	return float64(rec) / float64(off.FailedRepairs)
+}
+
+// RepairStormTable renders the study with one recovered-fraction line
+// per rate.
+func RepairStormTable(rows []RepairStormResult) string {
+	var b strings.Builder
+	b.WriteString("Repair storm: region-widening off vs on under action-failure storms (event-driven loop)\n")
+	fmt.Fprintf(&b, "%6s %5s %8s %8s %8s %8s %8s %10s %8s %9s\n",
+		"rate", "widen", "repairs", "widened", "expand", "failed", "full", "viol-sec", "final", "breaches")
+	for _, r := range rows {
+		widen := "off"
+		if r.Widen {
+			widen = "on"
+		}
+		fmt.Fprintf(&b, "%5.0f%% %5s %8d %8d %8d %8d %8d %10.0f %8d %9d\n",
+			r.Rate*100, widen, r.Repairs, r.WidenedRepairs, r.RepairExpansions,
+			r.FailedRepairs, r.FullSolves, r.ViolationSeconds, r.FinalViolations, r.Breaches)
+	}
+	for i := 0; i+1 < len(rows); i += 2 {
+		off, on := rows[i], rows[i+1]
+		if off.Widen || !on.Widen || off.Rate != on.Rate {
+			continue
+		}
+		fmt.Fprintf(&b, "rate %.0f%%: %.0f%% of former failed repairs recovered by widening (%d -> %d), violation-seconds %.0f -> %.0f\n",
+			off.Rate*100, RecoveredFraction(off, on)*100,
+			off.FailedRepairs, on.FailedRepairs, off.ViolationSeconds, on.ViolationSeconds)
+	}
+	return b.String()
+}
+
+// RepairStormCSV renders the rows for external plotting.
+func RepairStormCSV(rows []RepairStormResult) string {
+	var b strings.Builder
+	b.WriteString("rate,widen,repairs,widened_repairs,repair_expansions,failed_repairs,full_solves,violation_seconds,final_violations,breaches,switches\n")
+	for _, r := range rows {
+		widen := "off"
+		if r.Widen {
+			widen = "on"
+		}
+		fmt.Fprintf(&b, "%.2f,%s,%d,%d,%d,%d,%d,%.1f,%d,%d,%d\n",
+			r.Rate, widen, r.Repairs, r.WidenedRepairs, r.RepairExpansions,
+			r.FailedRepairs, r.FullSolves, r.ViolationSeconds, r.FinalViolations,
+			r.Breaches, r.Switches)
+	}
+	return b.String()
+}

@@ -491,6 +491,32 @@ func TestValidateCatchesOverload(t *testing.T) {
 	}
 }
 
+// TestValidateAllowsShrinkingPreexistingOverload: a plan evacuating an
+// overloaded node keeps a smaller violation alive on it during the
+// early pools; that is the cure in progress, not a plan-introduced
+// violation, and must validate.
+func TestValidateAllowsShrinkingPreexistingOverload(t *testing.T) {
+	src := cluster(t, 2, 2, 8192)
+	vms := make([]*vjob.VM, 4)
+	for i := range vms {
+		v := vjob.NewVM(fmt.Sprintf("v%d", i), "", 1, 512)
+		src.AddVM(v)
+		vms[i] = v
+		if err := src.SetRunning(v.Name, "N1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// N1 demand 4 > capacity 2 before the plan runs. Pool 0 drains one
+	// VM (demand 3, still over), pool 1 a second (demand 2, cured).
+	p := &Plan{Src: src, Pools: []Pool{
+		{&Migration{Machine: vms[0], Src: "N1", Dst: "N2"}},
+		{&Migration{Machine: vms[1], Src: "N1", Dst: "N2"}},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("shrinking pre-existing overload refused: %v", err)
+	}
+}
+
 // Property: for random source/destination configuration pairs that are
 // individually viable, the builder either reports ErrNoProgress or
 // produces a plan that validates and reaches the destination exactly.

@@ -122,16 +122,17 @@ func (p *Plan) Result() (*vjob.Configuration, error) {
 // Validate replays the plan checking, pool by pool, that every action
 // is feasible when its pool starts and that every intermediate
 // configuration stays viable. It returns the first problem found.
+//
+// A context switch may legitimately start from a non-viable
+// configuration (that is often why it happens), so the constraint
+// bears on what the plan itself creates: only violations the plan
+// introduces are errors. A pre-existing overload that persists — or
+// shrinks — through the early pools is the cure in progress, not a new
+// disease: a plan evacuating an overloaded node keeps a smaller
+// violation alive on it until the last migration leaves.
 func (p *Plan) Validate() error {
 	cur := p.Src.Clone()
-	if !cur.Viable() {
-		// A context switch may legitimately start from a non-viable
-		// configuration (that is often why it happens); the constraint
-		// bears on what the plan itself creates, so start counting
-		// overloads from the source configuration's own.
-		_ = cur
-	}
-	srcViolations := violationSet(cur)
+	srcViolations := srcOverloads(cur)
 	for i, pool := range p.Pools {
 		for _, a := range pool {
 			if !a.FeasibleIn(cur) {
@@ -144,7 +145,7 @@ func (p *Plan) Validate() error {
 			}
 		}
 		for _, v := range cur.Violations() {
-			if !srcViolations[v] {
+			if introduced(srcViolations, v) {
 				return fmt.Errorf("plan: pool %d introduces violation: %v", i, v)
 			}
 		}
@@ -152,12 +153,23 @@ func (p *Plan) Validate() error {
 	return nil
 }
 
-func violationSet(c *vjob.Configuration) map[vjob.Violation]bool {
-	m := make(map[vjob.Violation]bool)
+// srcOverloads maps each violated (node, resource) pair of the
+// configuration to its demand, so a replay can tell a pre-existing
+// overload the plan is still working off from one the plan created.
+func srcOverloads(c *vjob.Configuration) map[string]int {
+	m := make(map[string]int)
 	for _, v := range c.Violations() {
-		m[v] = true
+		m[v.Node+"\x00"+v.Resource] = v.Demand
 	}
 	return m
+}
+
+// introduced reports whether the violation is the plan's own doing:
+// the (node, resource) pair was not overloaded in the source
+// configuration, or the plan pushed its demand above the source level.
+func introduced(src map[string]int, v vjob.Violation) bool {
+	d, ok := src[v.Node+"\x00"+v.Resource]
+	return !ok || v.Demand > d
 }
 
 // String renders the plan pool by pool, with per-pool and total costs.

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"cwcs/internal/plan"
+)
+
+func TestFailureStormRate(t *testing.T) {
+	s := FailureStorm{Base: 0.02, Storm: 0.20, From: 100, Until: 200}
+	for _, tc := range []struct {
+		now  float64
+		want float64
+	}{
+		{0, 0.02}, {99.9, 0.02}, {100, 0.20}, {199.9, 0.20}, {200, 0.02}, {500, 0.02},
+	} {
+		if got := s.Rate(tc.now); got != tc.want {
+			t.Errorf("Rate(%.1f) = %.2f, want %.2f", tc.now, got, tc.want)
+		}
+	}
+	// A zero-length window degenerates to the flat base rate.
+	flat := FailureStorm{Base: 0.05}
+	if got := flat.Rate(42); got != 0.05 {
+		t.Errorf("flat Rate = %.2f, want 0.05", got)
+	}
+}
+
+func TestInstallFailureStormFailsInsideWindowOnly(t *testing.T) {
+	c, cfg, v := eventCluster(t)
+	// Certain failure inside the window, none outside. The window is
+	// placed to catch the first migration's completion instant but not
+	// the second's.
+	c.InstallFailureStorm(rand.New(rand.NewSource(1)), FailureStorm{Base: 0, Storm: 1, From: 1, Until: 1000})
+
+	var errs []error
+	c.StartAction(&plan.Migration{Machine: v, Src: "n1", Dst: "n2"}, func(err error) {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	})
+	c.Run(999)
+	if len(errs) != 1 {
+		t.Fatalf("in-window migration did not fail: errs = %v", errs)
+	}
+	if cfg.HostOf("v1") != "n1" {
+		t.Fatalf("failed migration moved the VM to %s", cfg.HostOf("v1"))
+	}
+
+	// Past the window the storm hook must stop failing actions.
+	errs = nil
+	c.Schedule(1000, func() {
+		c.StartAction(&plan.Migration{Machine: v, Src: "n1", Dst: "n2"}, func(err error) {
+			if err != nil {
+				errs = append(errs, err)
+			}
+		})
+	})
+	c.Run(5000)
+	if len(errs) != 0 {
+		t.Fatalf("post-window migration failed: %v", errs)
+	}
+	if cfg.HostOf("v1") != "n2" {
+		t.Fatalf("post-window migration did not land: host = %s", cfg.HostOf("v1"))
+	}
+}
