@@ -13,6 +13,7 @@
 //	experiments churn [-quick]    periodic vs event-driven loop under churn
 //	experiments repairstorm [-quick]  repair widening off/on under failure storms
 //	experiments drain [-quick]    drain/evacuate a node fraction under churn
+//	experiments migration [-quick] transfer-blind vs bandwidth-aware planner
 //	experiments all  [-quick]     everything above
 //
 // -quick shrinks sample counts, solver budgets and workload durations
@@ -103,6 +104,10 @@ func main() {
 		r := experiments.RunMultiRes(multiresOptions(*quick, *seed, *workers, studyParts))
 		fmt.Print(experiments.MultiResTable(r))
 		writeCSV(*csvDir, "multires.csv", experiments.MultiResCSV(r))
+	case "migration":
+		r := experiments.RunMigration(migrationOptions(*quick, *seed, *workers, studyParts))
+		fmt.Print(experiments.MigrationTable(r))
+		writeCSV(*csvDir, "migration.csv", experiments.MigrationCSV(r))
 	case "all":
 		fmt.Print(experiments.Fig1())
 		fmt.Println()
@@ -129,6 +134,8 @@ func main() {
 		fmt.Print(experiments.DrainTable(experiments.RunDrain(drainOptions(*quick, *seed, *workers, studyParts))))
 		fmt.Println()
 		fmt.Print(experiments.MultiResTable(experiments.RunMultiRes(multiresOptions(*quick, *seed, *workers, studyParts))))
+		fmt.Println()
+		fmt.Print(experiments.MigrationTable(experiments.RunMigration(migrationOptions(*quick, *seed, *workers, studyParts))))
 	default:
 		usage()
 		os.Exit(2)
@@ -226,6 +233,20 @@ func multiresOptions(quick bool, seed int64, workers, partitions int) experiment
 	return o
 }
 
+// migrationOptions shapes the bandwidth-aware context-switch study.
+func migrationOptions(quick bool, seed int64, workers, partitions int) experiments.MigrationOptions {
+	o := experiments.DefaultMigrationOptions()
+	o.Seed = seed
+	o.Workers = workers
+	o.Partitions = partitions
+	if quick {
+		o.Nodes = 48
+		o.Racks = 2
+		o.Timeout = 250 * time.Millisecond
+	}
+	return o
+}
+
 // clusterRuns executes the §5.2 experiment under both decision
 // modules. fcfsOnly skips the Entropy run (for fig12).
 func clusterRuns(quick bool, seed int64, workers, partitions int, fcfsOnly bool) (fcfs, entropy experiments.ClusterResult) {
@@ -264,5 +285,5 @@ func writeCSV(dir, name, content string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|churn|repairstorm|drain|multires|all> [-quick] [-seed N] [-workers N] [-partitions N] [-csv DIR]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|churn|repairstorm|drain|multires|migration|all> [-quick] [-seed N] [-workers N] [-partitions N] [-csv DIR]`)
 }

@@ -93,3 +93,17 @@ func TestWriteCSV(t *testing.T) {
 	// Empty dir is a no-op.
 	writeCSV("", "y.csv", "ignored")
 }
+
+func TestMigrationOptionsCLI(t *testing.T) {
+	full := migrationOptions(false, 5, 2, 0)
+	if full.Nodes != 500 || full.NICPoorFraction == 0 || full.Racks != 8 {
+		t.Fatalf("full options = %+v, want the 500-node NIC-heterogeneous scenario", full)
+	}
+	if full.Seed != 5 || full.Workers != 2 || full.Partitions != 0 {
+		t.Fatalf("options not forwarded: %+v", full)
+	}
+	quick := migrationOptions(true, 5, 1, 0)
+	if quick.Nodes >= full.Nodes || quick.Timeout >= full.Timeout || quick.Racks >= full.Racks {
+		t.Fatalf("quick options not reduced: %+v", quick)
+	}
+}

@@ -121,7 +121,9 @@ func TestVectorSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Cost != 512 || res.Dst.HostOf("v1") == res.Dst.HostOf("v2") {
+	// One migration of a VM with a 60 Mbit/s net demand: cost
+	// plan.TransferSize = 512 + 60.
+	if res.Cost != 572 || res.Dst.HostOf("v1") == res.Dst.HostOf("v2") {
 		t.Fatalf("net-aware solve: cost=%d hosts %s/%s", res.Cost, res.Dst.HostOf("v1"), res.Dst.HostOf("v2"))
 	}
 }

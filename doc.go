@@ -29,4 +29,15 @@
 // away, so the paper's CPU+memory instances solve unchanged
 // (`experiments multires` quantifies what the 2-D model over-commits
 // on heterogeneous clusters).
+//
+// Context switches are bandwidth-aware (DESIGN.md §9): an executing
+// migration (or remote suspend/resume) is charged at its calibrated
+// wire rate on the `net` dimension of both endpoints, the plan builder
+// refuses pools that oversubscribe a NIC, and the simulator meters
+// in-flight transfers — re-timing them as concurrency changes — so
+// durations follow actually-available bandwidth instead of memory size
+// alone. Clusters without a modeled `net` capacity keep the paper's
+// calibrated timings bit-for-bit (`experiments migration` measures the
+// violation-seconds a transfer-blind planner buys on a
+// NIC-heterogeneous cluster).
 package cwcs

@@ -82,9 +82,11 @@ func TestSolveRespectsExtraDimension(t *testing.T) {
 	if res.Dst.HostOf("v1") == res.Dst.HostOf("v2") {
 		t.Fatalf("net-heavy VMs share %s", res.Dst.HostOf("v1"))
 	}
-	// The cheap fix is one migration: cost Dm = 512.
-	if res.Cost != 512 {
-		t.Fatalf("cost = %d, want one 512-MiB migration", res.Cost)
+	// The cheap fix is one migration: cost TransferSize = Dm + net
+	// demand = 512 + 60 (the net-chatty VM dirties pages during the
+	// pre-copy rounds, so its transfer volume folds the rate in).
+	if res.Cost != 572 {
+		t.Fatalf("cost = %d, want one 572-MiB-equivalent migration", res.Cost)
 	}
 }
 

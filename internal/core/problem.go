@@ -65,22 +65,24 @@ func (p Problem) compile() ([]vmGoal, error) {
 	return goals, nil
 }
 
-// runContribution returns the plan-cost contribution (Table 1) of
-// hosting the VM of g on node when the target state is Running: 0 to
-// stay or boot, Dm to migrate, Dm to resume locally, 2·Dm to resume
-// remotely.
+// runContribution returns the plan-cost contribution (Table 1, with
+// Dm widened to plan.TransferSize) of hosting the VM of g on node when
+// the target state is Running: 0 to stay or boot, TransferSize to
+// migrate, TransferSize to resume locally, 2·TransferSize to resume
+// remotely. Mirroring the Action.Cost() fold keeps the bound tight;
+// on 2-D instances TransferSize is exactly Dm.
 func (g vmGoal) runContribution(node string) int {
 	switch g.cur {
 	case vjob.Running:
 		if node == g.curLoc {
 			return 0
 		}
-		return g.vm.MemoryDemand()
+		return plan.TransferSize(g.vm)
 	case vjob.Sleeping:
 		if node == g.curLoc {
-			return g.vm.MemoryDemand()
+			return plan.TransferSize(g.vm)
 		}
-		return 2 * g.vm.MemoryDemand()
+		return 2 * plan.TransferSize(g.vm)
 	default: // waiting: a run action
 		return 0
 	}
@@ -90,7 +92,7 @@ func (g vmGoal) runContribution(node string) int {
 // (suspends of running VMs headed to Sleeping). Stops are free.
 func (g vmGoal) fixedCost() int {
 	if g.want == vjob.Sleeping && g.cur == vjob.Running {
-		return g.vm.MemoryDemand()
+		return plan.TransferSize(g.vm)
 	}
 	return 0
 }
@@ -129,7 +131,7 @@ func newCostModel(src *vjob.Configuration, goals []vmGoal) *costModel {
 		case vjob.Terminated:
 			rel = 0 // stop
 		default:
-			rel = g.vm.MemoryDemand() // suspend or migration away
+			rel = plan.TransferSize(g.vm) // suspend or migration away
 		}
 		if cur, ok := m.minRelease[g.curLoc]; !ok || rel < cur {
 			m.minRelease[g.curLoc] = rel

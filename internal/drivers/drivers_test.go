@@ -1,6 +1,7 @@
 package drivers
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"testing"
@@ -257,5 +258,68 @@ func TestControlLoopEndToEnd(t *testing.T) {
 	// stay well under a serial 900 s.
 	if doneAt < 300 || doneAt > 900 {
 		t.Fatalf("completion at %v, want within (300, 900)", doneAt)
+	}
+}
+
+// unmodeledAction is a plan.Action the duration model cannot time.
+type unmodeledAction struct{ m *vjob.VM }
+
+func (u *unmodeledAction) VM() *vjob.VM                        { return u.m }
+func (u *unmodeledAction) Cost() int                           { return 0 }
+func (u *unmodeledAction) FeasibleIn(*vjob.Configuration) bool { return true }
+func (u *unmodeledAction) Apply(*vjob.Configuration) error     { return nil }
+func (u *unmodeledAction) String() string                      { return "unmodeled(" + u.m.Name + ")" }
+
+// TestUnknownActionSurfacesAsFailedAction: a plan carrying an action
+// the duration model does not know used to panic the simulator (and
+// with it entropyd). It must now complete the execution with that one
+// action recorded as failed, while the rest of the plan still runs.
+func TestUnknownActionSurfacesAsFailedAction(t *testing.T) {
+	c := newSim(t, 2, 2, 4096)
+	vm1 := vjob.NewVM("vm1", "a", 1, 1024)
+	vm2 := vjob.NewVM("vm2", "b", 1, 1024)
+	c.Config().AddVM(vm1)
+	c.Config().AddVM(vm2)
+	if err := c.Config().SetRunning("vm1", "n00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Config().SetRunning("vm2", "n00"); err != nil {
+		t.Fatal(err)
+	}
+	p := &plan.Plan{Src: c.Config(), Pools: []plan.Pool{
+		{&unmodeledAction{m: vm1}, &plan.Migration{Machine: vm2, Src: "n00", Dst: "n01"}},
+	}}
+	var rep Report
+	var failed []plan.Action
+	e := Start(c, p, Callbacks{
+		Done:    func(r Report) { rep = r },
+		Failure: func(a plan.Action, err error) { failed = append(failed, a) },
+	})
+	c.Run(1000)
+	if !e.Finished() {
+		t.Fatal("execution never finished")
+	}
+	if len(rep.Errs) != 1 {
+		t.Fatalf("report errs = %v, want exactly the unmodeled action's", rep.Errs)
+	}
+	var ue *duration.UnknownActionError
+	if !errors.As(rep.Errs[0], &ue) {
+		t.Fatalf("err = %v, want *duration.UnknownActionError", rep.Errs[0])
+	}
+	if len(failed) != 1 || failed[0].VM().Name != "vm1" {
+		t.Fatalf("failure callback saw %v, want the unmodeled action", failed)
+	}
+	// The healthy action of the same pool still executed.
+	if c.Config().HostOf("vm2") != "n01" {
+		t.Fatal("migration sharing the pool did not run")
+	}
+	for _, st := range e.Status() {
+		want := ActionDone
+		if st.VM == "vm1" {
+			want = ActionFailed
+		}
+		if st.Phase != want {
+			t.Errorf("%s: phase %v, want %v", st.Action, st.Phase, want)
+		}
 	}
 }

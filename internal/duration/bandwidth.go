@@ -1,0 +1,150 @@
+package duration
+
+import (
+	"time"
+
+	"cwcs/internal/plan"
+)
+
+// This file is the time side of the bandwidth-aware context switch
+// model (DESIGN.md §9). The §2.3 calibration times each transfer at
+// one fixed wire rate — the per-MiB slope IS that rate, inverted. Here
+// the slope is split into an explicit volume and rate so the simulator
+// can re-time an in-flight transfer whenever the bandwidth actually
+// available changes (NIC contention, concurrent transfers). At the
+// nominal rate the decomposition reproduces the calibrated durations
+// exactly, so clusters without a modeled `net` capacity never notice.
+
+// TransferSpec decomposes a transfer-bearing action's duration into a
+// bandwidth-independent part and a wire transfer.
+type TransferSpec struct {
+	// Fixed is the setup/teardown time spent regardless of bandwidth
+	// (protocol handshakes, device quiesce, image open).
+	Fixed time.Duration
+	// VolumeMiB is the data volume crossing the wire, 1 MiB ≡ 8 Mbit.
+	VolumeMiB int
+	// NominalMbps is the calibrated wire rate: the fastest the transfer
+	// can go even on an idle fat link (the hypervisor's copy loop, not
+	// the NIC, is the bottleneck there).
+	NominalMbps float64
+	// Tr is the transfer mode, for deceleration lookups.
+	Tr Transfer
+}
+
+// Bits returns the wire volume in Mbit.
+func (s TransferSpec) Bits() float64 { return float64(s.VolumeMiB) * 8 }
+
+// RateAt returns the wire rate the transfer sustains when the network
+// offers bwMbps: the offered bandwidth, capped at the nominal rate. A
+// non-positive bw means "bandwidth not modeled" and yields the nominal
+// rate — the compile-away path, not a stalled link.
+func (s TransferSpec) RateAt(bwMbps float64) float64 {
+	if bwMbps > 0 && bwMbps < s.NominalMbps {
+		return bwMbps
+	}
+	return s.NominalMbps
+}
+
+// DurationAt returns the transfer's total duration when the network
+// sustains bwMbps for its whole lifetime. Zero-volume transfers (a
+// zero-memory VM) take exactly the fixed part.
+func (s TransferSpec) DurationAt(bwMbps float64) time.Duration {
+	rate := s.RateAt(bwMbps)
+	if rate <= 0 || s.VolumeMiB <= 0 {
+		return s.Fixed
+	}
+	return s.Fixed + secs(s.Bits()/rate)
+}
+
+// nominalMbps inverts a per-MiB wire slope (seconds per MiB) into the
+// rate it implies. A non-positive slope (instant transfer in the
+// calibration) has no meaningful rate; 0 makes DurationAt collapse to
+// the fixed part.
+func nominalMbps(secPerMiB float64) float64 {
+	if secPerMiB <= 0 {
+		return 0
+	}
+	return 8 / secPerMiB
+}
+
+// MigrateSpec decomposes a live migration of volMiB: fixed
+// MigrateBaseSec plus the pre-copy stream at the rate MigratePerMiB
+// implies (800 Mbit/s under Default()).
+func (m Model) MigrateSpec(volMiB int) TransferSpec {
+	return TransferSpec{
+		Fixed:       secs(m.MigrateBaseSec),
+		VolumeMiB:   volMiB,
+		NominalMbps: nominalMbps(m.MigratePerMiB),
+		Tr:          Local,
+	}
+}
+
+// SuspendSpec decomposes a remote suspend pushing volMiB through tr:
+// the whole calibrated duration scales by the remote factor, so both
+// the fixed part and the wire slope carry it (80 Mbit/s for SCP under
+// Default()).
+func (m Model) SuspendSpec(volMiB int, tr Transfer) TransferSpec {
+	f := m.factor(tr)
+	return TransferSpec{
+		Fixed:       secs(m.SuspendBaseSec * f),
+		VolumeMiB:   volMiB,
+		NominalMbps: nominalMbps(m.SuspendPerMiB * f),
+		Tr:          tr,
+	}
+}
+
+// ResumeSpec decomposes a remote resume pulling volMiB through tr
+// (100 Mbit/s for SCP under Default()).
+func (m Model) ResumeSpec(volMiB int, tr Transfer) TransferSpec {
+	f := m.factor(tr)
+	return TransferSpec{
+		Fixed:       secs(m.ResumeBaseSec * f),
+		VolumeMiB:   volMiB,
+		NominalMbps: nominalMbps(m.ResumePerMiB * f),
+		Tr:          tr,
+	}
+}
+
+// MigrateAt returns the duration of a live migration of a VM with the
+// given memory allocation when the wire sustains bwMbps.
+// MigrateAt(mem, 0) == Migrate(mem).
+func (m Model) MigrateAt(memMiB int, bwMbps float64) time.Duration {
+	return m.MigrateSpec(memMiB).DurationAt(bwMbps)
+}
+
+// SuspendAt returns the duration of suspending a VM through tr when
+// the wire sustains bwMbps. SuspendAt(mem, tr, 0) == Suspend(mem, tr).
+func (m Model) SuspendAt(memMiB int, tr Transfer, bwMbps float64) time.Duration {
+	return m.SuspendSpec(memMiB, tr).DurationAt(bwMbps)
+}
+
+// ResumeAt returns the duration of resuming a VM through tr when the
+// wire sustains bwMbps. ResumeAt(mem, tr, 0) == Resume(mem, tr).
+func (m Model) ResumeAt(memMiB int, tr Transfer, bwMbps float64) time.Duration {
+	return m.ResumeSpec(memMiB, tr).DurationAt(bwMbps)
+}
+
+// ActionTransfer returns the wire decomposition of an action that
+// moves data between nodes, or ok=false when nothing crosses the
+// network (run, stop, local suspend, local resume — their durations
+// are bandwidth-independent and come from ActionDuration). The volume
+// is plan.TransferSize: Dm widened by the transfer-relevant extra
+// dimensions, exactly Dm on 2-D instances.
+func (m Model) ActionTransfer(a plan.Action) (TransferSpec, bool) {
+	switch a := a.(type) {
+	case *plan.Migration:
+		return m.MigrateSpec(plan.TransferSize(a.Machine)), true
+	case *plan.Suspend:
+		if a.To == a.On {
+			return TransferSpec{}, false
+		}
+		return m.SuspendSpec(plan.TransferSize(a.Machine), SCP), true
+	case *plan.Resume:
+		if a.Local() {
+			return TransferSpec{}, false
+		}
+		return m.ResumeSpec(plan.TransferSize(a.Machine), SCP), true
+	default:
+		return TransferSpec{}, false
+	}
+}

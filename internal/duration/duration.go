@@ -153,30 +153,45 @@ func (m Model) Deceleration(tr Transfer) float64 {
 	return m.DecelRemote
 }
 
-// ActionDuration maps a plan action to its duration and the transfer
-// mode involved (remote suspends/resumes use SCP, the paper's default
-// push). Unknown action types are a programming error.
-func (m Model) ActionDuration(a plan.Action) (time.Duration, Transfer) {
+// UnknownActionError reports an action the duration model cannot
+// time. It used to be a panic; a plan carrying an unmodeled action now
+// surfaces a failed action through the driver instead of crashing the
+// daemon.
+type UnknownActionError struct {
+	// Action is the unmodeled action (possibly nil).
+	Action plan.Action
+}
+
+func (e *UnknownActionError) Error() string {
+	return fmt.Sprintf("duration: unknown action type %T", e.Action)
+}
+
+// ActionDuration maps a plan action to its nominal duration and the
+// transfer mode involved (remote suspends/resumes use SCP, the paper's
+// default push). An unknown action type returns an UnknownActionError;
+// the durations here assume the calibrated wire rate is available —
+// ActionTransfer exposes the bandwidth-dependent decomposition.
+func (m Model) ActionDuration(a plan.Action) (time.Duration, Transfer, error) {
 	switch a := a.(type) {
 	case *plan.Run:
-		return m.Boot(), Local
+		return m.Boot(), Local, nil
 	case *plan.Stop:
-		return m.Shutdown(), Local
+		return m.Shutdown(), Local, nil
 	case *plan.Migration:
-		return m.Migrate(a.Machine.MemoryDemand()), Local
+		return m.Migrate(a.Machine.MemoryDemand()), Local, nil
 	case *plan.Suspend:
 		tr := Local
 		if a.To != a.On {
 			tr = SCP
 		}
-		return m.Suspend(a.Machine.MemoryDemand(), tr), tr
+		return m.Suspend(a.Machine.MemoryDemand(), tr), tr, nil
 	case *plan.Resume:
 		tr := Local
 		if !a.Local() {
 			tr = SCP
 		}
-		return m.Resume(a.Machine.MemoryDemand(), tr), tr
+		return m.Resume(a.Machine.MemoryDemand(), tr), tr, nil
 	default:
-		panic(fmt.Sprintf("duration: unknown action type %T", a))
+		return 0, Local, &UnknownActionError{Action: a}
 	}
 }

@@ -1,6 +1,7 @@
 package duration
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -100,7 +101,11 @@ func TestActionDuration(t *testing.T) {
 		{&plan.Resume{Machine: vm, From: "n1", On: "n2"}, m.Resume(1024, SCP), SCP},
 	}
 	for _, tc := range cases {
-		d, tr := m.ActionDuration(tc.a)
+		d, tr, err := m.ActionDuration(tc.a)
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.a, err)
+			continue
+		}
 		if d != tc.want || tr != tc.tr {
 			t.Errorf("%s: (%v,%v), want (%v,%v)", tc.a, d, tr, tc.want, tc.tr)
 		}
@@ -117,11 +122,20 @@ func TestTransferStrings(t *testing.T) {
 	}
 }
 
-func TestActionDurationPanicsOnUnknown(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on unknown action")
-		}
-	}()
-	Default().ActionDuration(nil)
+// TestActionDurationUnknownActionError: an unmodeled action used to
+// panic the caller (and with it the daemon); it now reports a typed
+// error the driver can surface as a failed action.
+func TestActionDurationUnknownActionError(t *testing.T) {
+	_, _, err := Default().ActionDuration(nil)
+	var ue *UnknownActionError
+	if !errors.As(err, &ue) {
+		t.Fatalf("ActionDuration(nil) err = %v, want *UnknownActionError", err)
+	}
+	if ue.Error() == "" {
+		t.Fatal("empty error message")
+	}
+	type fake struct{ plan.Action }
+	if _, _, err := Default().ActionDuration(fake{}); !errors.As(err, &ue) {
+		t.Fatalf("ActionDuration(fake) err = %v, want *UnknownActionError", err)
+	}
 }

@@ -223,8 +223,12 @@ func (w *ThresholdWatcher) Stop() { w.stopped = true }
 // WatchViolationSeconds integrates the number of capacity violations
 // over virtual time, advanced at every simulation event and phase
 // change: the cumulative exposure metric of the churn and drain
-// studies and of the control plane's /metrics. It returns the running
-// integral's getter.
+// studies and of the control plane's /metrics. In-flight transfers
+// oversubscribing a NIC count too (sim.TransferViolations): a node
+// whose guests fit but whose service traffic is starved by migration
+// streams is exposure just like an overloaded node — exactly the
+// exposure the planner's transfer gating trades plan parallelism
+// against. It returns the running integral's getter.
 func WatchViolationSeconds(c *sim.Cluster) func() float64 {
 	total, lastT := 0.0, 0.0
 	lastViol := 0
@@ -234,7 +238,7 @@ func WatchViolationSeconds(c *sim.Cluster) func() float64 {
 			total += float64(lastViol) * (now - lastT)
 			lastT = now
 		}
-		lastViol = len(c.Config().Violations())
+		lastViol = len(c.Config().Violations()) + len(c.TransferViolations())
 	})
 	return func() float64 { return total }
 }

@@ -46,8 +46,9 @@ type Migration struct {
 // VM returns the migrated VM.
 func (a *Migration) VM() *vjob.VM { return a.Machine }
 
-// Cost is the VM memory demand (Table 1).
-func (a *Migration) Cost() int { return a.Machine.MemoryDemand() }
+// Cost is the volume the migration moves (Table 1's Dm, widened by
+// TransferSize to the transfer-relevant extra dimensions).
+func (a *Migration) Cost() int { return TransferSize(a.Machine) }
 
 // FeasibleIn reports whether Dst currently offers the VM's demands.
 func (a *Migration) FeasibleIn(c *vjob.Configuration) bool {
@@ -133,8 +134,9 @@ type Suspend struct {
 // VM returns the suspended VM.
 func (a *Suspend) VM() *vjob.VM { return a.Machine }
 
-// Cost is the VM memory demand (Table 1).
-func (a *Suspend) Cost() int { return a.Machine.MemoryDemand() }
+// Cost is the volume of the written image (Table 1's Dm, widened by
+// TransferSize to the transfer-relevant extra dimensions).
+func (a *Suspend) Cost() int { return TransferSize(a.Machine) }
 
 // FeasibleIn always reports true: suspending only liberates resources.
 func (a *Suspend) FeasibleIn(*vjob.Configuration) bool { return true }
@@ -167,12 +169,14 @@ func (a *Resume) VM() *vjob.VM { return a.Machine }
 // the suspended image.
 func (a *Resume) Local() bool { return a.From == a.On }
 
-// Cost is Dm for a local resume and 2·Dm for a remote one (Table 1).
+// Cost is the image volume for a local resume and twice that for a
+// remote one, which must drag the image across first (Table 1, with
+// Dm widened by TransferSize to the transfer-relevant dimensions).
 func (a *Resume) Cost() int {
 	if a.Local() {
-		return a.Machine.MemoryDemand()
+		return TransferSize(a.Machine)
 	}
-	return 2 * a.Machine.MemoryDemand()
+	return 2 * TransferSize(a.Machine)
 }
 
 // FeasibleIn reports whether On currently offers the VM's demands.

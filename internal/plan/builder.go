@@ -20,6 +20,13 @@ type Builder struct {
 	// suspends and resumes of a vjob into a single pool (§4.1). Only
 	// useful for ablation studies; production callers keep it false.
 	DisableVJobGrouping bool
+	// DisableTransferGating skips the per-pool NIC admission of
+	// DESIGN.md §9, letting concurrent transfers oversubscribe an
+	// endpoint's `net` capacity the way the memory-only model did.
+	// Only useful for blind-vs-aware studies; production callers keep
+	// it false. On configurations without `net` capacities the flag is
+	// moot: nothing is metered either way.
+	DisableTransferGating bool
 }
 
 // Build is a convenience wrapper: it diffs the two configurations and
@@ -42,7 +49,7 @@ func (b Builder) Plan(g *Graph) (*Plan, error) {
 	remaining := append([]Action(nil), g.Actions...)
 
 	for len(remaining) > 0 {
-		pool, rest := extractPool(cur, remaining)
+		pool, rest := extractPool(cur, remaining, !b.DisableTransferGating)
 		if len(pool) == 0 {
 			bypass, rewritten, err := breakCycle(cur, remaining)
 			if err != nil {
@@ -74,19 +81,33 @@ func (b Builder) Plan(g *Graph) (*Plan, error) {
 // reserve their demands so two actions cannot share the same free
 // space; resources released by actions of the pool are NOT credited,
 // because a parallel action cannot rely on a concurrent completion.
-func extractPool(cur *vjob.Configuration, remaining []Action) (Pool, []Action) {
+//
+// With gateTransfers set, each action's transfer demand (DESIGN.md §9)
+// is additionally booked against the NIC capacities of its endpoints,
+// and an action whose transfer would oversubscribe a NIC is deferred
+// to a later pool. A transfer alone always fits (its demand is clamped
+// to each NIC), so gating can only serialize pools, never empty them:
+// the §4.1 progress guarantee is untouched.
+func extractPool(cur *vjob.Configuration, remaining []Action, gateTransfers bool) (Pool, []Action) {
 	free := cur.FreeResources()
+	book := newTransferBook(cur)
 	var pool Pool
 	var rest []Action
 	for _, a := range remaining {
+		if gateTransfers && !book.fits(a) {
+			rest = append(rest, a)
+			continue
+		}
 		node, demand := demandOf(a)
-		if node == "" { // pure release: always feasible
+		if node == "" { // pure release: always resource-feasible
 			pool = append(pool, a)
+			book.admit(a)
 			continue
 		}
 		if demand.Fits(free[node]) {
 			pool = append(pool, a)
 			free[node] = free[node].Sub(demand)
+			book.admit(a)
 		} else {
 			rest = append(rest, a)
 		}

@@ -120,8 +120,11 @@ func (p *Plan) Result() (*vjob.Configuration, error) {
 }
 
 // Validate replays the plan checking, pool by pool, that every action
-// is feasible when its pool starts and that every intermediate
-// configuration stays viable. It returns the first problem found.
+// is feasible when its pool starts, that the pool's concurrent
+// transfers do not oversubscribe any endpoint's NIC (DESIGN.md §9;
+// nodes without a modeled `net` capacity are exempt), and that every
+// intermediate configuration stays viable. It returns the first
+// problem found.
 //
 // A context switch may legitimately start from a non-viable
 // configuration (that is often why it happens), so the constraint
@@ -134,10 +137,15 @@ func (p *Plan) Validate() error {
 	cur := p.Src.Clone()
 	srcViolations := srcOverloads(cur)
 	for i, pool := range p.Pools {
+		book := newTransferBook(cur)
 		for _, a := range pool {
 			if !a.FeasibleIn(cur) {
 				return fmt.Errorf("plan: pool %d: action %s not feasible at pool start", i, a)
 			}
+			if !book.fits(a) {
+				return fmt.Errorf("plan: pool %d: action %s oversubscribes a NIC", i, a)
+			}
+			book.admit(a)
 		}
 		for _, a := range pool {
 			if err := a.Apply(cur); err != nil {

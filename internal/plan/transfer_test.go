@@ -1,0 +1,229 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"cwcs/internal/resources"
+	"cwcs/internal/vjob"
+)
+
+// netCluster builds nodes with a CPU/mem/net capacity.
+func netCluster(t *testing.T, nodes int, cpu, mem, net int) *vjob.Configuration {
+	t.Helper()
+	c := vjob.NewConfiguration()
+	for i := 0; i < nodes; i++ {
+		cap := resources.New(cpu, mem)
+		cap.Set(resources.NetBW, net)
+		c.AddNode(vjob.NewNodeRes(nodeName(i), cap))
+	}
+	return c
+}
+
+// TestTransferSize2DPin pins that on the paper's 2-D instances every
+// action cost is byte-identical to the memory-only Table 1 model: with
+// no net/disk demands, TransferSize is exactly MemoryDemand.
+func TestTransferSize2DPin(t *testing.T) {
+	v := vjob.NewVM("v1", "j", 1, 768)
+	if got := TransferSize(v); got != v.MemoryDemand() {
+		t.Fatalf("2-D TransferSize = %d, want MemoryDemand %d", got, v.MemoryDemand())
+	}
+	cases := []struct {
+		a    Action
+		want int
+	}{
+		{&Migration{Machine: v, Src: "N1", Dst: "N2"}, 768},
+		{&Suspend{Machine: v, On: "N1", To: "N1"}, 768},
+		{&Suspend{Machine: v, On: "N1", To: "N2"}, 768},
+		{&Resume{Machine: v, From: "N1", On: "N1"}, 768},
+		{&Resume{Machine: v, From: "N1", On: "N2"}, 2 * 768},
+		{&Run{Machine: v, On: "N1"}, 0},
+		{&Stop{Machine: v, On: "N1"}, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Cost(); got != c.want {
+			t.Errorf("%s: cost = %d, want %d", c.a, got, c.want)
+		}
+	}
+}
+
+// TestTransferSizeFoldsExtras: net and disk demands widen the moved
+// volume, so a resume dragging a disk-heavy image is costlier than a
+// RAM-only one with the same memory size.
+func TestTransferSizeFoldsExtras(t *testing.T) {
+	d := resources.New(1, 512)
+	d.Set(resources.NetBW, 100)
+	d.Set(resources.DiskIO, 50)
+	heavy := vjob.NewVMRes("heavy", "j", d)
+	if got := TransferSize(heavy); got != 512+100+50 {
+		t.Fatalf("TransferSize = %d, want %d", got, 512+100+50)
+	}
+	light := vjob.NewVM("light", "j", 1, 512)
+	rHeavy := &Resume{Machine: heavy, From: "N1", On: "N2"}
+	rLight := &Resume{Machine: light, From: "N1", On: "N2"}
+	if rHeavy.Cost() <= rLight.Cost() {
+		t.Fatalf("remote resume of disk/net-heavy image costs %d, not above RAM-only %d",
+			rHeavy.Cost(), rLight.Cost())
+	}
+}
+
+// TestTransferDemandOf checks which actions carry a wire transfer and
+// at which nominal rate.
+func TestTransferDemandOf(t *testing.T) {
+	v := vjob.NewVM("v1", "j", 1, 512)
+	cases := []struct {
+		a        Action
+		ok       bool
+		src, dst string
+		rate     int
+	}{
+		{&Migration{Machine: v, Src: "N1", Dst: "N2"}, true, "N1", "N2", MigrateRateMbps},
+		{&Suspend{Machine: v, On: "N1", To: "N2"}, true, "N1", "N2", SuspendPushRateMbps},
+		{&Suspend{Machine: v, On: "N1", To: "N1"}, false, "", "", 0},
+		{&Resume{Machine: v, From: "N1", On: "N2"}, true, "N1", "N2", ResumePushRateMbps},
+		{&Resume{Machine: v, From: "N1", On: "N1"}, false, "", "", 0},
+		{&Run{Machine: v, On: "N1"}, false, "", "", 0},
+		{&Stop{Machine: v, On: "N1"}, false, "", "", 0},
+	}
+	for _, c := range cases {
+		tr, ok := TransferDemandOf(c.a)
+		if ok != c.ok {
+			t.Errorf("%s: transfer ok = %v, want %v", c.a, ok, c.ok)
+			continue
+		}
+		if ok && (tr.Src != c.src || tr.Dst != c.dst || tr.Rate != c.rate) {
+			t.Errorf("%s: transfer = %+v, want {%s %s %d}", c.a, tr, c.src, c.dst, c.rate)
+		}
+	}
+}
+
+// TestClampedRate: the demand a transfer meters on a node is its
+// nominal rate clamped to the NIC; unmodeled NICs meter nothing.
+func TestClampedRate(t *testing.T) {
+	tr := TransferDemand{Rate: MigrateRateMbps}
+	for _, c := range []struct{ nic, want int }{
+		{0, 0}, {-1, 0}, {100, 100}, {800, 800}, {10000, 800},
+	} {
+		if got := tr.ClampedRate(c.nic); got != c.want {
+			t.Errorf("ClampedRate(%d) = %d, want %d", c.nic, got, c.want)
+		}
+	}
+}
+
+// TestBuilderSerializesNICTransfers: two migrations converging on one
+// NIC-constrained node must land in different pools — the transfers
+// cannot share the 1 Gb link — while the same instance without net
+// capacities keeps them parallel.
+func TestBuilderSerializesNICTransfers(t *testing.T) {
+	build := func(net int, gate bool) *Plan {
+		t.Helper()
+		var src *vjob.Configuration
+		if net > 0 {
+			src = netCluster(t, 3, 8, 16384, net)
+		} else {
+			src = cluster(t, 3, 8, 16384)
+		}
+		for i, host := range []string{"N1", "N2"} {
+			v := vjob.NewVM("v"+string(rune('1'+i)), "j", 1, 512)
+			src.AddVM(v)
+			if err := src.SetRunning(v.Name, host); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dst := src.Clone()
+		for _, vm := range []string{"v1", "v2"} {
+			if err := dst.SetRunning(vm, "N3"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g, err := BuildGraph(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := Builder{DisableTransferGating: !gate}.Plan(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl
+	}
+
+	// 2-D instance: both migrations are parallel-feasible in one pool.
+	if pl := build(0, true); len(pl.Pools) != 1 {
+		t.Fatalf("2-D plan has %d pools, want 1:\n%s", len(pl.Pools), pl)
+	}
+	// 1 Gb NICs: each migration claims 800 Mbit/s, so N3's inbound link
+	// only admits one at a time — two pools.
+	pl := build(1000, true)
+	if len(pl.Pools) != 2 {
+		t.Fatalf("NIC-gated plan has %d pools, want 2:\n%s", len(pl.Pools), pl)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("gated plan does not validate: %v", err)
+	}
+	// Blind mode reproduces the memory-only behavior, and Validate
+	// rejects the oversubscribed pool it emits.
+	blind := build(1000, false)
+	if len(blind.Pools) != 1 {
+		t.Fatalf("blind plan has %d pools, want 1:\n%s", len(blind.Pools), blind)
+	}
+	err := blind.Validate()
+	if err == nil || !strings.Contains(err.Error(), "oversubscribes a NIC") {
+		t.Fatalf("Validate(blind) = %v, want NIC oversubscription error", err)
+	}
+}
+
+// TestLoneTransferAlwaysFits: a single migration into a NIC-poor node
+// is slow, not infeasible — clamping guarantees builder progress.
+func TestLoneTransferAlwaysFits(t *testing.T) {
+	src := netCluster(t, 2, 8, 16384, 100) // NIC far below the 800 Mbit/s rate
+	v := vjob.NewVM("v1", "j", 1, 512)
+	src.AddVM(v)
+	if err := src.SetRunning("v1", "N1"); err != nil {
+		t.Fatal(err)
+	}
+	dst := src.Clone()
+	if err := dst.SetRunning("v1", "N2"); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Build(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Pools) != 1 || len(pl.Pools[0]) != 1 {
+		t.Fatalf("plan = %s, want a single migration pool", pl)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("lone clamped transfer rejected: %v", err)
+	}
+}
+
+// TestTransferGatingMixedRates: remote suspends are cheap on the wire
+// (80 Mbit/s), so many of them share a NIC that admits only one
+// migration; the book must account rates per kind, not per action.
+func TestTransferGatingMixedRates(t *testing.T) {
+	src := netCluster(t, 3, 32, 65536, 1000)
+	// Five VMs on N1 headed to a remote-suspend on N2: 5×80 = 400 Mbit/s.
+	for i := 0; i < 5; i++ {
+		v := vjob.NewVM("s"+string(rune('1'+i)), "js", 1, 256)
+		src.AddVM(v)
+		if err := src.SetRunning(v.Name, "N1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := src.Clone()
+	for i := 0; i < 5; i++ {
+		if err := dst.SetSleeping("s"+string(rune('1'+i)), "N2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pl, err := Build(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Pools) != 1 {
+		t.Fatalf("five 80 Mbit/s suspends should share one pool, got:\n%s", pl)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

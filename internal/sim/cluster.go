@@ -34,6 +34,11 @@ type operation struct {
 	action plan.Action
 	nodes  map[string]bool // nodes whose VMs are decelerated
 	tr     duration.Transfer
+	done   func(error)
+	// xfer is non-nil for metered transfers (see transfer.go): the
+	// operation then has no scheduled end time — the Run loop re-times
+	// it at the bandwidth actually available.
+	xfer *transfer
 }
 
 // Cluster is the simulated cluster.
@@ -46,6 +51,9 @@ type Cluster struct {
 
 	workloads map[string]*workload
 	ops       map[*operation]bool
+	// xfers lists the in-flight metered transfers in start order (a
+	// deterministic completion order when several drain together).
+	xfers []*operation
 
 	// offline holds the nodes taken out of the configuration by
 	// SetNodeOffline, keyed by name, so SetNodeOnline can restore them
@@ -227,9 +235,22 @@ func (c *Cluster) VJobDone(j *vjob.VJob) bool {
 // been updated. The manipulated VM freezes during suspends and stops,
 // keeps computing (decelerated) during live migration, and starts
 // computing only at completion for run/resume.
+//
+// An action the duration model cannot time (an unmodeled type) never
+// starts: done fires with the model's error at the current instant, so
+// the plan's driver records a failed action where the daemon used to
+// panic.
 func (c *Cluster) StartAction(a plan.Action, done func(error)) {
-	d, tr := c.actionTiming(a)
-	op := &operation{action: a, nodes: map[string]bool{}, tr: tr}
+	d, tr, err := c.actionTiming(a)
+	if err != nil {
+		c.Schedule(c.now, func() {
+			if done != nil {
+				done(err)
+			}
+		})
+		return
+	}
+	op := &operation{action: a, nodes: map[string]bool{}, tr: tr, done: done}
 	switch a := a.(type) {
 	case *plan.Migration:
 		op.nodes[a.Src] = true
@@ -253,36 +274,53 @@ func (c *Cluster) StartAction(a plan.Action, done func(error)) {
 		c.remoteOps++
 	}
 	c.ops[op] = true
-	c.Schedule(c.now+d.Seconds(), func() {
-		delete(c.ops, op)
-		var err error
-		if c.FailAction != nil {
-			err = c.FailAction(a)
-		}
-		if err == nil {
-			err = a.Apply(c.cfg)
-		}
-		if err == nil {
-			c.actionsRun[kindOf(a)]++
-		}
-		// The operation is over either way: a failed suspend/stop
-		// leaves the VM running, so its workload must thaw.
-		if w, ok := c.workloads[a.VM().Name]; ok {
-			w.frozen = false
-		}
-		if done != nil {
-			done(err)
-		}
-	})
+	if x := c.newTransfer(a); x != nil {
+		// Metered transfer: no fixed end time — the Run loop advances
+		// its progress at the bandwidth actually available and
+		// completes it when the work drains.
+		op.xfer = x
+		c.xfers = append(c.xfers, op)
+		return
+	}
+	c.Schedule(c.now+d.Seconds(), func() { c.finishAction(op) })
+}
+
+// finishAction completes an in-flight operation: the action is applied
+// (or failed by FailAction), the manipulated VM's workload thaws, and
+// the done callback fires.
+func (c *Cluster) finishAction(op *operation) {
+	delete(c.ops, op)
+	if op.xfer != nil {
+		c.removeTransfer(op)
+	}
+	a := op.action
+	var err error
+	if c.FailAction != nil {
+		err = c.FailAction(a)
+	}
+	if err == nil {
+		err = a.Apply(c.cfg)
+	}
+	if err == nil {
+		c.actionsRun[kindOf(a)]++
+	}
+	// The operation is over either way: a failed suspend/stop
+	// leaves the VM running, so its workload must thaw.
+	if w, ok := c.workloads[a.VM().Name]; ok {
+		w.frozen = false
+	}
+	if op.done != nil {
+		op.done(err)
+	}
 }
 
 // actionTiming resolves the duration and transfer mode, honouring the
 // suspend-to-RAM mode.
-func (c *Cluster) actionTiming(a plan.Action) (d time.Duration, tr duration.Transfer) {
+func (c *Cluster) actionTiming(a plan.Action) (d time.Duration, tr duration.Transfer, err error) {
 	if c.SuspendToRAM {
 		switch a.(type) {
 		case *plan.Suspend, *plan.Resume:
-			return c.model.SuspendToRAM(), duration.Local
+			return c.model.SuspendToRAM(), duration.Local, nil
 		}
 	}
 	return c.model.ActionDuration(a)
@@ -380,6 +418,7 @@ func (c *Cluster) Run(until float64) {
 	const eps = 1e-9
 	for c.now < until-eps {
 		rates := c.rates()
+		xrates := c.transferRates()
 		tEvent := math.Inf(1)
 		if len(c.queue) > 0 {
 			tEvent = c.queue[0].at
@@ -393,15 +432,28 @@ func (c *Cluster) Run(until float64) {
 				}
 			}
 		}
-		if math.IsInf(math.Min(tEvent, tPhase), 1) {
-			return // quiescent: no event and no progressing workload
+		// Metered transfers complete when their remaining work drains
+		// at the currently available bandwidth; any event in between
+		// (a concurrent transfer starting or ending, a VM moving) makes
+		// the loop come back here and re-time them.
+		tXfer := math.Inf(1)
+		for _, op := range c.xfers {
+			if t := c.now + op.xfer.remainingSeconds(xrates[op]); t < tXfer {
+				tXfer = t
+			}
 		}
-		t := math.Min(math.Min(tEvent, tPhase), until)
+		if math.IsInf(math.Min(math.Min(tEvent, tPhase), tXfer), 1) {
+			return // quiescent: no event, no workload, no transfer
+		}
+		t := math.Min(math.Min(math.Min(tEvent, tPhase), tXfer), until)
 		// Advance progress to t.
 		dt := t - c.now
 		if dt > 0 {
 			for vm, r := range rates {
 				c.workloads[vm].remaining -= dt * r
+			}
+			for _, op := range c.xfers {
+				op.xfer.advance(dt, xrates[op])
 			}
 			c.now = t
 		}
@@ -416,13 +468,30 @@ func (c *Cluster) Run(until float64) {
 				c.runChecks()
 			}
 		}
+		// Transfer completions due now, in start order. finishAction
+		// removes the operation from c.xfers (and its done callback may
+		// start new transfers), so rescan from the front each time.
+		for {
+			var fire *operation
+			for _, op := range c.xfers {
+				if op.xfer.finished() {
+					fire = op
+					break
+				}
+			}
+			if fire == nil {
+				break
+			}
+			c.finishAction(fire)
+			c.runChecks()
+		}
 		// Events due now.
 		for len(c.queue) > 0 && c.queue[0].at <= c.now+eps {
 			e := heap.Pop(&c.queue).(*event)
 			e.fn()
 			c.runChecks()
 		}
-		if dt == 0 && tEvent > c.now+eps && tPhase > c.now+eps {
+		if dt == 0 && tEvent > c.now+eps && tPhase > c.now+eps && tXfer > c.now+eps {
 			// Nothing progressed and nothing fired: avoid spinning.
 			return
 		}

@@ -69,12 +69,26 @@ func (w *Invariants) audit() {
 		for _, v := range cfg.Violations() {
 			w.baseline[v] = true
 		}
+		for _, v := range w.c.TransferViolations() {
+			w.baseline[v] = true
+		}
 		return
 	}
 	for _, v := range cfg.Violations() {
 		if !w.baseline[v] {
 			w.errs = append(w.errs, fmt.Errorf("sim: t=%.1f: %w", w.c.Now(), v))
 			w.baseline[v] = true // report each new violation once
+		}
+	}
+	// In-flight transfers squeezing a NIC past its capacity are a
+	// violation too (DESIGN.md §9): the running VMs fit, but their
+	// service traffic is being starved by migration streams. Counted
+	// like capacity violations — the planner's transfer gating exists
+	// exactly to avoid these, so a gated plan keeps this at zero.
+	for _, v := range w.c.TransferViolations() {
+		if !w.baseline[v] {
+			w.errs = append(w.errs, fmt.Errorf("sim: t=%.1f: transfer-oversubscribed NIC: %w", w.c.Now(), v))
+			w.baseline[v] = true
 		}
 	}
 }

@@ -40,6 +40,14 @@ type GenerateOptions struct {
 	// every vjob compute-bound and the rng stream identical to the
 	// pre-multi-resource generator.
 	NetFraction, DiskFraction float64
+	// NICPoorFraction is the probability a node gets NICPoorNet as its
+	// `net` capacity instead of NodeNet — the NIC-heterogeneous mixes
+	// of the migration study (an aging rack with 100 Mbit uplinks in a
+	// GigE cluster). Zero keeps every node at NodeNet and the rng
+	// stream untouched, so published seeds reproduce byte-identically.
+	NICPoorFraction float64
+	// NICPoorNet is the NIC capacity (Mbit/s) of the poor nodes.
+	NICPoorNet int
 }
 
 // DefaultGenerateOptions returns the paper's §5.1 parameters.
@@ -57,8 +65,16 @@ func GenerateConfiguration(rng *rand.Rand, opts GenerateOptions) Generated {
 	cap := resources.New(opts.NodeCPU, opts.NodeMemory)
 	cap.Set(resources.NetBW, opts.NodeNet)
 	cap.Set(resources.DiskIO, opts.NodeDisk)
+	poor := cap
+	poor.Set(resources.NetBW, opts.NICPoorNet)
 	for i := 0; i < opts.Nodes; i++ {
-		cfg.AddNode(vjob.NewNodeRes(fmt.Sprintf("node%03d", i), cap))
+		c := cap
+		// The poor-NIC draw only runs when a heterogeneous mix is
+		// requested: pure runs keep the historical rng stream.
+		if opts.NICPoorFraction > 0 && rng.Float64() < opts.NICPoorFraction {
+			c = poor
+		}
+		cfg.AddNode(vjob.NewNodeRes(fmt.Sprintf("node%03d", i), c))
 	}
 	g := Generated{Cfg: cfg}
 	placed := 0

@@ -90,3 +90,40 @@ func TestGenerateHeterogeneous(t *testing.T) {
 		t.Fatal("2-D generation grew node extras")
 	}
 }
+
+func TestGenerateNICPoorMix(t *testing.T) {
+	opts := DefaultGenerateOptions(90)
+	opts.NodeNet = DefaultNodeNet
+	opts.NICPoorFraction = 0.25
+	opts.NICPoorNet = 100
+	g := GenerateConfiguration(rand.New(rand.NewSource(7)), opts)
+	poor, rich := 0, 0
+	for _, n := range g.Cfg.Nodes() {
+		switch n.Capacity.Get(resources.NetBW) {
+		case 100:
+			poor++
+		case DefaultNodeNet:
+			rich++
+		default:
+			t.Fatalf("node %s has unexpected NIC %d", n.Name, n.Capacity.Get(resources.NetBW))
+		}
+	}
+	if rich+poor != opts.Nodes {
+		t.Fatalf("rich+poor = %d, want %d", rich+poor, opts.Nodes)
+	}
+	// ~25% of 200 nodes; a wide tolerance keeps the test seed-robust.
+	if poor < 20 || poor > 80 {
+		t.Fatalf("poor nodes = %d, want roughly 50", poor)
+	}
+
+	// A zero fraction must not consume rng: the stream (and thus the
+	// whole configuration) stays byte-identical to a generator that
+	// predates the option.
+	a := GenerateConfiguration(rand.New(rand.NewSource(7)), DefaultGenerateOptions(90))
+	zeroed := DefaultGenerateOptions(90)
+	zeroed.NICPoorNet = 100 // ignored without a fraction
+	b := GenerateConfiguration(rand.New(rand.NewSource(7)), zeroed)
+	if !a.Cfg.Equal(b.Cfg) {
+		t.Fatal("NICPoorFraction=0 perturbed the rng stream")
+	}
+}
