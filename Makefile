@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzConfigurationJSON -fuzztime=$(FUZZTIME) ./internal/vjob
 	$(GO) test -run=^$$ -fuzz=FuzzDomainOps$$ -fuzztime=$(FUZZTIME) ./internal/cp
 	$(GO) test -run=^$$ -fuzz=FuzzBoundsDomainOps -fuzztime=$(FUZZTIME) ./internal/cp
+	$(GO) test -run=^$$ -fuzz=FuzzTraceDecode -fuzztime=$(FUZZTIME) ./internal/trace
 
 # Atomic-mode coverage with per-package floors: the floors file pins a
 # minimum for every load-bearing package, so a PR cannot silently strip
@@ -63,8 +64,8 @@ lint:
 bench-regress:
 	$(GO) test -run '^$$' -bench 'BenchmarkMinimizePortfolioWorkers' -benchtime=100x ./internal/cp > $(BENCH_REGRESS_OUT)
 	$(GO) test -run '^$$' -bench 'BenchmarkLoopEventIteration|BenchmarkLoopPeriodicIteration|BenchmarkPartitionSplit' -benchtime=100x ./internal/core >> $(BENCH_REGRESS_OUT)
-	$(GO) test -run '^$$' -bench 'BenchmarkChurnLoop|BenchmarkDrainEvacuation|BenchmarkMultiResourceSolve|BenchmarkRepairStorm|BenchmarkMigrationStudy' -benchtime=100x ./internal/experiments >> $(BENCH_REGRESS_OUT)
-	$(GO) run ./cmd/benchregress -factor 3 -bench $(BENCH_REGRESS_OUT) BENCH_ci.json BENCH_eventloop.json BENCH_drain.json BENCH_multires.json BENCH_repair.json BENCH_migration.json
+	$(GO) test -run '^$$' -bench 'BenchmarkChurnLoop|BenchmarkDrainEvacuation|BenchmarkMultiResourceSolve|BenchmarkRepairStorm|BenchmarkMigrationStudy|BenchmarkChaosStudy' -benchtime=100x ./internal/experiments >> $(BENCH_REGRESS_OUT)
+	$(GO) run ./cmd/benchregress -factor 3 -bench $(BENCH_REGRESS_OUT) BENCH_ci.json BENCH_eventloop.json BENCH_drain.json BENCH_multires.json BENCH_repair.json BENCH_migration.json BENCH_chaos.json
 
 # The one-command gate every PR must pass. `cover` runs the full test
 # suite (with coverage) itself, so a separate plain `test` pass would

@@ -13,7 +13,9 @@
 //	experiments churn [-quick]    periodic vs event-driven loop under churn
 //	experiments repairstorm [-quick]  repair widening off/on under failure storms
 //	experiments drain [-quick]    drain/evacuate a node fraction under churn
+//	experiments multires [-quick] CPU-only vs multi-dimensional packing
 //	experiments migration [-quick] transfer-blind vs bandwidth-aware planner
+//	experiments chaos [-quick]    fault-injection cells + trace replay, recovery distributions
 //	experiments all  [-quick]     everything above
 //
 // -quick shrinks sample counts, solver budgets and workload durations
@@ -25,10 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"cwcs/internal/experiments"
 	"cwcs/internal/sched"
+	"cwcs/internal/sim"
 )
 
 func main() {
@@ -49,6 +53,8 @@ func main() {
 	// study's partitioned side defaults to auto (0).
 	partitions := fs.Int("partitions", -1, "cluster partitions solved concurrently (0 = auto, 1 = monolithic)")
 	csvDir := fs.String("csv", "", "also write <figure>.csv files into this directory")
+	traceName := fs.String("trace", "web-tide", "committed sample trace the chaos replay cell feeds the loop")
+	scenarios := fs.String("scenario", "", "comma-separated chaos cells to run (default: all; see experiments chaos -quick)")
 	_ = fs.Parse(os.Args[2:])
 	figParts := *partitions
 	if figParts < 0 {
@@ -108,6 +114,21 @@ func main() {
 		r := experiments.RunMigration(migrationOptions(*quick, *seed, *workers, studyParts))
 		fmt.Print(experiments.MigrationTable(r))
 		writeCSV(*csvDir, "migration.csv", experiments.MigrationCSV(r))
+	case "chaos":
+		co := chaosOptions(*quick, *seed, *workers, studyParts, *traceName)
+		if *scenarios != "" {
+			co.Scenarios = strings.Split(*scenarios, ",")
+			for _, s := range co.Scenarios {
+				if !knownScenario(s) {
+					fmt.Fprintf(os.Stderr, "experiments: unknown chaos scenario %q (have %s)\n",
+						s, strings.Join(experiments.ChaosScenarios(), ", "))
+					os.Exit(2)
+				}
+			}
+		}
+		rows := experiments.ChaosStudy(co)
+		fmt.Print(experiments.ChaosTable(rows))
+		writeCSV(*csvDir, "chaos.csv", experiments.ChaosCSV(rows))
 	case "all":
 		fmt.Print(experiments.Fig1())
 		fmt.Println()
@@ -136,6 +157,8 @@ func main() {
 		fmt.Print(experiments.MultiResTable(experiments.RunMultiRes(multiresOptions(*quick, *seed, *workers, studyParts))))
 		fmt.Println()
 		fmt.Print(experiments.MigrationTable(experiments.RunMigration(migrationOptions(*quick, *seed, *workers, studyParts))))
+		fmt.Println()
+		fmt.Print(experiments.ChaosTable(experiments.ChaosStudy(chaosOptions(*quick, *seed, *workers, studyParts, *traceName))))
 	default:
 		usage()
 		os.Exit(2)
@@ -247,6 +270,45 @@ func migrationOptions(quick bool, seed int64, workers, partitions int) experimen
 	return o
 }
 
+// chaosOptions shapes the fault-injection study. Quick shrinks the
+// cluster and opens every chaos window right after the arrival wave,
+// so each cell perturbs a workload that is still live.
+func chaosOptions(quick bool, seed int64, workers, partitions int, traceName string) experiments.ChaosOptions {
+	o := experiments.DefaultChaosOptions()
+	o.Churn.Seed = seed
+	o.Churn.Workers = workers
+	o.Churn.Partitions = partitions
+	o.Trace = traceName
+	if quick {
+		o.Churn.Nodes = 48
+		o.Churn.NodeCPU = 2
+		o.Churn.NodeMemory = 4096
+		o.Churn.InitialVJobs = 5
+		o.Churn.VMsPerVJob = 4
+		o.Churn.ArrivalRate = 1.0 / 40
+		o.Churn.ArrivalStop = 300
+		o.Churn.WorkScale = 0.2
+		o.Churn.Horizon = 2400
+		o.Churn.Debounce = 5
+		o.Churn.Timeout = 100 * time.Millisecond
+		o.Racks, o.Bursts, o.BurstFrom, o.BurstUntil, o.Outage = 8, 2, 100, 600, 150
+		o.Flappers, o.FlapFrom, o.FlapUntil, o.MeanDown, o.MeanUp = 4, 100, 600, 20, 60
+		o.Loss = sim.EventLoss{Fraction: 0.5, From: 60, Until: 600}
+		o.StormRate, o.StormFrom, o.StormUntil = 0.25, 60, 400
+		o.ResyncInterval = 40
+	}
+	return o
+}
+
+func knownScenario(name string) bool {
+	for _, s := range experiments.ChaosScenarios() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
 // clusterRuns executes the §5.2 experiment under both decision
 // modules. fcfsOnly skips the Entropy run (for fig12).
 func clusterRuns(quick bool, seed int64, workers, partitions int, fcfsOnly bool) (fcfs, entropy experiments.ClusterResult) {
@@ -285,5 +347,5 @@ func writeCSV(dir, name, content string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|churn|repairstorm|drain|multires|migration|all> [-quick] [-seed N] [-workers N] [-partitions N] [-csv DIR]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|churn|repairstorm|drain|multires|migration|chaos|all> [-quick] [-seed N] [-workers N] [-partitions N] [-trace NAME] [-scenario a,b] [-csv DIR]`)
 }

@@ -94,6 +94,29 @@ func TestWriteCSV(t *testing.T) {
 	writeCSV("", "y.csv", "ignored")
 }
 
+func TestChaosOptionsCLI(t *testing.T) {
+	full := chaosOptions(false, 5, 2, 0, "web-tide")
+	if full.Churn.Nodes != 500 || full.Bursts == 0 || full.Flappers == 0 || full.Loss.Fraction == 0 || full.StormRate == 0 {
+		t.Fatalf("full options = %+v, want the 500-node scenario with every fault class armed", full)
+	}
+	if full.Churn.Seed != 5 || full.Churn.Workers != 2 || full.Churn.Partitions != 0 {
+		t.Fatalf("options not forwarded: %+v", full.Churn)
+	}
+	if full.Trace != "web-tide" {
+		t.Fatalf("trace not forwarded: %q", full.Trace)
+	}
+	quick := chaosOptions(true, 5, 1, 0, "batch-ramp")
+	if quick.Churn.Nodes >= full.Churn.Nodes || quick.Churn.Horizon >= full.Churn.Horizon {
+		t.Fatalf("quick options not reduced: %+v", quick.Churn)
+	}
+	if quick.BurstUntil > quick.Churn.Horizon || quick.FlapUntil > quick.Churn.Horizon || quick.Loss.Until > quick.Churn.Horizon {
+		t.Fatalf("quick chaos windows outlive the horizon: %+v", quick)
+	}
+	if quick.Trace != "batch-ramp" {
+		t.Fatalf("quick trace = %q", quick.Trace)
+	}
+}
+
 func TestMigrationOptionsCLI(t *testing.T) {
 	full := migrationOptions(false, 5, 2, 0)
 	if full.Nodes != 500 || full.NICPoorFraction == 0 || full.Racks != 8 {

@@ -40,4 +40,14 @@
 // calibrated timings bit-for-bit (`experiments migration` measures the
 // violation-seconds a transfer-blind planner buys on a
 // NIC-heterogeneous cluster).
+//
+// The loop's failure envelope is measured, not assumed (DESIGN.md
+// §10): a chaos harness replays the churn scenario under correlated
+// rack failures, flapping nodes, windowed monitoring-event loss
+// (survived via an anti-entropy resync sweep) and action-failure
+// storms, plus a trace-replay cell driving the same loop from
+// committed, versioned JSONL workload traces (internal/trace).
+// `experiments chaos` reports recovery-time distributions
+// (p50/p95/max) and structural-breach counts per cell;
+// examples/chaos/README.md is the operator cookbook.
 package cwcs

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cwcs/internal/sim"
+)
+
+// quickChaosOptions shrinks the chaos study so every cell runs in
+// seconds: a small cluster, short workloads, chaos windows opening
+// right after the arrival wave.
+func quickChaosOptions() ChaosOptions {
+	return ChaosOptions{
+		Churn: ChurnOptions{
+			Nodes: 48, NodeCPU: 2, NodeMemory: 4096,
+			InitialVJobs: 5, VMsPerVJob: 4,
+			ArrivalRate: 1.0 / 40, ArrivalStop: 300,
+			WorkScale: 0.2,
+			// Past the web-tide trace's last departure (t=2118), so the
+			// replay cell sees the batch job complete.
+			Horizon:  2400,
+			Debounce: 5,
+			Timeout:  100 * time.Millisecond,
+			// Sequential search keeps the cells deterministic for the
+			// golden-adjacent assertions and the regress-gated
+			// BenchmarkChaosStudy.
+			Workers:     1,
+			FailureRate: 0.02,
+			Seed:        7,
+		},
+		// The quick workloads are short: every chaos window opens while
+		// they are still live, or the cells degenerate to the baseline.
+		Racks: 8, Bursts: 2, BurstFrom: 100, BurstUntil: 600, Outage: 150,
+		Flappers: 4, FlapFrom: 100, FlapUntil: 600, MeanDown: 20, MeanUp: 60,
+		Loss:           sim.EventLoss{Fraction: 0.5, From: 60, Until: 600},
+		StormRate:      0.25,
+		StormFrom:      60,
+		StormUntil:     400,
+		ResyncInterval: 40,
+		Trace:          "web-tide",
+	}
+}
+
+// TestChaosStudyQuick is the -race chaos cell of the suite: every
+// scenario class plus trace replay on the quick cluster, asserting
+// zero structural breaches and no unrecovered violation at the
+// horizon in every cell.
+func TestChaosStudyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every chaos cell")
+	}
+	rows := ChaosStudy(quickChaosOptions())
+	if len(rows) != len(ChaosScenarios()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(ChaosScenarios()))
+	}
+	for i, r := range rows {
+		if r.Scenario != ChaosScenarios()[i] {
+			t.Fatalf("cell %d = %s, want %s", i, r.Scenario, ChaosScenarios()[i])
+		}
+		if r.Breaches != 0 {
+			t.Errorf("%s: %d structural breaches", r.Scenario, r.Breaches)
+		}
+		if r.FinalViolations != 0 {
+			t.Errorf("%s: ended with %d capacity violations", r.Scenario, r.FinalViolations)
+		}
+		if r.Unrecovered != 0 {
+			t.Errorf("%s: violation episode still open at the horizon", r.Scenario)
+		}
+		if r.Episodes > 0 && (r.RecoveryP50 <= 0 || r.RecoveryMax < r.RecoveryP95 || r.RecoveryP95 < r.RecoveryP50) {
+			t.Errorf("%s: inconsistent quantiles p50=%v p95=%v max=%v", r.Scenario, r.RecoveryP50, r.RecoveryP95, r.RecoveryMax)
+		}
+		t.Logf("%s: %+v", r.Scenario, r)
+	}
+	// The chaos must actually bite: the loss cell must drop events and
+	// the storm cell must fail more actions than the baseline repairs.
+	byName := map[string]ChaosResult{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+	if byName[ScenarioLoss].Dropped == 0 {
+		t.Error("event-loss cell dropped nothing")
+	}
+	if base, storm := byName[ScenarioBaseline], byName[ScenarioStorm]; storm.Stats.Repairs+storm.Stats.FailedRepairs <= base.Stats.Repairs+base.Stats.FailedRepairs {
+		t.Errorf("action-storm did not stress the repair path: %d vs baseline %d",
+			storm.Stats.Repairs+storm.Stats.FailedRepairs, base.Stats.Repairs+base.Stats.FailedRepairs)
+	}
+	if byName[ScenarioReplay].Arrived == 0 || byName[ScenarioReplay].Completed == 0 {
+		// The replay cell must place the trace's jobs and see its batch
+		// job depart and terminate within the horizon.
+		t.Errorf("trace replay placed/completed nothing: %+v", byName[ScenarioReplay])
+	}
+}
+
+// TestChaosSeedStability pins the rng-stream contract: running a
+// chaos cell must not perturb the seeded churn scenario itself, so a
+// cell's workload (arrivals) matches the baseline's exactly.
+func TestChaosSeedStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two chaos cells")
+	}
+	opts := quickChaosOptions()
+	base := RunChaos(ScenarioBaseline, opts)
+	storm := RunChaos(ScenarioStorm, opts)
+	if base.Arrived != storm.Arrived {
+		t.Fatalf("chaos cell shifted the arrival stream: %d vs %d vjobs", storm.Arrived, base.Arrived)
+	}
+}
+
+func TestChaosRendering(t *testing.T) {
+	rows := []ChaosResult{
+		{Scenario: ScenarioBaseline, Episodes: 3, RecoveryP50: 12, RecoveryP95: 40, RecoveryMax: 41, ViolationSeconds: 321, Arrived: 10, Completed: 10},
+		{Scenario: ScenarioLoss, Episodes: 5, RecoveryP50: 60, RecoveryP95: 180, RecoveryMax: 200, Unrecovered: 1, Dropped: 17, ViolationSeconds: 900, Arrived: 10, Completed: 9},
+	}
+	table := ChaosTable(rows)
+	for _, want := range []string{"baseline", "event-loss", "rec-p95", "breaches"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestGoldenChaosCSV pins the chaos CSV schema from synthetic rows,
+// like the other study exports.
+func TestGoldenChaosCSV(t *testing.T) {
+	rows := []ChaosResult{
+		{Scenario: ScenarioBaseline, Episodes: 3, RecoveryP50: 12, RecoveryP95: 40.5, RecoveryMax: 41, ViolationSeconds: 321.5, Switches: 14, Arrived: 10, Completed: 10, End: 1500},
+		{Scenario: ScenarioBursts, Episodes: 6, RecoveryP50: 25, RecoveryP95: 90, RecoveryMax: 120, ViolationSeconds: 1024, FinalViolations: 0, Switches: 22, Arrived: 10, Completed: 9, End: 1500},
+		{Scenario: ScenarioLoss, Episodes: 5, RecoveryP50: 60, RecoveryP95: 180, RecoveryMax: 200, Unrecovered: 1, Dropped: 17, ViolationSeconds: 900, Switches: 18, Arrived: 10, Completed: 9, End: 1500},
+		{Scenario: ScenarioReplay, Episodes: 1, RecoveryP50: 8, RecoveryP95: 8, RecoveryMax: 8, ViolationSeconds: 64, Switches: 9, Arrived: 3, Completed: 1, End: 1500},
+	}
+	checkGolden(t, "chaos.csv.golden", ChaosCSV(rows))
+}
+
+func TestRackNamesAndSpread(t *testing.T) {
+	racks := rackNames(10, 3)
+	if len(racks) != 3 {
+		t.Fatalf("racks = %v", racks)
+	}
+	total := 0
+	for _, r := range racks {
+		total += len(r)
+	}
+	if total != 10 {
+		t.Fatalf("racks cover %d nodes, want 10", total)
+	}
+	if racks[0][0] != "node000" {
+		t.Fatalf("first rack = %v", racks[0])
+	}
+	// Degenerate shapes clamp instead of exploding.
+	if got := rackNames(2, 5); len(got) != 2 {
+		t.Fatalf("more racks than nodes: %v", got)
+	}
+	if got := rackNames(4, 0); len(got) != 1 || len(got[0]) != 4 {
+		t.Fatalf("zero racks: %v", got)
+	}
+	if got := spreadNodes(10, 4); len(got) != 4 || got[0] != "node000" {
+		t.Fatalf("spread = %v", got)
+	}
+	if got := spreadNodes(3, 9); len(got) != 3 {
+		t.Fatalf("spread beyond cluster = %v", got)
+	}
+	if got := spreadNodes(3, 0); got != nil {
+		t.Fatalf("spread of none = %v", got)
+	}
+}
+
+// BenchmarkChaosStudy is the regress-gated cost of the chaos harness:
+// the two most adversarial quick cells (rack bursts and windowed
+// event loss) back to back.
+func BenchmarkChaosStudy(b *testing.B) {
+	opts := quickChaosOptions()
+	opts.Scenarios = []string{ScenarioBursts, ScenarioLoss}
+	var rows []ChaosResult
+	for i := 0; i < b.N; i++ {
+		rows = ChaosStudy(opts)
+	}
+	breaches, episodes := 0, 0
+	for _, r := range rows {
+		breaches += r.Breaches
+		episodes += r.Episodes
+	}
+	b.ReportMetric(float64(episodes), "episodes")
+	if breaches != 0 {
+		b.Fatalf("chaos cells breached structural invariants: %d", breaches)
+	}
+}

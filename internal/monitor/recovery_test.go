@@ -1,0 +1,101 @@
+package monitor
+
+import (
+	"testing"
+
+	"cwcs/internal/duration"
+	"cwcs/internal/sim"
+	"cwcs/internal/vjob"
+)
+
+func TestRecoveryLogQuantile(t *testing.T) {
+	tests := []struct {
+		name      string
+		durations []float64
+		q, want   float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single", []float64{7}, 0.5, 7},
+		{"single max", []float64{7}, 1, 7},
+		{"median of five", []float64{5, 1, 3, 2, 4}, 0.5, 3},
+		{"p95 of twenty", seq(20), 0.95, 19},
+		{"max of twenty", seq(20), 1, 20},
+		{"clamp low", seq(20), -1, 1},
+		{"clamp high", seq(20), 2, 20},
+		{"p0 is min", seq(20), 0, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			l := RecoveryLog{Durations: tc.durations}
+			if got := l.Quantile(tc.q); got != tc.want {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(n - i) // descending: Quantile must sort
+	}
+	return out
+}
+
+func TestRecoveryLogCloseAt(t *testing.T) {
+	l := RecoveryLog{}
+	l.CloseAt(10) // no open episode: no-op
+	if len(l.Durations) != 0 {
+		t.Fatalf("durations = %v after closing nothing", l.Durations)
+	}
+	l.Open, l.OpenSince = true, 40
+	l.CloseAt(100)
+	if l.Open || len(l.Durations) != 1 || l.Durations[0] != 60 {
+		t.Fatalf("log = %+v, want one 60s episode", l)
+	}
+	if l.Max() != 60 || l.Episodes() != 1 {
+		t.Fatalf("Max/Episodes = %v/%d", l.Max(), l.Episodes())
+	}
+}
+
+// TestWatchRecovery drives a cluster into violation twice and checks
+// the watcher logs two episodes with the right lengths.
+func TestWatchRecovery(t *testing.T) {
+	cfg := vjob.NewConfiguration()
+	cfg.AddNode(vjob.NewNode("n0", 2, 4096))
+	vm := vjob.NewVM("vm0", "j", 1, 1024)
+	cfg.AddVM(vm)
+	if err := cfg.SetRunning("vm0", "n0"); err != nil {
+		t.Fatal(err)
+	}
+	c := sim.New(cfg, duration.Default())
+	log := WatchRecovery(c)
+
+	overload := func(cpu int) func() {
+		return func() { vm.SetCPUDemand(cpu) }
+	}
+	// Violating in [10, 25) and [40, 100): the second episode is still
+	// open at the horizon.
+	c.Schedule(10, overload(3))
+	c.Schedule(25, overload(1))
+	c.Schedule(40, overload(5))
+	c.Schedule(100, func() {}) // pin the clock to the horizon
+	c.Run(100)
+
+	if log.Episodes() != 1 {
+		t.Fatalf("closed episodes = %d (%v), want 1", log.Episodes(), log.Durations)
+	}
+	if d := log.Durations[0]; d != 15 {
+		t.Fatalf("first episode = %v, want 15", d)
+	}
+	if !log.Open || log.OpenSince != 40 {
+		t.Fatalf("open episode = %v since %v, want open since 40", log.Open, log.OpenSince)
+	}
+	log.CloseAt(c.Now())
+	if log.Episodes() != 2 || log.Durations[1] != 60 {
+		t.Fatalf("after CloseAt: %v, want second episode of 60", log.Durations)
+	}
+	if log.Max() != 60 || log.Quantile(0.5) != 15 {
+		t.Fatalf("Max/median = %v/%v", log.Max(), log.Quantile(0.5))
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cwcs/internal/resources"
+)
+
+// FromCSV converts a flat per-VM table — the shape a cluster-trace
+// extract or a capacity spreadsheet usually has — into trace records.
+// The input is CSV with a header row naming, in any order, the
+// columns vm, vjob, arrive, depart, and one column per resource kind
+// carried (cpu, memory, net, disk — unknown headers are an error, the
+// kind columns are the demand). depart may be empty or 0 for a
+// service VM that never leaves. The result is canonically sorted
+// (SortRecords) and valid by construction: feed it to Encode to write
+// a trace file, the way the committed sample traces were produced.
+func FromCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv header: %v", err)
+	}
+	col := map[string]int{}
+	var kinds []string
+	for i, h := range header {
+		if _, dup := col[h]; dup {
+			return nil, fmt.Errorf("trace: csv: duplicate column %q", h)
+		}
+		col[h] = i
+		switch h {
+		case "vm", "vjob", "arrive", "depart":
+		default:
+			if _, err := resources.ParseKind(h); err != nil {
+				return nil, fmt.Errorf("trace: csv: unknown column %q (not a resource kind)", h)
+			}
+			kinds = append(kinds, h)
+		}
+	}
+	for _, need := range []string{"vm", "vjob", "arrive"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("trace: csv: missing column %q", need)
+		}
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("trace: csv: no demand columns")
+	}
+
+	var recs []Record
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %v", line, err)
+		}
+		vm, job := row[col["vm"]], row[col["vjob"]]
+		if vm == "" || job == "" {
+			return nil, fmt.Errorf("trace: csv line %d: missing vm or vjob", line)
+		}
+		arrive, err := strconv.ParseFloat(row[col["arrive"]], 64)
+		if err != nil || arrive < 0 {
+			return nil, fmt.Errorf("trace: csv line %d: bad arrive %q", line, row[col["arrive"]])
+		}
+		demand := map[string]int{}
+		for _, k := range kinds {
+			x, err := strconv.Atoi(row[col[k]])
+			if err != nil || x < 0 {
+				return nil, fmt.Errorf("trace: csv line %d: bad %s demand %q", line, k, row[col[k]])
+			}
+			if x > 0 {
+				demand[k] = x
+			}
+		}
+		if len(demand) == 0 {
+			return nil, fmt.Errorf("trace: csv line %d: vm %s demands nothing", line, vm)
+		}
+		recs = append(recs, Record{V: FormatVersion, At: arrive, Event: EventArrive, VM: vm, VJob: job, Demand: demand})
+		if i, ok := col["depart"]; ok && row[i] != "" && row[i] != "0" {
+			depart, err := strconv.ParseFloat(row[i], 64)
+			if err != nil || depart <= arrive {
+				return nil, fmt.Errorf("trace: csv line %d: bad depart %q", line, row[i])
+			}
+			recs = append(recs, Record{V: FormatVersion, At: depart, Event: EventDepart, VM: vm})
+		}
+	}
+	SortRecords(recs)
+	return recs, nil
+}

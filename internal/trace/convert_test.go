@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `vm,vjob,arrive,depart,cpu,memory
+batch-00,batch,10,400,1,1024
+batch-01,batch,10,400,1,1024
+web-00,web,0,,1,512
+web-01,web,5,0,1,512
+`
+
+func TestFromCSV(t *testing.T) {
+	recs, err := FromCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 arrivals + 2 departures (the web VMs never leave).
+	arrives, departs := 0, 0
+	for _, r := range recs {
+		switch r.Event {
+		case EventArrive:
+			arrives++
+		case EventDepart:
+			departs++
+		}
+	}
+	if arrives != 4 || departs != 2 {
+		t.Fatalf("arrives/departs = %d/%d, want 4/2", arrives, departs)
+	}
+	if recs[0].VM != "web-00" || recs[0].At != 0 {
+		t.Fatalf("first record = %+v, want web-00 at 0", recs[0])
+	}
+	if recs[0].Demand["memory"] != 512 || recs[0].Demand["cpu"] != 1 {
+		t.Fatalf("demand = %v", recs[0].Demand)
+	}
+	// The converter's output is a valid trace by construction.
+	var buf bytes.Buffer
+	if err := Encode(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(&buf); err != nil {
+		t.Fatalf("converted trace does not decode: %v", err)
+	}
+}
+
+func TestFromCSVRejects(t *testing.T) {
+	tests := []struct {
+		name, input, wantErr string
+	}{
+		{"no header", "", "header"},
+		{"missing vm column", "vjob,arrive,cpu\nj,0,1\n", `missing column "vm"`},
+		{"missing arrive column", "vm,vjob,cpu\na,j,1\n", `missing column "arrive"`},
+		{"unknown demand column", "vm,vjob,arrive,gpu\na,j,0,1\n", `unknown column "gpu"`},
+		{"duplicate column", "vm,vm,vjob,arrive,cpu\na,a,j,0,1\n", "duplicate column"},
+		{"no demand columns", "vm,vjob,arrive,depart\na,j,0,1\n", "no demand columns"},
+		{"empty vm", "vm,vjob,arrive,cpu\n,j,0,1\n", "missing vm or vjob"},
+		{"bad arrive", "vm,vjob,arrive,cpu\na,j,x,1\n", "bad arrive"},
+		{"negative arrive", "vm,vjob,arrive,cpu\na,j,-1,1\n", "bad arrive"},
+		{"bad demand", "vm,vjob,arrive,cpu\na,j,0,x\n", "bad cpu demand"},
+		{"zero demand", "vm,vjob,arrive,cpu\na,j,0,0\n", "demands nothing"},
+		{"depart before arrive", "vm,vjob,arrive,depart,cpu\na,j,10,5,1\n", "bad depart"},
+		{"bad depart", "vm,vjob,arrive,depart,cpu\na,j,0,x,1\n", "bad depart"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FromCSV(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("converted %q without error", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cwcs/internal/resources"
+)
+
+const sampleTrace = `# demo trace
+{"v":1,"at":0,"event":"arrive","vm":"web-00","vjob":"web","demand":{"cpu":1,"memory":512}}
+{"v":1,"at":0,"event":"arrive","vm":"web-01","vjob":"web","demand":{"cpu":1,"memory":512}}
+
+{"v":1,"at":300,"event":"load","vm":"web-00","demand":{"cpu":2,"memory":512}}
+{"v":1,"at":900,"event":"depart","vm":"web-01"}
+`
+
+func TestDecode(t *testing.T) {
+	recs, err := Decode(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("decoded %d records, want 4", len(recs))
+	}
+	if recs[0].Event != EventArrive || recs[0].VM != "web-00" || recs[0].VJob != "web" {
+		t.Fatalf("first record = %+v", recs[0])
+	}
+	if recs[2].Event != EventLoad || recs[2].Demand["cpu"] != 2 {
+		t.Fatalf("load record = %+v", recs[2])
+	}
+	if recs[3].Event != EventDepart || recs[3].At != 900 {
+		t.Fatalf("depart record = %+v", recs[3])
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	arrive := `{"v":1,"at":0,"event":"arrive","vm":"a","vjob":"j","demand":{"cpu":1}}` + "\n"
+	tests := []struct {
+		name, input, wantErr string
+	}{
+		{"not json", "nonsense\n", "line 1"},
+		{"wrong version", `{"v":2,"at":0,"event":"arrive","vm":"a","vjob":"j","demand":{"cpu":1}}`, "version 2"},
+		{"unknown field", `{"v":1,"at":0,"event":"arrive","vm":"a","vjob":"j","demand":{"cpu":1},"x":1}`, "unknown field"},
+		{"unknown event", `{"v":1,"at":0,"event":"boom","vm":"a"}`, "unknown event"},
+		{"missing vm", `{"v":1,"at":0,"event":"arrive","vjob":"j","demand":{"cpu":1}}`, "missing vm"},
+		{"negative time", `{"v":1,"at":-1,"event":"arrive","vm":"a","vjob":"j","demand":{"cpu":1}}`, "negative time"},
+		{"time backwards", `{"v":1,"at":5,"event":"arrive","vm":"a","vjob":"j","demand":{"cpu":1}}` + "\n" + `{"v":1,"at":4,"event":"depart","vm":"a"}`, "backwards"},
+		{"unknown kind", `{"v":1,"at":0,"event":"arrive","vm":"a","vjob":"j","demand":{"gpu":1}}`, "gpu"},
+		{"negative demand", `{"v":1,"at":0,"event":"arrive","vm":"a","vjob":"j","demand":{"cpu":-1}}`, "negative cpu demand"},
+		{"arrive without vjob", `{"v":1,"at":0,"event":"arrive","vm":"a","demand":{"cpu":1}}`, "without vjob"},
+		{"arrive without demand", `{"v":1,"at":0,"event":"arrive","vm":"a","vjob":"j"}`, "without demand"},
+		{"double arrive", arrive + arrive, "arrives twice"},
+		{"arrive after depart", arrive + `{"v":1,"at":1,"event":"depart","vm":"a"}` + "\n" + `{"v":1,"at":2,"event":"arrive","vm":"a","vjob":"j","demand":{"cpu":1}}`, "arrives twice"},
+		{"load for unknown vm", `{"v":1,"at":0,"event":"load","vm":"a","demand":{"cpu":1}}`, "unknown or departed"},
+		{"load without demand", arrive + `{"v":1,"at":1,"event":"load","vm":"a"}`, "without demand"},
+		{"depart for unknown vm", `{"v":1,"at":0,"event":"depart","vm":"a"}`, "unknown or departed"},
+		{"double depart", arrive + `{"v":1,"at":1,"event":"depart","vm":"a"}` + "\n" + `{"v":1,"at":2,"event":"depart","vm":"a"}`, "unknown or departed"},
+		{"depart with demand", arrive + `{"v":1,"at":1,"event":"depart","vm":"a","demand":{"cpu":1}}`, "with demand"},
+		{"trailing data", `{"v":1,"at":0,"event":"arrive","vm":"a","vjob":"j","demand":{"cpu":1}} {"v":1}`, "trailing"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("decoded %q without error", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	recs, err := Decode(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if !reflect.DeepEqual(recs, again) {
+		t.Fatalf("round trip changed records:\n%v\n%v", recs, again)
+	}
+}
+
+func TestRecordVector(t *testing.T) {
+	rec := Record{Demand: map[string]int{"cpu": 2, "memory": 512}}
+	v, err := rec.Vector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Get(resources.CPU) != 2 || v.Get(resources.Memory) != 512 {
+		t.Fatalf("vector = %v", v)
+	}
+	if _, err := (Record{Demand: map[string]int{"gpu": 1}}).Vector(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestSortRecords(t *testing.T) {
+	recs := []Record{
+		{At: 5, Event: EventDepart, VM: "b"},
+		{At: 5, Event: EventArrive, VM: "c"},
+		{At: 0, Event: EventArrive, VM: "b"},
+		{At: 5, Event: EventLoad, VM: "a"},
+		{At: 0, Event: EventArrive, VM: "a"},
+	}
+	SortRecords(recs)
+	got := make([]string, len(recs))
+	for i, r := range recs {
+		got[i] = r.Event + ":" + r.VM
+	}
+	want := []string{"arrive:a", "arrive:b", "arrive:c", "load:a", "depart:b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+// FuzzTraceDecode pins that Decode rejects malformed input with an
+// error, never a panic, and that whatever it accepts re-encodes and
+// re-decodes to the same records.
+func FuzzTraceDecode(f *testing.F) {
+	f.Add([]byte(sampleTrace))
+	f.Add([]byte(""))
+	f.Add([]byte("{"))
+	f.Add([]byte(`{"v":1,"at":1e308,"event":"arrive","vm":"a","vjob":"j","demand":{"cpu":1}}`))
+	f.Add([]byte(`{"v":1,"at":null,"event":"load"}`))
+	f.Add([]byte(`{"v":1,"at":0,"event":"depart","vm":"a","demand":{"cpu":-9}}`))
+	f.Add([]byte("\x00\xff\n#\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, recs); err != nil {
+			t.Fatalf("accepted records failed to encode: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("encoded records failed to re-decode: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count %d -> %d", len(recs), len(again))
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"cwcs/internal/core"
+	"cwcs/internal/duration"
+	"cwcs/internal/resources"
+	"cwcs/internal/sim"
+	"cwcs/internal/vjob"
+)
+
+const replayTrace = `{"v":1,"at":0,"event":"arrive","vm":"web-00","vjob":"web","demand":{"cpu":1,"memory":512}}
+{"v":1,"at":10,"event":"arrive","vm":"web-01","vjob":"web","demand":{"cpu":1,"memory":512}}
+{"v":1,"at":20,"event":"arrive","vm":"solo-00","vjob":"solo","demand":{"cpu":1,"memory":256}}
+{"v":1,"at":50,"event":"load","vm":"web-00","demand":{"cpu":2,"memory":512}}
+{"v":1,"at":80,"event":"depart","vm":"solo-00"}
+`
+
+func replayFixture(t *testing.T) (*sim.Cluster, []Record) {
+	t.Helper()
+	cfg := vjob.NewConfiguration()
+	cfg.AddNode(vjob.NewNode("n0", 4, 4096))
+	cfg.AddNode(vjob.NewNode("n1", 4, 4096))
+	recs, err := Decode(strings.NewReader(replayTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.New(cfg, duration.Default()), recs
+}
+
+func TestStartReplay(t *testing.T) {
+	c, recs := replayFixture(t)
+	cfg := c.Config()
+	var events []core.Event
+	r := StartReplay(c, recs, func(e core.Event) { events = append(events, e) })
+	c.Run(100)
+
+	if r.Arrived != 3 || r.LoadChanges != 1 || r.Departed != 1 {
+		t.Fatalf("counts = %d/%d/%d, want 3/1/1", r.Arrived, r.LoadChanges, r.Departed)
+	}
+	jobs := r.Jobs()
+	if len(jobs) != 2 || jobs[0].Name != "web" || jobs[1].Name != "solo" {
+		t.Fatalf("jobs = %v", jobs)
+	}
+	if len(jobs[0].VMs) != 2 {
+		t.Fatalf("web has %d VMs, want 2", len(jobs[0].VMs))
+	}
+	if jobs[0].Priority >= jobs[1].Priority {
+		t.Fatal("first-arrival order not reflected in priorities")
+	}
+	// The load record rewrote the live demand vector.
+	if v := cfg.VM("web-00"); v == nil || v.Demand.Get(resources.CPU) != 2 {
+		t.Fatalf("web-00 demand not applied: %v", cfg.VM("web-00"))
+	}
+	// The departed VM's (empty) workload reads done, so the decision
+	// module's terminator will retire the vjob; the service VMs stay.
+	if !c.VJobDone(jobs[1]) {
+		t.Fatal("solo not done after its depart record")
+	}
+	if c.VJobDone(jobs[0]) {
+		t.Fatal("web done despite no depart records")
+	}
+	// One event per record, in trace order, stamped with the clock.
+	kinds := []core.EventKind{core.VMArrival, core.VMArrival, core.VMArrival, core.LoadChange, core.VMDeparture}
+	if len(events) != len(kinds) {
+		t.Fatalf("got %d events, want %d", len(events), len(kinds))
+	}
+	for i, e := range events {
+		if e.Kind != kinds[i] {
+			t.Fatalf("event %d = %v, want %v", i, e.Kind, kinds[i])
+		}
+		if i > 0 && e.At < events[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+	if events[4].At != 80 {
+		t.Fatalf("departure at %v, want 80", events[4].At)
+	}
+}
+
+// TestStartReplayNilNotify covers the periodic-loop mode: no event
+// feed, mutations only.
+func TestStartReplayNilNotify(t *testing.T) {
+	c, recs := replayFixture(t)
+	r := StartReplay(c, recs, nil)
+	c.Run(100)
+	if r.Arrived != 3 || r.Departed != 1 {
+		t.Fatalf("counts = %d/%d, want 3/1", r.Arrived, r.Departed)
+	}
+	if c.Config().VM("web-01") == nil {
+		t.Fatal("arrival not applied without notify")
+	}
+}
+
+// TestStartReplayDeterministic pins the no-randomness guarantee: two
+// replays of the same trace produce identical event streams.
+func TestStartReplayDeterministic(t *testing.T) {
+	run := func() []core.Event {
+		c, recs := replayFixture(t)
+		var events []core.Event
+		StartReplay(c, recs, func(e core.Event) { events = append(events, e) })
+		c.Run(100)
+		return events
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].At != b[i].At || len(a[i].VMs) != len(b[i].VMs) || a[i].VMs[0] != b[i].VMs[0] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,5 +1,14 @@
-// Package trace renders experiment results: XY series as CSV and as
-// ASCII scatter/line plots, and vjob allocation diagrams (Gantt) like
+// Package trace is the workload-trace layer: it reads and writes the
+// versioned JSONL trace format (arrival / load-change / departure
+// records with per-dimension demand, Azure/Google-cluster-trace
+// shaped — see FormatVersion), converts flat CSV extracts into it
+// (FromCSV), and replays a decoded trace against the simulated
+// cluster through the same core.Loop notify path the synthetic
+// generators use (StartReplay), so externally recorded workloads
+// drive the identical machinery.
+//
+// It also renders experiment results: XY series as CSV and as ASCII
+// scatter/line plots, and vjob allocation diagrams (Gantt) like
 // Figure 12. Everything is plain text so the harness works in any
 // terminal and the outputs diff cleanly.
 package trace
