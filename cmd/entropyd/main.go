@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -33,6 +34,7 @@ import (
 	"cwcs/internal/drivers"
 	"cwcs/internal/duration"
 	"cwcs/internal/monitor"
+	"cwcs/internal/obs"
 	"cwcs/internal/sched"
 	"cwcs/internal/sim"
 	"cwcs/internal/vjob"
@@ -56,7 +58,15 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	horizon := flag.Float64("horizon", 100_000, "simulation cut-off (virtual seconds; ignored while -listen serves)")
 	listen := flag.String("listen", "", "mount the HTTP control plane on this address (e.g. :8080) and serve until SIGTERM; implies -event-driven")
+	pprofOn := flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the control plane (requires -listen)")
+	version := flag.Bool("version", false, "print build metadata and exit")
 	flag.Parse()
+
+	if *version {
+		info := obs.BuildInfo()
+		fmt.Printf("entropyd %s %s\n", info.Version, info.GoVersion)
+		return
+	}
 
 	serving := *listen != ""
 	if serving {
@@ -88,8 +98,17 @@ func main() {
 			spec.Job.Name, spec.Bench, spec.Size, len(spec.Job.VMs), spec.TotalWork())
 	}
 
+	// Tracing follows the control plane: span records only matter when
+	// something can read them, and a nil tracer keeps the headless
+	// loop's hot path allocation-free.
+	var tracer *obs.Tracer
+	if serving {
+		tracer = obs.NewTracer(0)
+	}
+
 	drains := &core.DrainSet{}
 	loop := &core.Loop{
+		Trace:       tracer,
 		Decision:    reaper{inner: sched.Consolidation{}, c: c, jobs: func() []*vjob.VJob { return jobs }},
 		Ctx:         ctx,
 		Optimizer:   core.Optimizer{Timeout: *timeout, Workers: *workers, Partitions: *partitions},
@@ -138,7 +157,7 @@ func main() {
 	}
 	tick()
 
-	act := &drivers.Actuator{C: c}
+	act := &drivers.Actuator{C: c, Trace: tracer}
 	if *eventDriven {
 		// Monitoring feeds the loop: every observable load change
 		// (phase shift, workload completion) becomes an event.
@@ -157,8 +176,8 @@ func main() {
 		watcher := &monitor.ThresholdWatcher{Emit: func(ev core.Event) { loop.Notify(act, ev) }}
 		watcher.Attach(c)
 
-		apiSrv := controlPlane(&simMu, c, cfg, loop, act, drains, &jobs, violSec)
-		httpSrv := &http.Server{Addr: *listen, Handler: apiSrv.Handler()}
+		apiSrv := controlPlane(&simMu, c, cfg, loop, act, drains, &jobs, violSec, tracer)
+		httpSrv := &http.Server{Addr: *listen, Handler: mount(apiSrv.Handler(), *pprofOn)}
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "control plane: %v\n", err)
@@ -192,8 +211,9 @@ func main() {
 
 // controlPlane wires the daemon's state into the embeddable API
 // server. jobs is a pointer to the live slice: submissions grow it.
-func controlPlane(mu *sync.Mutex, c *sim.Cluster, cfg *vjob.Configuration, loop *core.Loop, act *drivers.Actuator, drains *core.DrainSet, jobs *[]*vjob.VJob, violSec func() float64) *api.Server {
+func controlPlane(mu *sync.Mutex, c *sim.Cluster, cfg *vjob.Configuration, loop *core.Loop, act *drivers.Actuator, drains *core.DrainSet, jobs *[]*vjob.VJob, violSec func() float64, tracer *obs.Tracer) *api.Server {
 	return &api.Server{
+		Trace: tracer,
 		Exec: func(fn func()) {
 			mu.Lock()
 			defer mu.Unlock()
@@ -272,6 +292,23 @@ func controlPlane(mu *sync.Mutex, c *sim.Cluster, cfg *vjob.Configuration, loop 
 		ViolationSeconds: violSec,
 		QueueDepth:       func() int { return len(*jobs) },
 	}
+}
+
+// mount layers the optional pprof endpoints over the control-plane
+// handler. When -pprof is off the pprof routes are simply never
+// registered, so /debug/pprof/ falls through to the API mux and gets
+// its ordinary 404 — nothing to strip, nothing to authenticate.
+func mount(apiHandler http.Handler, pprofOn bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", apiHandler)
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
 }
 
 // driveSim advances the simulator in chunks under mu, releasing the

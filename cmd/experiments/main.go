@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"cwcs/internal/experiments"
+	"cwcs/internal/obs"
 	"cwcs/internal/sched"
 	"cwcs/internal/sim"
 )
@@ -41,6 +42,13 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	// The CLI is subcommand-first, so -version must be caught before
+	// subcommand dispatch rejects it as an unknown command.
+	if cmd == "version" || cmd == "-version" || cmd == "--version" {
+		info := obs.BuildInfo()
+		fmt.Printf("experiments %s %s\n", info.Version, info.GoVersion)
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced samples/budgets for a fast run")
 	seed := fs.Int64("seed", 42, "workload seed")
@@ -55,6 +63,7 @@ func main() {
 	csvDir := fs.String("csv", "", "also write <figure>.csv files into this directory")
 	traceName := fs.String("trace", "web-tide", "committed sample trace the chaos replay cell feeds the loop")
 	scenarios := fs.String("scenario", "", "comma-separated chaos cells to run (default: all; see experiments chaos -quick)")
+	traceOut := fs.String("trace-out", "", "write the span stream of churn/chaos runs to this JSONL file (load with /v1/trace tooling or Perfetto)")
 	_ = fs.Parse(os.Args[2:])
 	figParts := *partitions
 	if figParts < 0 {
@@ -95,9 +104,16 @@ func main() {
 		fmt.Print(experiments.PartitionTable(rows))
 		writeCSV(*csvDir, "partition.csv", experiments.PartitionCSV(rows))
 	case "churn":
-		rows := experiments.ChurnStudy(churnOptions(*quick, *seed, *workers, studyParts))
+		co := churnOptions(*quick, *seed, *workers, studyParts)
+		co.CollectSpans = *traceOut != ""
+		rows := experiments.ChurnStudy(co)
 		fmt.Print(experiments.ChurnTable(rows))
 		writeCSV(*csvDir, "churn.csv", experiments.ChurnCSV(rows))
+		var spans []obs.SpanRecord
+		for _, r := range rows {
+			spans = append(spans, r.Spans...)
+		}
+		writeTrace(*traceOut, spans)
 	case "repairstorm":
 		rows := experiments.RepairStormStudy(repairStormOptions(*quick, *seed, *workers, studyParts))
 		fmt.Print(experiments.RepairStormTable(rows))
@@ -116,6 +132,7 @@ func main() {
 		writeCSV(*csvDir, "migration.csv", experiments.MigrationCSV(r))
 	case "chaos":
 		co := chaosOptions(*quick, *seed, *workers, studyParts, *traceName)
+		co.CollectSpans = *traceOut != ""
 		if *scenarios != "" {
 			co.Scenarios = strings.Split(*scenarios, ",")
 			for _, s := range co.Scenarios {
@@ -129,6 +146,11 @@ func main() {
 		rows := experiments.ChaosStudy(co)
 		fmt.Print(experiments.ChaosTable(rows))
 		writeCSV(*csvDir, "chaos.csv", experiments.ChaosCSV(rows))
+		var spans []obs.SpanRecord
+		for _, r := range rows {
+			spans = append(spans, r.Spans...)
+		}
+		writeTrace(*traceOut, spans)
 	case "all":
 		fmt.Print(experiments.Fig1())
 		fmt.Println()
@@ -329,6 +351,29 @@ func clusterRuns(quick bool, seed int64, workers, partitions int, fcfsOnly bool)
 	return fcfs, entropy
 }
 
+// writeTrace stores the collected span stream as JSONL when
+// -trace-out was given.
+func writeTrace(path string, spans []obs.SpanRecord) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if err := obs.WriteJSONL(f, spans); err == nil {
+		err = f.Close()
+	} else {
+		_ = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d spans)\n", path, len(spans))
+}
+
 // writeCSV stores content under dir when -csv was given.
 func writeCSV(dir, name, content string) {
 	if dir == "" {
@@ -347,5 +392,5 @@ func writeCSV(dir, name, content string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|churn|repairstorm|drain|multires|migration|chaos|all> [-quick] [-seed N] [-workers N] [-partitions N] [-trace NAME] [-scenario a,b] [-csv DIR]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|table1|fig3|fig10|fig11|fig12|fig13|partition|churn|repairstorm|drain|multires|migration|chaos|all|version> [-quick] [-seed N] [-workers N] [-partitions N] [-trace NAME] [-scenario a,b] [-csv DIR] [-trace-out FILE]`)
 }

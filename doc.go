@@ -50,4 +50,15 @@
 // `experiments chaos` reports recovery-time distributions
 // (p50/p95/max) and structural-breach counts per cell;
 // examples/chaos/README.md is the operator cookbook.
+//
+// Every reconfiguration is causally traced (DESIGN.md §11): an event
+// entering the loop opens a reconfig span whose ID threads as the
+// cause through debounce, carve, solve, merge, splice and every
+// executed action, on both the wall and the virtual clock. Spans land
+// in a lock-free ring served as JSONL or a Perfetto-loadable Chrome
+// trace on /v1/trace, stream live over SSE on /v1/watch (slow clients
+// are dropped, never block the loop), and aggregate into hand-rolled
+// Prometheus latency histograms on /metrics. A disabled tracer costs
+// zero allocations — pinned by test and by a gated benchmark.
+// examples/observability/README.md is the cookbook.
 package cwcs

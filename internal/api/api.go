@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"time"
 
 	"cwcs/internal/core"
 	"cwcs/internal/drivers"
+	"cwcs/internal/obs"
 	"cwcs/internal/resources"
 	"cwcs/internal/vjob"
 )
@@ -89,6 +91,19 @@ type Server struct {
 	ViolationSeconds func() float64
 	// QueueDepth returns the number of vjobs in the submission queue.
 	QueueDepth func() int
+	// Trace, when non-nil, enables GET /v1/trace and GET /v1/watch
+	// and adds the pipeline latency histograms to /metrics. Span-ring
+	// reads are lock-free, so trace scrapes skip Exec and never delay
+	// the loop.
+	Trace *obs.Tracer
+	// WatchHeartbeat is the SSE keep-alive period of GET /v1/watch;
+	// 0 means 15 seconds.
+	WatchHeartbeat time.Duration
+	// WatchBuffer is the per-subscriber event queue of GET /v1/watch.
+	// A client that falls this far behind is dropped and disconnected
+	// rather than ever blocking the loop (cwcs_watch_drops_total
+	// counts it). 0 means 256.
+	WatchBuffer int
 }
 
 // Handler returns the routed control plane.
@@ -99,6 +114,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/watch", s.handleWatch)
 	mux.HandleFunc("GET /v1/nodes", s.handleNodes)
 	mux.HandleFunc("GET /v1/nodes/{id}", s.handleNode)
 	mux.HandleFunc("POST /v1/nodes/{id}/drain", s.handleDrain)

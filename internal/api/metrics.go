@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strings"
 
+	"cwcs/internal/obs"
 	"cwcs/internal/resources"
 )
 
@@ -98,6 +99,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, g := range gauges {
 			fmt.Fprintf(&b, "cwcs_node_resource_capacity{node=%q,kind=%q} %g\n", g.node, g.kind, g.capacity)
 		}
+	}
+	info := obs.BuildInfo()
+	fmt.Fprintf(&b, "# HELP cwcs_build_info Build metadata of the serving binary; the value is always 1.\n# TYPE cwcs_build_info gauge\ncwcs_build_info{version=%q,go_version=%q} 1\n",
+		info.Version, info.GoVersion)
+	if s.Trace != nil {
+		fmt.Fprintf(&b, "# HELP cwcs_watch_drops_total Watch events dropped (and subscribers disconnected) because a client fell behind.\n# TYPE cwcs_watch_drops_total counter\ncwcs_watch_drops_total %d\n",
+			s.Trace.WatchDrops())
+		writeHistograms(&b, s.Trace.Histograms())
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.WriteHeader(http.StatusOK)

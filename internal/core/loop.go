@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 
+	"cwcs/internal/obs"
 	"cwcs/internal/plan"
 	"cwcs/internal/vjob"
 )
@@ -143,6 +144,15 @@ type Loop struct {
 	// OnSwitch, when non-nil, receives the record of each non-empty
 	// context switch.
 	OnSwitch func(SwitchRecord)
+	// Trace, when non-nil, records every pipeline stage as causal
+	// spans (internal/obs): an event burst opens a reconfiguration
+	// span that closes when the loop goes idle again, and debounce
+	// waits, partition carves, slice solves, plan merges, splice
+	// repairs and wake rounds land as child spans carrying the
+	// burst's cause ID. A nil Trace is inert — every call site either
+	// guards on it or goes through nil-safe obs.Span methods, so the
+	// disabled hot path allocates nothing (BenchmarkLoopTracingOff).
+	Trace *obs.Tracer
 
 	// Records accumulates every non-empty context switch.
 	Records []SwitchRecord
@@ -161,6 +171,15 @@ type Loop struct {
 	// lastDst is the expected destination of the last switch: the
 	// warm-start assignment of the next solve.
 	lastDst *vjob.Configuration
+
+	// Observability state: the open reconfiguration/debounce/wake
+	// spans, plus the virtual time of the running iteration — the sim
+	// clock cannot advance inside a synchronous solve, so it is
+	// sampled once per wake and reused by the stages underneath.
+	causeSpan    obs.Span
+	debounceSpan obs.Span
+	wakeSpan     obs.Span
+	nowVirt      float64
 
 	// Partition cache: the node/VM membership (and rescoped rules) of
 	// the last carve — or the verdict that the problem stays monolithic
@@ -182,7 +201,30 @@ type cachedPart struct {
 // Start schedules the first iteration immediately and returns; the
 // loop then lives on the actuator's clock.
 func (l *Loop) Start(a Actuator) {
+	l.Trace.Mark("loop-start", a.Now())
 	a.Schedule(a.Now(), func() { l.iterate(a) })
+}
+
+// endWake closes the open wake span, tagging whether the round ended
+// in a context switch.
+func (l *Loop) endWake(a Actuator, switched bool) {
+	if !l.wakeSpan.Active() {
+		return
+	}
+	l.wakeSpan.SetSwitch(switched)
+	l.wakeSpan.End(a.Now())
+}
+
+// closeCause ends the live reconfiguration span: the loop is idle —
+// no dirty work, nothing executing, no wake armed — so the burst that
+// opened it is remediated as far as the loop can tell. Its virtual
+// duration is the event-to-remediation time.
+func (l *Loop) closeCause(a Actuator) {
+	if !l.causeSpan.Active() {
+		return
+	}
+	l.causeSpan.End(a.Now())
+	l.Trace.SetCause(0)
 }
 
 // Stop halts the loop after the current iteration; a pending in-flight
@@ -252,6 +294,13 @@ func (l *Loop) Notify(a Actuator, ev Event) {
 	}
 	l.Stats.Events++
 	l.dirty.add(ev)
+	if l.Trace != nil {
+		if !l.causeSpan.Active() {
+			l.causeSpan = l.Trace.Start(obs.KindReconfig, ev.Kind.String(), a.Now())
+			l.Trace.SetCause(l.causeSpan.ID())
+		}
+		l.causeSpan.AddEvents(1)
+	}
 	switch ev.Kind {
 	case VMArrival, VMDeparture, NodeDown, NodeUp:
 		// Membership (or drain-rule) changes redraw the binding
@@ -279,8 +328,14 @@ func (l *Loop) armWake(a Actuator) {
 		return
 	}
 	l.wakeArmed = true
+	if l.Trace != nil {
+		l.debounceSpan = l.Trace.Start(obs.KindDebounce, "debounce", a.Now())
+	}
 	a.Schedule(a.Now()+l.debounce(), func() {
 		l.wakeArmed = false
+		if l.debounceSpan.Active() {
+			l.debounceSpan.End(a.Now())
+		}
 		if l.halted() || l.executing {
 			// An execution that started meanwhile re-arms on completion.
 			return
@@ -295,6 +350,8 @@ func (l *Loop) iterate(a Actuator) {
 	if l.halted() || l.executing {
 		return
 	}
+	l.nowVirt = a.Now()
+	l.wakeSpan = l.Trace.Start(obs.KindWake, "full", l.nowVirt)
 	cfg := a.Observe()
 	queue := l.Queue()
 	target := l.Decision.Decide(cfg, queue)
@@ -302,14 +359,23 @@ func (l *Loop) iterate(a Actuator) {
 	p := Problem{Src: cfg, Target: target, Rules: l.rules()}
 	if p.Satisfied() {
 		l.lastDst = cfg
+		l.endWake(a, false)
 		l.next(a)
 		return
 	}
 	l.Stats.SolverCalls++
 	opt := l.Optimizer
 	opt.WarmStart = l.lastDst
+	sp := l.Trace.Start(obs.KindSolve, "full", l.nowVirt)
 	res, err := opt.SolveContext(l.ctx(), p)
+	if err == nil {
+		sp.SetSolve(float64(res.Cost), maxInt(res.Partitions, 1), opt.WarmStart != nil)
+	} else {
+		sp.SetOutcome("error")
+	}
+	sp.End(l.nowVirt)
 	if err != nil || res.Plan.NumActions() == 0 {
+		l.endWake(a, false)
 		if err == nil {
 			l.subSolves(res)
 			l.lastDst = res.Dst
@@ -327,6 +393,13 @@ func (l *Loop) iterate(a Actuator) {
 	l.subSolves(res)
 	l.lastDst = res.Dst
 	l.execute(a, res, 0)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // subSolves accounts the independent sub-problems a result came from.
@@ -348,6 +421,10 @@ func (l *Loop) next(a Actuator) {
 	if l.EventDriven {
 		if !l.dirty.empty() || l.resolvePending {
 			l.armWake(a)
+		} else if !l.wakeArmed {
+			// Truly idle: the reconfiguration that started with the
+			// first Notify of the burst is remediated.
+			l.closeCause(a)
 		}
 		return
 	}
@@ -357,6 +434,7 @@ func (l *Loop) next(a Actuator) {
 // execute runs the plan of res and records the switch. slices tags the
 // record with the number of dirty slices the plan came from.
 func (l *Loop) execute(a Actuator, res *Result, slices int) {
+	l.endWake(a, true)
 	rec := SwitchRecord{
 		At:      a.Now(),
 		Cost:    res.Cost,
@@ -371,6 +449,7 @@ func (l *Loop) execute(a Actuator, res *Result, slices int) {
 		if l.OnSwitch != nil {
 			l.OnSwitch(rec)
 		}
+		l.Trace.Mark("switch-done", a.Now())
 		l.next(a)
 	}
 	l.executing = true
@@ -437,7 +516,25 @@ func (l *Loop) repairWiden() int {
 	return l.RepairWiden
 }
 
-// tryRepair re-solves the dirty slices against the live configuration
+// Splice span outcomes; constants so recording them never allocates.
+const (
+	repairSpliced  = "spliced"
+	repairFallback = "fallback"
+	repairNoop     = "noop"
+)
+
+// tryRepair wraps one repair attempt in a splice span recording its
+// outcome and widening depth.
+func (l *Loop) tryRepair(a Actuator) {
+	l.nowVirt = a.Now()
+	sp := l.Trace.Start(obs.KindSplice, "repair", l.nowVirt)
+	outcome, widened := l.repair(a)
+	sp.SetWiden(widened)
+	sp.SetOutcome(outcome)
+	sp.End(a.Now())
+}
+
+// repair re-solves the dirty slices against the live configuration
 // and splices the result into the executing plan. When the splice
 // would strand a kept action whose feasibility depended on a dropped
 // one (plan.ErrBrokenDependency), the broken chain's dependency
@@ -447,7 +544,7 @@ func (l *Loop) repairWiden() int {
 // infeasibility, an exhausted widening budget — the dirty region is
 // put back and a full incremental pass runs once the execution
 // completes.
-func (l *Loop) tryRepair(a Actuator) {
+func (l *Loop) repair(a Actuator) (outcome string, widened int) {
 	dirtyNodes, dirtyVMs := l.dirty.take()
 	// A mid-flight repair never discharges the dirty-set: the region
 	// is only clean once a post-execution iteration sees it satisfied.
@@ -469,13 +566,14 @@ func (l *Loop) tryRepair(a Actuator) {
 	// (its optimal plan is empty), which is what lets Repair drop the
 	// broken chain's kept actions there.
 	var coverNodes, coverVMs map[string]bool
-	for widened := 0; ; {
+	for {
 		sr, err := l.solveDirtySlices(p, dirtyNodes, dirtyVMs, coverNodes, coverVMs)
 		if err != nil {
-			if !errors.Is(err, errNothingDirty) {
-				fallback()
+			if errors.Is(err, errNothingDirty) {
+				return repairNoop, widened
 			}
-			return
+			fallback()
+			return repairFallback, widened
 		}
 		repaired, err := plan.Repair(cur, l.exec.Remaining(), sr.nodes, sr.vms, sr.plans...)
 		if err != nil {
@@ -497,11 +595,11 @@ func (l *Loop) tryRepair(a Actuator) {
 				continue
 			}
 			fallback()
-			return
+			return repairFallback, widened
 		}
 		if err := l.exec.Splice(repaired); err != nil {
 			fallback()
-			return
+			return repairFallback, widened
 		}
 		// The spliced remainder came from a fresh mid-execution carve
 		// whose slices need not match the cached one: drop the cache.
@@ -513,7 +611,7 @@ func (l *Loop) tryRepair(a Actuator) {
 		if final, err := repaired.Result(); err == nil {
 			l.lastDst = final
 		}
-		return
+		return repairSpliced, widened
 	}
 }
 
@@ -571,10 +669,15 @@ func (l *Loop) solveDirtySlices(p Problem, dirtyNodes, dirtyVMs, coverNodes, cov
 		l.Stats.SolverCalls++
 		l.Stats.SliceSolves++
 		l.Stats.SubSolves++
+		sp := l.Trace.Start(obs.KindSolve, "slice", l.nowVirt)
 		res, err := opt.SolveContext(l.ctx(), sub)
 		if err != nil {
+			sp.SetOutcome("error")
+			sp.End(l.nowVirt)
 			return nil, err
 		}
+		sp.SetSolve(float64(res.Cost), 1, opt.WarmStart != nil)
+		sp.End(l.nowVirt)
 		out.plans = append(out.plans, res.Plan)
 		out.dsts = append(out.dsts, res.Dst)
 		out.srcs = append(out.srcs, sub.Src)
@@ -612,10 +715,20 @@ func (s *sliceResult) cover(sub *vjob.Configuration) {
 func (l *Loop) partition(p Problem) ([]Problem, error) {
 	if parts, ok := l.cachedPartition(p); ok {
 		l.Stats.PartitionReuses++
+		if l.Trace != nil {
+			sp := l.Trace.Start(obs.KindCarve, "carve", l.nowVirt)
+			sp.SetCached(true)
+			sp.End(l.nowVirt)
+		}
 		return parts, nil
 	}
+	sp := l.Trace.Start(obs.KindCarve, "carve", l.nowVirt)
 	l.parts, l.partsMono = nil, false
 	parts, err := (Partitioner{Parts: l.Optimizer.Partitions}).Split(p)
+	if err != nil {
+		sp.SetOutcome("error")
+	}
+	sp.End(l.nowVirt)
 	// A mid-execution carve (tryRepair) is not cached: the remaining
 	// pools keep rewriting placements underneath it.
 	if err != nil || l.executing {
@@ -694,10 +807,14 @@ func (l *Loop) iterateIncremental(a Actuator) {
 	if l.halted() || l.executing {
 		return
 	}
+	l.nowVirt = a.Now()
+	l.wakeSpan = l.Trace.Start(obs.KindWake, "incremental", l.nowVirt)
 	pending := l.resolvePending
 	l.resolvePending = false
 	dirtyNodes, dirtyVMs := l.dirty.take()
 	if len(dirtyNodes) == 0 && len(dirtyVMs) == 0 && !pending {
+		l.endWake(a, false)
+		l.closeCause(a)
 		return
 	}
 	cfg := a.Observe()
@@ -706,6 +823,8 @@ func (l *Loop) iterateIncremental(a Actuator) {
 	p := Problem{Src: cfg, Target: target, Rules: l.rules()}
 	if p.Satisfied() {
 		l.lastDst = cfg
+		l.endWake(a, false)
+		l.closeCause(a)
 		return
 	}
 	sr, err := l.solveDirtySlices(p, dirtyNodes, dirtyVMs, nil, nil)
@@ -723,8 +842,16 @@ func (l *Loop) iterateIncremental(a Actuator) {
 		l.Stats.FullSolves++
 		opt := l.Optimizer
 		opt.WarmStart = l.lastDst
+		sp := l.Trace.Start(obs.KindSolve, "full", l.nowVirt)
 		res, serr := opt.SolveContext(l.ctx(), p)
+		if serr == nil {
+			sp.SetSolve(float64(res.Cost), maxInt(res.Partitions, 1), opt.WarmStart != nil)
+		} else {
+			sp.SetOutcome("error")
+		}
+		sp.End(l.nowVirt)
 		if serr != nil || res.Plan.NumActions() == 0 {
+			l.endWake(a, false)
 			if serr == nil {
 				l.subSolves(res)
 				l.lastDst = res.Dst
@@ -743,9 +870,13 @@ func (l *Loop) iterateIncremental(a Actuator) {
 		l.lastDst = res.Dst
 		l.execute(a, res, 0)
 	default:
+		ms := l.Trace.Start(obs.KindMerge, "merge", l.nowVirt)
 		dst := cfg.Clone()
 		for i, d := range sr.dsts {
 			if err := dst.Rebase(sr.srcs[i], d); err != nil {
+				ms.SetOutcome("error")
+				ms.End(l.nowVirt)
+				l.endWake(a, false)
 				l.dirty.addSets(dirtyNodes, dirtyVMs)
 				l.resolvePending = true
 				l.next(a)
@@ -754,13 +885,18 @@ func (l *Loop) iterateIncremental(a Actuator) {
 		}
 		merged, err := plan.Merge(cfg, sr.plans...)
 		if err != nil {
+			ms.SetOutcome("error")
+			ms.End(l.nowVirt)
+			l.endWake(a, false)
 			l.dirty.addSets(dirtyNodes, dirtyVMs)
 			l.resolvePending = true
 			l.next(a)
 			return
 		}
+		ms.End(l.nowVirt)
 		l.lastDst = dst
 		if merged.NumActions() == 0 {
+			l.endWake(a, false)
 			l.next(a)
 			return
 		}

@@ -2,6 +2,7 @@ package drivers
 
 import (
 	"cwcs/internal/core"
+	"cwcs/internal/obs"
 	"cwcs/internal/plan"
 	"cwcs/internal/sim"
 	"cwcs/internal/vjob"
@@ -14,6 +15,10 @@ type Actuator struct {
 	C *sim.Cluster
 	// Reports accumulates the raw execution reports.
 	Reports []Report
+	// Trace, when non-nil, records executed-action spans (see
+	// Callbacks.Trace); share the loop's tracer so action spans carry
+	// the reconfiguration cause that scheduled them.
+	Trace *obs.Tracer
 }
 
 // Now returns the cluster's virtual time.
@@ -27,9 +32,12 @@ func (a *Actuator) Observe() *vjob.Configuration { return a.C.Snapshot() }
 
 // Execute runs the plan through the drivers and reports back.
 func (a *Actuator) Execute(p *plan.Plan, done func(duration float64, failures int)) {
-	Execute(a.C, p, func(r Report) {
-		a.Reports = append(a.Reports, r)
-		done(r.Duration(), len(r.Errs))
+	Start(a.C, p, Callbacks{
+		Trace: a.Trace,
+		Done: func(r Report) {
+			a.Reports = append(a.Reports, r)
+			done(r.Duration(), len(r.Errs))
+		},
 	})
 }
 
@@ -40,6 +48,7 @@ func (a *Actuator) ExecuteManaged(p *plan.Plan, onFailure func(plan.Action, erro
 	return Start(a.C, p, Callbacks{
 		Failure:  onFailure,
 		PoolDone: onPoolDone,
+		Trace:    a.Trace,
 		Done: func(r Report) {
 			a.Reports = append(a.Reports, r)
 			done(r.Duration(), len(r.Errs))

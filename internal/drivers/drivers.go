@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cwcs/internal/obs"
 	"cwcs/internal/plan"
 	"cwcs/internal/sim"
 )
@@ -50,6 +51,29 @@ type Callbacks struct {
 	PoolDone func()
 	// Done fires once, when the last pool has completed.
 	Done func(Report)
+	// Trace, when non-nil, records each action's lifetime as a span
+	// on the virtual clock (kind "action", name = action kind).
+	Trace *obs.Tracer
+}
+
+// actionKind names an action for the span stream and the
+// cwcs_action_duration_vseconds{kind} label; the strings are the
+// obs.ActionKinds vocabulary.
+func actionKind(a plan.Action) string {
+	switch a.(type) {
+	case *plan.Migration:
+		return "migration"
+	case *plan.Run:
+		return "run"
+	case *plan.Stop:
+		return "stop"
+	case *plan.Suspend:
+		return "suspend"
+	case *plan.Resume:
+		return "resume"
+	default:
+		return "other"
+	}
 }
 
 // ActionPhase is the lifecycle position of one scheduled action.
@@ -209,6 +233,7 @@ func (e *Execution) runNext() {
 		e.c.Schedule(at, func() {
 			rec := &actionRecord{phase: ActionRunning, started: e.c.Now()}
 			e.progress[a] = rec
+			sp := e.cb.Trace.Start(obs.KindAction, actionKind(a), e.c.Now())
 			e.c.StartAction(a, func(err error) {
 				rec.ended = e.c.Now()
 				rec.phase = ActionDone
@@ -216,10 +241,12 @@ func (e *Execution) runNext() {
 					rec.phase = ActionFailed
 					rec.err = err.Error()
 					e.rep.Errs = append(e.rep.Errs, err)
+					sp.SetOutcome("failed")
 					if e.cb.Failure != nil {
 						e.cb.Failure(a, err)
 					}
 				}
+				sp.End(e.c.Now())
 				pending--
 				if pending == 0 {
 					e.poolDone()

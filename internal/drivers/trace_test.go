@@ -1,0 +1,142 @@
+package drivers
+
+import (
+	"errors"
+	"testing"
+
+	"cwcs/internal/duration"
+	"cwcs/internal/obs"
+	"cwcs/internal/plan"
+	"cwcs/internal/sim"
+	"cwcs/internal/vjob"
+)
+
+// TestActionSpansOnVirtualClock executes the two-pool managed plan
+// with a tracer attached and checks every action's lifetime lands as
+// an action span with the right kind name and virtual-clock bounds.
+func TestActionSpansOnVirtualClock(t *testing.T) {
+	c, p := managedPlan(t)
+	tr := obs.NewTracer(64)
+	done := false
+	Start(c, p, Callbacks{Trace: tr, Done: func(Report) { done = true }})
+	c.Run(100_000)
+	if !done {
+		t.Fatal("execution never completed")
+	}
+
+	byKind := map[string][]obs.SpanRecord{}
+	for _, s := range tr.Recent(0) {
+		if s.Kind != "action" {
+			t.Fatalf("unexpected span kind %q from the driver", s.Kind)
+		}
+		byKind[s.Name] = append(byKind[s.Name], s)
+	}
+	if len(byKind["suspend"]) != 1 || len(byKind["migration"]) != 1 {
+		t.Fatalf("action spans by kind = %v, want one suspend and one migration", byKind)
+	}
+	for kind, ss := range byKind {
+		for _, s := range ss {
+			if s.VirtDur() <= 0 {
+				t.Errorf("%s span has non-positive virtual duration %g", kind, s.VirtDur())
+			}
+			if s.Outcome != "" {
+				t.Errorf("successful %s span carries outcome %q", kind, s.Outcome)
+			}
+		}
+	}
+	// The suspend frees the memory the migration needs: its span must
+	// close before the migration's opens (pool ordering on the virtual
+	// clock).
+	if sus, mig := byKind["suspend"][0], byKind["migration"][0]; sus.VirtEnd > mig.VirtStart {
+		t.Errorf("suspend [%g,%g] overlaps migration [%g,%g]",
+			sus.VirtStart, sus.VirtEnd, mig.VirtStart, mig.VirtEnd)
+	}
+
+	// The per-kind histograms saw the same two samples.
+	for _, h := range tr.Histograms() {
+		s := h.Snapshot()
+		if s.Name != "cwcs_action_duration_vseconds" {
+			continue
+		}
+		switch s.LabelValue {
+		case "suspend", "migration":
+			if s.Count != 1 {
+				t.Errorf("action histogram kind=%s count = %d, want 1", s.LabelValue, s.Count)
+			}
+		default:
+			if s.Count != 0 {
+				t.Errorf("action histogram kind=%s count = %d, want 0", s.LabelValue, s.Count)
+			}
+		}
+	}
+}
+
+// TestActionSpanRecordsFailure checks a failed action closes its span
+// with outcome "failed" instead of vanishing from the trace.
+func TestActionSpanRecordsFailure(t *testing.T) {
+	// Built without the invariant watcher: executing the stale
+	// remainder after the failed suspend legitimately overloads n01.
+	cfg := vjob.NewConfiguration()
+	cfg.AddNode(vjob.NewNode("n00", 2, 3072))
+	cfg.AddNode(vjob.NewNode("n01", 2, 3072))
+	c := sim.New(cfg, duration.Default())
+	cfg.AddVM(vjob.NewVM("vm1", "a", 1, 2048))
+	cfg.AddVM(vjob.NewVM("vm2", "b", 1, 2048))
+	if err := cfg.SetRunning("vm1", "n00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.SetRunning("vm2", "n01"); err != nil {
+		t.Fatal(err)
+	}
+	dst := cfg.Clone()
+	if err := dst.SetSleeping("vm2", "n01"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.SetRunning("vm1", "n01"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(cfg, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("driver lost the ssh session")
+	c.FailAction = func(a plan.Action) error {
+		if _, ok := a.(*plan.Suspend); ok {
+			return boom
+		}
+		return nil
+	}
+	tr := obs.NewTracer(64)
+	Start(c, p, Callbacks{Trace: tr, Done: func(Report) {}})
+	c.Run(100_000)
+
+	var failed []obs.SpanRecord
+	for _, s := range tr.Recent(0) {
+		if s.Kind == "action" && s.Outcome == "failed" {
+			failed = append(failed, s)
+		}
+	}
+	if len(failed) == 0 {
+		t.Fatal("no action span recorded the injected failure")
+	}
+	if failed[0].Name != "suspend" {
+		t.Errorf("failed span kind = %q, want suspend", failed[0].Name)
+	}
+}
+
+// TestActionKindNames pins the mapping from plan actions to histogram
+// label values against obs.ActionKinds, so a renamed action cannot
+// silently land every sample in "other".
+func TestActionKindNames(t *testing.T) {
+	known := map[string]bool{}
+	for _, k := range obs.ActionKinds {
+		known[k] = true
+	}
+	for _, a := range []plan.Action{
+		&plan.Migration{}, &plan.Run{}, &plan.Stop{}, &plan.Suspend{}, &plan.Resume{},
+	} {
+		if k := actionKind(a); !known[k] {
+			t.Errorf("actionKind(%T) = %q, not a pre-registered obs.ActionKind", a, k)
+		}
+	}
+}

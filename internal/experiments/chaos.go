@@ -13,6 +13,7 @@ import (
 	"cwcs/internal/drivers"
 	"cwcs/internal/duration"
 	"cwcs/internal/monitor"
+	"cwcs/internal/obs"
 	"cwcs/internal/sched"
 	"cwcs/internal/sim"
 	"cwcs/internal/trace"
@@ -110,6 +111,10 @@ type ChaosOptions struct {
 	// Trace names the committed sample trace the replay cell decodes
 	// (SampleTraces lists them).
 	Trace string
+
+	// CollectSpans retains every closed span of each cell in
+	// ChaosResult.Spans (the -trace-out export).
+	CollectSpans bool
 }
 
 // DefaultChaosOptions is the BENCH_chaos.json scenario: the 500-node
@@ -172,6 +177,15 @@ type ChaosResult struct {
 	// time it took.
 	End  float64
 	Wall time.Duration
+	// MatchedEpisodes counts episodes a reconfiguration span covered;
+	// RemediationP50/P95/Max summarize the per-episode
+	// event-to-remediation times (obs.RemediationTimes — clamped to
+	// the recovery time, falling back to it when no span covers the
+	// episode).
+	MatchedEpisodes                                int
+	RemediationP50, RemediationP95, RemediationMax float64
+	// Spans is the retained span stream when CollectSpans is set.
+	Spans []obs.SpanRecord
 }
 
 // RunChaos replays one scenario cell. Unknown scenario names panic:
@@ -201,6 +215,19 @@ func RunChaos(scenario string, opts ChaosOptions) ChaosResult {
 		queue = func() []*vjob.VJob { return replay.Jobs() }
 	}
 
+	// Span stream: reconfiguration spans feed the remediation columns
+	// (no randomness — the chaos Seed+3 stream stays byte-identical).
+	tracer := obs.NewTracer(0)
+	var reconfigs []obs.SpanRecord
+	tracer.OnClose(func(r obs.SpanRecord) {
+		if r.Kind == obs.KindReconfig.String() {
+			reconfigs = append(reconfigs, r)
+		}
+		if opts.CollectSpans {
+			res.Spans = append(res.Spans, r)
+		}
+	})
+
 	drains := &core.DrainSet{}
 	loop := &core.Loop{
 		Decision:    queueTerminator{c: c, inner: sched.Consolidation{}, queue: queue},
@@ -210,8 +237,9 @@ func RunChaos(scenario string, opts ChaosOptions) ChaosResult {
 		RepairWiden: co.RepairWiden,
 		Drains:      drains,
 		Queue:       queue,
+		Trace:       tracer,
 	}
-	act := &drivers.Actuator{C: c}
+	act := &drivers.Actuator{C: c, Trace: tracer}
 
 	// feed is the single monitoring path into the loop; the event-loss
 	// cell interposes the drop filter on it. One rng variate per
@@ -383,6 +411,11 @@ func RunChaos(scenario string, opts ChaosOptions) ChaosResult {
 	res.RecoveryP50 = recovery.Quantile(0.50)
 	res.RecoveryP95 = recovery.Quantile(0.95)
 	res.RecoveryMax = recovery.Max()
+	remediations, matched := obs.RemediationTimes(reconfigs, recovery.Starts, recovery.Durations)
+	res.MatchedEpisodes = matched
+	res.RemediationP50 = monitor.Quantile(remediations, 0.50)
+	res.RemediationP95 = monitor.Quantile(remediations, 0.95)
+	res.RemediationMax = monitor.Quantile(remediations, 1)
 	res.Breaches = inv.StructuralCount()
 	res.FinalViolations = len(cfg.Violations())
 	res.Stats = loop.Stats
@@ -494,11 +527,12 @@ func ChaosStudy(opts ChaosOptions) []ChaosResult {
 func ChaosTable(rows []ChaosResult) string {
 	var b strings.Builder
 	b.WriteString("Chaos study: recovery-time distributions and structural breaches per scenario (event-driven loop)\n")
-	fmt.Fprintf(&b, "%-13s %8s %8s %8s %8s %6s %8s %8s %10s %8s %9s\n",
-		"scenario", "episodes", "rec-p50", "rec-p95", "rec-max", "open", "dropped", "breaches", "viol-sec", "final", "done/arr")
+	fmt.Fprintf(&b, "%-13s %8s %8s %8s %8s %8s %8s %6s %8s %8s %10s %8s %9s\n",
+		"scenario", "episodes", "rec-p50", "rec-p95", "rec-max", "rem-p50", "rem-p95", "open", "dropped", "breaches", "viol-sec", "final", "done/arr")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-13s %8d %8.0f %8.0f %8.0f %6d %8d %8d %10.0f %8d %5d/%-3d\n",
+		fmt.Fprintf(&b, "%-13s %8d %8.0f %8.0f %8.0f %8.0f %8.0f %6d %8d %8d %10.0f %8d %5d/%-3d\n",
 			r.Scenario, r.Episodes, r.RecoveryP50, r.RecoveryP95, r.RecoveryMax,
+			r.RemediationP50, r.RemediationP95,
 			r.Unrecovered, r.Dropped, r.Breaches, r.ViolationSeconds,
 			r.FinalViolations, r.Completed, r.Arrived)
 	}
@@ -508,10 +542,11 @@ func ChaosTable(rows []ChaosResult) string {
 // ChaosCSV renders the rows for external plotting.
 func ChaosCSV(rows []ChaosResult) string {
 	var b strings.Builder
-	b.WriteString("scenario,episodes,recovery_p50,recovery_p95,recovery_max,unrecovered,dropped,breaches,violation_seconds,final_violations,sub_solves,full_solves,repairs,switches,events,arrived,completed,end\n")
+	b.WriteString("scenario,episodes,recovery_p50,recovery_p95,recovery_max,remediation_p50,remediation_p95,remediation_max,matched_episodes,unrecovered,dropped,breaches,violation_seconds,final_violations,sub_solves,full_solves,repairs,switches,events,arrived,completed,end\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%d,%.1f,%.1f,%.1f,%d,%d,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n",
+		fmt.Fprintf(&b, "%s,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n",
 			r.Scenario, r.Episodes, r.RecoveryP50, r.RecoveryP95, r.RecoveryMax,
+			r.RemediationP50, r.RemediationP95, r.RemediationMax, r.MatchedEpisodes,
 			r.Unrecovered, r.Dropped, r.Breaches, r.ViolationSeconds, r.FinalViolations,
 			r.Stats.SubSolves, r.Stats.FullSolves, r.Stats.Repairs, r.Switches,
 			r.Stats.Events, r.Arrived, r.Completed, r.End)

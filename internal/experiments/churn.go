@@ -11,6 +11,7 @@ import (
 	"cwcs/internal/drivers"
 	"cwcs/internal/duration"
 	"cwcs/internal/monitor"
+	"cwcs/internal/obs"
 	"cwcs/internal/sched"
 	"cwcs/internal/sim"
 	"cwcs/internal/vjob"
@@ -62,6 +63,11 @@ type ChurnOptions struct {
 	// structural-breach count; off by default because the audit runs
 	// after every simulation event.
 	WatchInvariants bool
+	// CollectSpans retains every closed span of the run in
+	// ChurnResult.Spans (the -trace-out export). The reconfiguration
+	// spans feeding the remediation columns are always collected;
+	// this widens retention to the full pipeline.
+	CollectSpans bool
 	// Seed drives workload generation, arrivals and failures; the two
 	// modes replay the identical scenario.
 	Seed int64
@@ -107,6 +113,21 @@ type ChurnResult struct {
 	End float64
 	// Wall is the real time the run took (dominated by solver budget).
 	Wall time.Duration
+	// Episodes counts closed violation episodes
+	// (monitor.WatchRecovery); Recoveries and Remediations are the
+	// aligned per-episode recovery and event-to-remediation times.
+	// Remediation clamps the causal reconfiguration span to the
+	// episode, so remediation <= recovery per episode by
+	// construction; MatchedEpisodes counts episodes a span actually
+	// covered (the rest fall back to the full recovery time).
+	Episodes        int
+	MatchedEpisodes int
+	Recoveries      []float64
+	Remediations    []float64
+	// RemediationP50/P95/Max summarize Remediations (nearest rank).
+	RemediationP50, RemediationP95, RemediationMax float64
+	// Spans is the retained span stream when CollectSpans is set.
+	Spans []obs.SpanRecord
 }
 
 // RunChurn replays the churn scenario under one loop schedule.
@@ -140,10 +161,26 @@ func RunChurn(eventDriven bool, opts ChurnOptions) ChurnResult {
 		res.Mode = "event-driven"
 	}
 
+	// The span stream is the study's latency instrument: the closed
+	// reconfiguration spans yield the event-to-remediation columns, and
+	// CollectSpans widens retention to the whole pipeline (-trace-out).
+	// The tracer adds no randomness, so seeded runs stay byte-identical.
+	tracer := obs.NewTracer(0)
+	var reconfigs []obs.SpanRecord
+	tracer.OnClose(func(r obs.SpanRecord) {
+		if r.Kind == obs.KindReconfig.String() {
+			reconfigs = append(reconfigs, r)
+		}
+		if opts.CollectSpans {
+			res.Spans = append(res.Spans, r)
+		}
+	})
+
 	loop := &core.Loop{
 		// The terminator reads the live (growing) jobs slice through
 		// the closure, not a snapshot.
 		Decision:    queueTerminator{c: c, inner: sched.Consolidation{}, queue: func() []*vjob.VJob { return jobs }},
+		Trace:       tracer,
 		Optimizer:   core.Optimizer{Timeout: opts.Timeout, Workers: opts.Workers, Partitions: opts.Partitions},
 		Interval:    opts.Interval,
 		EventDriven: eventDriven,
@@ -168,7 +205,7 @@ func RunChurn(eventDriven bool, opts ChurnOptions) ChurnResult {
 		},
 	}
 
-	act := &drivers.Actuator{C: c}
+	act := &drivers.Actuator{C: c, Trace: tracer}
 
 	// Injected action failures (the flaky-driver model), optionally
 	// spiked by a storm window. The storm draws the same one-variate-
@@ -222,12 +259,20 @@ func RunChurn(eventDriven bool, opts ChurnOptions) ChurnResult {
 	}
 
 	violSec := monitor.WatchViolationSeconds(c)
+	recovery := monitor.WatchRecovery(c)
 
 	start := time.Now()
 	loop.Start(act)
 	c.Run(opts.Horizon)
 	res.Wall = time.Since(start)
 	res.ViolationSeconds = violSec()
+	recovery.CloseAt(c.Now())
+	res.Episodes = recovery.Episodes()
+	res.Recoveries = recovery.Durations
+	res.Remediations, res.MatchedEpisodes = obs.RemediationTimes(reconfigs, recovery.Starts, recovery.Durations)
+	res.RemediationP50 = monitor.Quantile(res.Remediations, 0.50)
+	res.RemediationP95 = monitor.Quantile(res.Remediations, 0.95)
+	res.RemediationMax = monitor.Quantile(res.Remediations, 1)
 
 	res.Stats = loop.Stats
 	res.Switches = len(loop.Records)
@@ -267,13 +312,15 @@ func ChurnStudy(opts ChurnOptions) []ChurnResult {
 func ChurnTable(rows []ChurnResult) string {
 	var b strings.Builder
 	b.WriteString("Periodic vs event-driven reconfiguration loop (equal per-solve budget)\n")
-	fmt.Fprintf(&b, "%-12s %9s %8s %8s %8s %8s %8s %10s %8s %9s\n",
-		"mode", "subsolves", "slices", "full", "repairs", "switches", "events", "viol-sec", "final", "done/arr")
+	fmt.Fprintf(&b, "%-12s %9s %8s %8s %8s %8s %8s %10s %8s %9s %8s %8s %8s\n",
+		"mode", "subsolves", "slices", "full", "repairs", "switches", "events", "viol-sec", "final", "done/arr",
+		"episodes", "rem-p50", "rem-p95")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-12s %9d %8d %8d %8d %8d %8d %10.0f %8d %5d/%-3d\n",
+		fmt.Fprintf(&b, "%-12s %9d %8d %8d %8d %8d %8d %10.0f %8d %5d/%-3d %8d %8.1f %8.1f\n",
 			r.Mode, r.Stats.SubSolves, r.Stats.SliceSolves, r.Stats.FullSolves,
 			r.Stats.Repairs, r.Switches, r.Stats.Events,
-			r.ViolationSeconds, r.FinalViolations, r.Completed, r.Arrived)
+			r.ViolationSeconds, r.FinalViolations, r.Completed, r.Arrived,
+			r.Episodes, r.RemediationP50, r.RemediationP95)
 	}
 	if len(rows) == 2 && rows[1].Stats.SubSolves > 0 {
 		fmt.Fprintf(&b, "solver invocations: %.1fx fewer; violation-seconds: %sx lower (event-driven vs periodic)\n",
@@ -301,13 +348,14 @@ func ratioStr(a, b float64) string {
 // ChurnCSV renders the rows for external plotting.
 func ChurnCSV(rows []ChurnResult) string {
 	var b strings.Builder
-	b.WriteString("mode,sub_solves,solver_calls,slice_solves,full_solves,repairs,failed_repairs,switches,events,coalesced,violation_seconds,final_violations,arrived,completed,end\n")
+	b.WriteString("mode,sub_solves,solver_calls,slice_solves,full_solves,repairs,failed_repairs,switches,events,coalesced,violation_seconds,final_violations,arrived,completed,end,episodes,matched_episodes,remediation_p50,remediation_p95,remediation_max\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%d,%d,%d,%.0f\n",
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%d,%d,%d,%.0f,%d,%d,%.1f,%.1f,%.1f\n",
 			r.Mode, r.Stats.SubSolves, r.Stats.SolverCalls, r.Stats.SliceSolves, r.Stats.FullSolves,
 			r.Stats.Repairs, r.Stats.FailedRepairs, r.Switches, r.Stats.Events,
 			r.Stats.Coalesced, r.ViolationSeconds, r.FinalViolations,
-			r.Arrived, r.Completed, r.End)
+			r.Arrived, r.Completed, r.End,
+			r.Episodes, r.MatchedEpisodes, r.RemediationP50, r.RemediationP95, r.RemediationMax)
 	}
 	return b.String()
 }

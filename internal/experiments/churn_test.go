@@ -73,6 +73,55 @@ func TestChurnBothModesConverge(t *testing.T) {
 	t.Logf("event:    %+v viol=%.0f", event.Stats, event.ViolationSeconds)
 }
 
+// TestChurnRemediationReconciles checks the span-derived remediation
+// columns against monitor.WatchRecovery: aligned episode counts, and
+// remediation <= recovery per episode (the reconfiguration span is
+// clamped to the violation episode it closed).
+func TestChurnRemediationReconciles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn study solves repeatedly")
+	}
+	opts := quickChurnOptions()
+	r := RunChurn(true, opts)
+
+	if r.Episodes == 0 {
+		t.Fatal("quick churn scenario produced no violation episodes")
+	}
+	if len(r.Recoveries) != r.Episodes || len(r.Remediations) != r.Episodes {
+		t.Fatalf("episodes = %d but %d recoveries, %d remediations",
+			r.Episodes, len(r.Recoveries), len(r.Remediations))
+	}
+	if r.MatchedEpisodes < 1 {
+		t.Error("no episode matched a reconfiguration span")
+	}
+	if r.MatchedEpisodes > r.Episodes {
+		t.Errorf("matched %d of %d episodes", r.MatchedEpisodes, r.Episodes)
+	}
+	for i := range r.Remediations {
+		if r.Remediations[i] < 0 || r.Remediations[i] > r.Recoveries[i] {
+			t.Errorf("episode %d: remediation %.1f outside [0, recovery %.1f]",
+				i, r.Remediations[i], r.Recoveries[i])
+		}
+	}
+	if r.RemediationMax < r.RemediationP95 || r.RemediationP95 < r.RemediationP50 {
+		t.Errorf("quantiles not ordered: p50=%.1f p95=%.1f max=%.1f",
+			r.RemediationP50, r.RemediationP95, r.RemediationMax)
+	}
+	// Span retention follows CollectSpans.
+	if len(r.Spans) != 0 {
+		t.Errorf("spans retained without CollectSpans: %d", len(r.Spans))
+	}
+	opts.CollectSpans = true
+	r2 := RunChurn(true, opts)
+	if len(r2.Spans) == 0 {
+		t.Fatal("CollectSpans retained nothing")
+	}
+	// The tracer adds no randomness: the seeded scenario is unchanged.
+	if r2.Episodes != r.Episodes || r2.Arrived != r.Arrived || r2.Stats != r.Stats {
+		t.Errorf("span retention perturbed the run: %+v vs %+v", r2.Stats, r.Stats)
+	}
+}
+
 // benchChurn runs one mode of the quick scenario, reporting the
 // study's own metrics alongside ns/op.
 func benchChurn(b *testing.B, eventDriven bool) {

@@ -17,6 +17,10 @@ import (
 type RecoveryLog struct {
 	// Durations are the closed episodes' lengths, in order of closure.
 	Durations []float64
+	// Starts are the closed episodes' opening times, aligned with
+	// Durations — the input the observability layer matches against
+	// reconfiguration spans (obs.RemediationTimes).
+	Starts []float64
 	// Open reports whether an episode is still running (and since
 	// when) — an unrecovered violation at the horizon.
 	Open      bool
@@ -30,6 +34,7 @@ func (l *RecoveryLog) CloseAt(now float64) {
 	if !l.Open {
 		return
 	}
+	l.Starts = append(l.Starts, l.OpenSince)
 	l.Durations = append(l.Durations, now-l.OpenSince)
 	l.Open = false
 }
@@ -37,16 +42,22 @@ func (l *RecoveryLog) CloseAt(now float64) {
 // Episodes returns the number of closed episodes.
 func (l *RecoveryLog) Episodes() int { return len(l.Durations) }
 
-// Quantile returns the q-quantile (0..1) of the episode lengths using
-// the nearest-rank method, so the reported p95 is an episode that
-// actually happened. It returns 0 when no episode closed; q outside
-// [0,1] is clamped.
+// Quantile returns the q-quantile (0..1) of the episode lengths; see
+// the package-level Quantile for the method.
 func (l *RecoveryLog) Quantile(q float64) float64 {
-	n := len(l.Durations)
+	return Quantile(l.Durations, q)
+}
+
+// Quantile returns the q-quantile (0..1) of values using the
+// nearest-rank method, so the reported p95 is a sample that actually
+// happened. It returns 0 on an empty slice; q outside [0,1] is
+// clamped. The input is not modified.
+func Quantile(values []float64, q float64) float64 {
+	n := len(values)
 	if n == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), l.Durations...)
+	sorted := append([]float64(nil), values...)
 	sort.Float64s(sorted)
 	if q < 0 {
 		q = 0

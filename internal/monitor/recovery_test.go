@@ -98,4 +98,27 @@ func TestWatchRecovery(t *testing.T) {
 	if log.Max() != 60 || log.Quantile(0.5) != 15 {
 		t.Fatalf("Max/median = %v/%v", log.Max(), log.Quantile(0.5))
 	}
+	// Starts stay aligned with Durations — the contract
+	// obs.RemediationTimes matches reconfiguration spans against.
+	if len(log.Starts) != len(log.Durations) {
+		t.Fatalf("starts %v not aligned with durations %v", log.Starts, log.Durations)
+	}
+	if log.Starts[0] != 10 || log.Starts[1] != 40 {
+		t.Fatalf("episode starts = %v, want [10 40]", log.Starts)
+	}
+}
+
+// TestPackageQuantile pins the package-level function the experiments
+// remediation columns use directly on unsorted input.
+func TestPackageQuantile(t *testing.T) {
+	in := []float64{9, 1, 5}
+	if got := Quantile(in, 0.5); got != 5 {
+		t.Fatalf("Quantile = %v, want 5", got)
+	}
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Fatalf("input modified: %v", in)
+	}
+	if got := Quantile(nil, 0.95); got != 0 {
+		t.Fatalf("Quantile(nil) = %v, want 0", got)
+	}
 }

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime/debug"
+)
+
+// WriteJSONL encodes spans one JSON object per line — the /v1/trace
+// default and the experiments -trace-out format.
+func WriteJSONL(w io.Writer, spans []SpanRecord) error {
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one trace_event record in the Chrome/Perfetto JSON
+// format (the "X" complete-event phase carries ts+dur in µs).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTracks maps span kinds to Perfetto track (tid) numbers so the
+// pipeline stages stack visually: reconfigurations on top, then the
+// loop stages, then actuation.
+var chromeTracks = map[string]int{
+	"reconfig": 1, "debounce": 2, "wake": 3, "carve": 4,
+	"solve": 5, "merge": 6, "splice": 7, "action": 8, "mark": 3,
+}
+
+// ChromeTrace renders spans as a trace_event JSON document on the
+// virtual clock (1 virtual second = 1 trace second; wall time rides
+// along in args). Load the result at ui.perfetto.dev or
+// chrome://tracing.
+func ChromeTrace(spans []SpanRecord) ([]byte, error) {
+	events := make([]chromeEvent, 0, len(spans)+len(chromeTracks))
+	seen := map[int]string{}
+	for i := range spans {
+		r := &spans[i]
+		tid := chromeTracks[r.Kind]
+		if tid == 0 {
+			tid = 9
+		}
+		seen[tid] = r.Kind
+		name := r.Kind
+		if r.Name != "" {
+			name = r.Kind + ":" + r.Name
+		}
+		args := map[string]any{
+			"id": r.ID, "cause": r.Cause, "wall_ms": r.WallSeconds * 1e3,
+		}
+		if r.Events > 0 {
+			args["events"] = r.Events
+		}
+		if r.SubSolves > 0 {
+			args["sub_solves"] = r.SubSolves
+		}
+		if r.Cost != 0 {
+			args["cost"] = r.Cost
+		}
+		if r.Widen > 0 {
+			args["widen"] = r.Widen
+		}
+		if r.Outcome != "" {
+			args["outcome"] = r.Outcome
+		}
+		ev := chromeEvent{
+			Name: name, Cat: r.Kind, Pid: 1, Tid: tid,
+			Ts: r.VirtStart * 1e6, Args: args,
+		}
+		if r.Kind == KindMark.String() {
+			ev.Ph, ev.S = "i", "t"
+		} else {
+			ev.Ph = "X"
+			dur := r.VirtDur() * 1e6
+			if dur <= 0 {
+				// Perfetto hides zero-width slices; give wall-only
+				// stages (solves within one sim step) a sliver.
+				dur = 1
+			}
+			ev.Dur = &dur
+		}
+		events = append(events, ev)
+	}
+	for tid, kind := range seen {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": kind},
+		})
+	}
+	return json.Marshal(map[string]any{"traceEvents": events, "displayTimeUnit": "ms"})
+}
+
+// Info is the build identity exported as cwcs_build_info and printed
+// by -version.
+type Info struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+}
+
+// BuildInfo reads the binary's module version and toolchain from
+// runtime/debug; "(devel)" is what unreleased builds report.
+func BuildInfo() Info {
+	info := Info{Version: "unknown", GoVersion: "unknown"}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info.GoVersion = bi.GoVersion
+		if bi.Main.Version != "" {
+			info.Version = bi.Main.Version
+		}
+	}
+	return info
+}

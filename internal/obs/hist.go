@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// wallBounds covers solver/splice CPU time: sub-millisecond carves up
+// to multi-second monolithic solves.
+var wallBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// virtBounds covers virtual time: single migrations (seconds) up to
+// long remediations (hundreds of virtual seconds).
+var virtBounds = []float64{
+	0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000,
+}
+
+// Histogram is a fixed-bucket latency histogram in the Prometheus
+// model (le upper bounds, +Inf implicit). Observe is lock-free so the
+// loop never contends with scrapes; Snapshot is what /metrics renders.
+type Histogram struct {
+	name, help        string
+	label, labelValue string // optional single label, e.g. kind="migration"
+	bounds            []float64
+	buckets           []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count             atomic.Uint64
+	sumBits           atomic.Uint64
+}
+
+func newHistogram(name, help, label, labelValue string, bounds []float64) *Histogram {
+	return &Histogram{
+		name: name, help: help,
+		label: label, labelValue: labelValue,
+		bounds:  bounds,
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// SearchFloat64s returns the first bound >= v, which is exactly
+	// the le bucket; past the last bound it returns len(bounds), the
+	// +Inf slot.
+	h.buckets[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough read of a histogram for
+// exposition (buckets may trail count by in-flight observations; each
+// line is individually monotone).
+type HistogramSnapshot struct {
+	Name, Help        string
+	Label, LabelValue string
+	Bounds            []float64
+	Counts            []uint64 // per-bucket, not cumulative; last is +Inf
+	Sum               float64
+	Count             uint64
+}
+
+// Snapshot returns the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name: h.name, Help: h.help,
+		Label: h.label, LabelValue: h.labelValue,
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+		Count:  h.count.Load(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}

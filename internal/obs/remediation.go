@@ -1,0 +1,48 @@
+package obs
+
+// RemediationTimes reconciles reconfiguration spans with the
+// monitor's violation episodes. For each closed episode [t0, t1)
+// (starts[i], starts[i]+durations[i] on the virtual clock) it finds
+// the reconfiguration span active at the episode's close — that span
+// is the loop activity that remediated it — and reports
+//
+//	t1 - max(t0, span.VirtStart)
+//
+// the event-to-remediation time from the loop's point of view,
+// clamped so it can never exceed the episode's own recovery time. An
+// episode no span covers (the violation self-healed, or tracing
+// started late) falls back to the full recovery duration. The second
+// result counts episodes a span actually covered.
+//
+// Only spans of kind "reconfig" are consulted; pass the full stream
+// and the rest is ignored.
+func RemediationTimes(spans []SpanRecord, starts, durations []float64) ([]float64, int) {
+	n := len(starts)
+	if len(durations) < n {
+		n = len(durations)
+	}
+	times := make([]float64, 0, n)
+	matched := 0
+	for i := 0; i < n; i++ {
+		t0, dur := starts[i], durations[i]
+		t1 := t0 + dur
+		rem := dur
+		for j := range spans {
+			s := &spans[j]
+			if s.Kind != "reconfig" || s.VirtStart > t1 || s.VirtEnd < t1 {
+				continue
+			}
+			matched++
+			rem = t1 - s.VirtStart
+			if rem > dur {
+				rem = dur
+			}
+			if rem < 0 {
+				rem = 0
+			}
+			break
+		}
+		times = append(times, rem)
+	}
+	return times, matched
+}
