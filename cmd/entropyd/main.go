@@ -98,17 +98,21 @@ func main() {
 			spec.Job.Name, spec.Bench, spec.Size, len(spec.Job.VMs), spec.TotalWork())
 	}
 
-	// Tracing follows the control plane: span records only matter when
-	// something can read them, and a nil tracer keeps the headless
-	// loop's hot path allocation-free.
+	// Tracing and solver telemetry follow the control plane: their
+	// records only matter when something can read them, and nil
+	// tracer/telemetry keep the headless loop's hot path
+	// allocation-free.
 	var tracer *obs.Tracer
+	var solver *core.SolverTelemetry
 	if serving {
 		tracer = obs.NewTracer(0)
+		solver = core.NewSolverTelemetry(0)
 	}
 
 	drains := &core.DrainSet{}
 	loop := &core.Loop{
 		Trace:       tracer,
+		Solver:      solver,
 		Decision:    reaper{inner: sched.Consolidation{}, c: c, jobs: func() []*vjob.VJob { return jobs }},
 		Ctx:         ctx,
 		Optimizer:   core.Optimizer{Timeout: *timeout, Workers: *workers, Partitions: *partitions},
@@ -136,8 +140,14 @@ func main() {
 		},
 	}
 
-	// Violation-seconds integral, the exposure metric /metrics serves.
-	violSec := monitor.WatchViolationSeconds(c)
+	// Violation-seconds ledger: the exposure integral /metrics serves,
+	// attributed per vjob, node and dimension — plus per breached
+	// placement rule (the live drain orders) — behind GET
+	// /v1/violations.
+	ledger := monitor.WatchLedger(c, func() []core.PlacementRule {
+		return append(append([]core.PlacementRule(nil), loop.Rules...), drains.Rules()...)
+	})
+	violSec := ledger.Total
 
 	var tick func()
 	tick = func() {
@@ -176,7 +186,7 @@ func main() {
 		watcher := &monitor.ThresholdWatcher{Emit: func(ev core.Event) { loop.Notify(act, ev) }}
 		watcher.Attach(c)
 
-		apiSrv := controlPlane(&simMu, c, cfg, loop, act, drains, &jobs, violSec, tracer)
+		apiSrv := controlPlane(&simMu, c, cfg, loop, act, drains, &jobs, violSec, tracer, ledger, solver)
 		httpSrv := &http.Server{Addr: *listen, Handler: mount(apiSrv.Handler(), *pprofOn)}
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -211,9 +221,11 @@ func main() {
 
 // controlPlane wires the daemon's state into the embeddable API
 // server. jobs is a pointer to the live slice: submissions grow it.
-func controlPlane(mu *sync.Mutex, c *sim.Cluster, cfg *vjob.Configuration, loop *core.Loop, act *drivers.Actuator, drains *core.DrainSet, jobs *[]*vjob.VJob, violSec func() float64, tracer *obs.Tracer) *api.Server {
+func controlPlane(mu *sync.Mutex, c *sim.Cluster, cfg *vjob.Configuration, loop *core.Loop, act *drivers.Actuator, drains *core.DrainSet, jobs *[]*vjob.VJob, violSec func() float64, tracer *obs.Tracer, ledger *monitor.Ledger, solver *core.SolverTelemetry) *api.Server {
 	return &api.Server{
-		Trace: tracer,
+		Trace:  tracer,
+		Ledger: ledger,
+		Solver: solver,
 		Exec: func(fn func()) {
 			mu.Lock()
 			defer mu.Unlock()

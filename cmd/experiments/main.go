@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"cwcs/internal/experiments"
+	"cwcs/internal/monitor"
 	"cwcs/internal/obs"
 	"cwcs/internal/sched"
 	"cwcs/internal/sim"
@@ -108,6 +109,9 @@ func main() {
 		co.CollectSpans = *traceOut != ""
 		rows := experiments.ChurnStudy(co)
 		fmt.Print(experiments.ChurnTable(rows))
+		for _, r := range rows {
+			printAttribution(r.Mode, r.Ledger)
+		}
 		writeCSV(*csvDir, "churn.csv", experiments.ChurnCSV(rows))
 		var spans []obs.SpanRecord
 		for _, r := range rows {
@@ -145,6 +149,9 @@ func main() {
 		}
 		rows := experiments.ChaosStudy(co)
 		fmt.Print(experiments.ChaosTable(rows))
+		for _, r := range rows {
+			printAttribution(r.Scenario, r.Ledger)
+		}
 		writeCSV(*csvDir, "chaos.csv", experiments.ChaosCSV(rows))
 		var spans []obs.SpanRecord
 		for _, r := range rows {
@@ -375,6 +382,26 @@ func writeTrace(path string, spans []obs.SpanRecord) {
 }
 
 // writeCSV stores content under dir when -csv was given.
+// printAttribution is the CLI mirror of GET /v1/violations: one line
+// per study row naming who absorbed the violation exposure. Silent
+// for clean runs.
+func printAttribution(label string, led *monitor.Ledger) {
+	if led == nil || led.Total() == 0 {
+		return
+	}
+	fmt.Printf("%-13s top violators:", label)
+	for _, s := range led.TopVJobs(3) {
+		fmt.Printf(" vjob %s=%.0fs", s.VJob, s.Seconds)
+	}
+	for _, s := range led.TopNodes(3) {
+		fmt.Printf(" node %s=%.0fs", s.Node, s.Seconds)
+	}
+	if rb := led.RuleBreachSeconds(); rb > 0 {
+		fmt.Printf(" rule-breach=%.0fs", rb)
+	}
+	fmt.Println()
+}
+
 func writeCSV(dir, name, content string) {
 	if dir == "" {
 		return

@@ -21,10 +21,12 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"cwcs/internal/core"
 	"cwcs/internal/drivers"
+	"cwcs/internal/monitor"
 	"cwcs/internal/obs"
 	"cwcs/internal/resources"
 	"cwcs/internal/vjob"
@@ -104,6 +106,28 @@ type Server struct {
 	// rather than ever blocking the loop (cwcs_watch_drops_total
 	// counts it). 0 means 256.
 	WatchBuffer int
+	// Ledger, when non-nil, enables GET /v1/violations and the labeled
+	// cwcs_violation_seconds_total{vjob,kind} / {node,kind} and
+	// cwcs_rule_breach_seconds_total{rule} samples. The ledger carries
+	// its own lock, so reads skip Exec and never delay the sim.
+	Ledger *monitor.Ledger
+	// Solver, when non-nil, enables GET /v1/solver and the
+	// cwcs_portfolio_wins_total{strategy} / cwcs_warm_start_* metric
+	// families. Self-locked like the ledger; reads skip Exec.
+	Solver *core.SolverTelemetry
+	// StateInterval is the poll period of the GET /v1/watch/state
+	// producer (real time — deltas are observed under Exec at this
+	// cadence, not per sim event). 0 means 1 second.
+	StateInterval time.Duration
+	// StateBuffer is the per-subscriber delta queue of GET
+	// /v1/watch/state. A client that falls this far behind gets a
+	// terminal dropped event instead of ever blocking the producer
+	// (cwcs_state_watch_drops_total counts it). 0 means 16.
+	StateBuffer int
+
+	// stateDrops counts watch/state subscribers disconnected for
+	// falling behind.
+	stateDrops atomic.Uint64
 }
 
 // Handler returns the routed control plane.
@@ -116,6 +140,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/watch", s.handleWatch)
+	mux.HandleFunc("GET /v1/watch/state", s.handleWatchState)
+	mux.HandleFunc("GET /v1/violations", s.handleViolations)
+	mux.HandleFunc("GET /v1/solver", s.handleSolver)
 	mux.HandleFunc("GET /v1/nodes", s.handleNodes)
 	mux.HandleFunc("GET /v1/nodes/{id}", s.handleNode)
 	mux.HandleFunc("POST /v1/nodes/{id}/drain", s.handleDrain)
@@ -230,33 +257,39 @@ type planJSON struct {
 	Actions   []actionJSON `json:"actions,omitempty"`
 }
 
+// planLocked renders the in-flight plan's status. Callers hold Exec;
+// it backs both GET /v1/plan and the watch/state plan stream.
+func (s *Server) planLocked() planJSON {
+	var out planJSON
+	ex := s.Execution()
+	if ex == nil {
+		return out
+	}
+	p := ex.Plan()
+	out.Executing = !ex.Finished()
+	out.Cost = p.Cost()
+	out.Pools = len(p.Pools)
+	for _, st := range ex.Status() {
+		out.Actions = append(out.Actions, actionJSON{
+			Pool:    st.Pool,
+			Action:  st.Action,
+			VM:      st.VM,
+			Phase:   st.Phase.String(),
+			Err:     st.Err,
+			Started: st.Started,
+			Ended:   st.Ended,
+		})
+	}
+	return out
+}
+
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if s.Execution == nil {
 		writeError(w, http.StatusNotImplemented, "no execution source")
 		return
 	}
 	var out planJSON
-	s.exec(func() {
-		ex := s.Execution()
-		if ex == nil {
-			return
-		}
-		p := ex.Plan()
-		out.Executing = !ex.Finished()
-		out.Cost = p.Cost()
-		out.Pools = len(p.Pools)
-		for _, st := range ex.Status() {
-			out.Actions = append(out.Actions, actionJSON{
-				Pool:    st.Pool,
-				Action:  st.Action,
-				VM:      st.VM,
-				Phase:   st.Phase.String(),
-				Err:     st.Err,
-				Started: st.Started,
-				Ended:   st.Ended,
-			})
-		}
-	})
+	s.exec(func() { out = s.planLocked() })
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -402,31 +435,39 @@ func pinningVJobs(cfg *vjob.Configuration, sleeping []string) []string {
 	return out
 }
 
+// nodeListLocked renders every node's status, name-sorted, including
+// draining nodes already taken offline. Callers hold Exec; it backs
+// both GET /v1/nodes and the watch/state nodes stream, so a stream
+// resync converges to exactly what a poll would report.
+func (s *Server) nodeListLocked() []nodeJSON {
+	cfg := s.Config()
+	load := loadByNode(cfg)
+	var out []nodeJSON
+	seen := make(map[string]bool)
+	for _, n := range cfg.Nodes() {
+		st, _ := s.nodeStatus(cfg, load, n.Name)
+		out = append(out, st)
+		seen[n.Name] = true
+	}
+	// Draining nodes already taken offline are still operator
+	// state: list them too.
+	for _, name := range s.Drains.Nodes() {
+		if !seen[name] {
+			st, _ := s.nodeStatus(cfg, load, name)
+			out = append(out, st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
 	if s.Config == nil {
 		writeError(w, http.StatusNotImplemented, "no configuration source")
 		return
 	}
 	var out []nodeJSON
-	s.exec(func() {
-		cfg := s.Config()
-		load := loadByNode(cfg)
-		seen := make(map[string]bool)
-		for _, n := range cfg.Nodes() {
-			st, _ := s.nodeStatus(cfg, load, n.Name)
-			out = append(out, st)
-			seen[n.Name] = true
-		}
-		// Draining nodes already taken offline are still operator
-		// state: list them too.
-		for _, name := range s.Drains.Nodes() {
-			if !seen[name] {
-				st, _ := s.nodeStatus(cfg, load, name)
-				out = append(out, st)
-			}
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	})
+	s.exec(func() { out = s.nodeListLocked() })
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -61,7 +61,9 @@ func newTestbed(t *testing.T, nodes, cpu, mem int) *testbed {
 		Drains:      drains,
 		Queue:       func() []*vjob.VJob { return b.jobs },
 	}
-	b.violSec = monitor.WatchViolationSeconds(b.c)
+	led := monitor.WatchLedger(b.c, drains.Rules)
+	b.violSec = led.Total
+	b.loop.Solver = core.NewSolverTelemetry(0)
 	b.c.OnLoadChange(func(vm string) {
 		b.loop.Notify(b.act, core.Event{Kind: core.LoadChange, At: b.c.Now(), VMs: []string{vm}})
 	})
@@ -88,6 +90,8 @@ func newTestbed(t *testing.T, nodes, cpu, mem int) *testbed {
 		Withdraw:         b.withdraw,
 		ViolationSeconds: b.violSec,
 		QueueDepth:       func() int { return len(b.jobs) },
+		Ledger:           led,
+		Solver:           b.loop.Solver,
 	}
 	b.ts = httptest.NewServer(b.srv.Handler())
 	t.Cleanup(b.ts.Close)
@@ -371,20 +375,50 @@ func TestNodePinnedByImageReason(t *testing.T) {
 	}
 }
 
+// TestMetricsExposition is registry-driven: metricFamilies() is the
+// single source of truth, so every family it reports with samples must
+// appear in the scrape with its HELP/TYPE headers and every sample
+// series, while a family that has no samples yet must not leave orphan
+// headers. A new family added to the registry is covered automatically
+// — there is no hand-kept name list to forget.
 func TestMetricsExposition(t *testing.T) {
 	b := newTestbed(t, 4, 2, 4096)
 	b.place("ja", 2, 1, 1024, []string{"node000", "node001"})
 	b.advance(60) // bootstrap iteration
 	text := string(b.get(t, "/metrics", http.StatusOK))
-	for _, name := range []string{
-		"cwcs_solves_total", "cwcs_sub_solves_total", "cwcs_repairs_total",
-		"cwcs_failed_repairs_total", "cwcs_widened_repairs_total",
-		"cwcs_repair_expansions_total",
-		"cwcs_violation_seconds_total", "cwcs_queue_depth", "cwcs_switches_total",
-		"cwcs_partition_reuses_total",
+	fams := b.srv.metricFamilies()
+	if len(fams) < 20 {
+		t.Fatalf("metric registry shrank to %d families", len(fams))
+	}
+	names := map[string]bool{}
+	for _, f := range fams {
+		names[f.name] = true
+		if len(f.samples) == 0 {
+			if strings.Contains(text, "# TYPE "+f.name+" ") {
+				t.Errorf("family %s has no samples but left headers in the exposition", f.name)
+			}
+			continue
+		}
+		if !strings.Contains(text, "# HELP "+f.name+" "+f.help) ||
+			!strings.Contains(text, "# TYPE "+f.name+" "+f.typ) {
+			t.Errorf("metrics: headers of %s missing", f.name)
+		}
+		for _, smp := range f.samples {
+			re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(f.name+smp.labels) + ` `)
+			if !re.MatchString(text) {
+				t.Errorf("metrics: series %s%s missing", f.name, smp.labels)
+			}
+		}
+	}
+	// The attribution-era families cannot silently leave the registry.
+	for _, want := range []string{
+		"cwcs_solves_total", "cwcs_violation_seconds_total",
+		"cwcs_portfolio_wins_total", "cwcs_warm_start_hits_total",
+		"cwcs_warm_start_misses_total", "cwcs_rule_breach_seconds_total",
+		"cwcs_state_watch_drops_total", "cwcs_queue_depth",
 	} {
-		if !strings.Contains(text, "# TYPE "+name) {
-			t.Fatalf("metrics: %s missing:\n%s", name, text)
+		if !names[want] {
+			t.Errorf("family %s missing from the registry", want)
 		}
 	}
 	if v := metricValue(t, text, "cwcs_queue_depth"); v != 1 {

@@ -9,42 +9,120 @@ import (
 	"cwcs/internal/resources"
 )
 
-// metric is one exposition line group of GET /metrics.
-type metric struct {
-	name, help, typ string
-	value           float64
+// sample is one exposition line of a family: an optional rendered
+// label set (`{a="b"}`) and the value.
+type sample struct {
+	labels string
+	value  float64
 }
 
-// metricsSnapshot gathers every gauge/counter under Exec.
-func (s *Server) metricsSnapshot() []metric {
-	snap := s.snapshot()
-	g := func(name, help, typ string, v float64) metric {
-		return metric{name: name, help: help, typ: typ, value: v}
+// family is one metric family: HELP/TYPE plus its samples, emitted
+// consecutively as the text exposition format requires. A family may
+// mix label shapes — cwcs_violation_seconds_total carries the
+// unlabeled aggregate integral and the ledger's {vjob,kind} /
+// {node,kind} attribution series in one block.
+type family struct {
+	name, help, typ string
+	samples         []sample
+}
+
+// labels renders one label set in registry order.
+func labels(pairs ...string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", pairs[i], pairs[i+1])
 	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// metricFamilies assembles every non-histogram family the server
+// exports. This is the metrics registry: handleMetrics renders
+// exactly this list (plus the tracer histograms) and the exposition
+// well-formedness test iterates it, so a new family cannot ship
+// unrendered or untested.
+func (s *Server) metricFamilies() []family {
+	snap := s.snapshot()
 	executing := 0.0
 	if snap.Executing {
 		executing = 1
 	}
-	return []metric{
-		g("cwcs_iterations_total", "Wake-ups that ran the decision module.", "counter", float64(snap.Loop.Iterations)),
-		g("cwcs_solves_total", "Optimizer invocations (monolithic solves plus dirty-slice solves).", "counter", float64(snap.Loop.SolverCalls)),
-		g("cwcs_sub_solves_total", "Independent sub-problem optimizations, the comparable solve unit.", "counter", float64(snap.Loop.SubSolves)),
-		g("cwcs_slice_solves_total", "Solver invocations restricted to a dirty partition slice.", "counter", float64(snap.Loop.SliceSolves)),
-		g("cwcs_full_solves_total", "Incremental iterations that fell back to the monolithic model.", "counter", float64(snap.Loop.FullSolves)),
-		g("cwcs_repairs_total", "In-flight plan repairs spliced successfully.", "counter", float64(snap.Loop.Repairs)),
-		g("cwcs_failed_repairs_total", "Repair attempts that fell back to a full re-solve.", "counter", float64(snap.Loop.FailedRepairs)),
-		g("cwcs_widened_repairs_total", "Spliced repairs that needed region widening over a broken dependency chain.", "counter", float64(snap.Loop.WidenedRepairs)),
-		g("cwcs_repair_expansions_total", "Region-widening steps across all repairs (depth = expansions/widened).", "counter", float64(snap.Loop.RepairExpansions)),
-		g("cwcs_events_total", "Cluster events received by the loop.", "counter", float64(snap.Loop.Events)),
-		g("cwcs_events_coalesced_total", "Events absorbed into an armed wake-up or in-flight execution.", "counter", float64(snap.Loop.Coalesced)),
-		g("cwcs_partition_reuses_total", "Wake-ups that reused the cached partition carve.", "counter", float64(snap.Loop.PartitionReuses)),
-		g("cwcs_switches_total", "Executed cluster-wide context switches.", "counter", float64(snap.Switches)),
-		g("cwcs_violation_seconds_total", "Integral of capacity violations over virtual time.", "counter", snap.ViolationSeconds),
-		g("cwcs_queue_depth", "VJobs in the submission queue.", "gauge", float64(snap.QueueDepth)),
-		g("cwcs_draining_nodes", "Nodes currently under a drain order.", "gauge", float64(len(snap.DrainingNodes))),
-		g("cwcs_executing", "1 while a context switch is executing.", "gauge", executing),
-		g("cwcs_virtual_time_seconds", "Current virtual time of the cluster.", "gauge", snap.Now),
+	one := func(name, help, typ string, v float64) family {
+		return family{name: name, help: help, typ: typ, samples: []sample{{value: v}}}
 	}
+	violations := one("cwcs_violation_seconds_total", "Integral of capacity violations over virtual time; labeled series attribute it per vjob and per node by dominant consumer.", "counter", snap.ViolationSeconds)
+	if s.Ledger != nil {
+		for _, e := range s.Ledger.VJobKinds() {
+			violations.samples = append(violations.samples, sample{labels: labels("vjob", e.VJob, "kind", e.Kind), value: e.Seconds})
+		}
+		for _, e := range s.Ledger.NodeKinds() {
+			violations.samples = append(violations.samples, sample{labels: labels("node", e.Node, "kind", e.Kind), value: e.Seconds})
+		}
+	}
+	fams := []family{
+		one("cwcs_iterations_total", "Wake-ups that ran the decision module.", "counter", float64(snap.Loop.Iterations)),
+		one("cwcs_solves_total", "Optimizer invocations (monolithic solves plus dirty-slice solves).", "counter", float64(snap.Loop.SolverCalls)),
+		one("cwcs_sub_solves_total", "Independent sub-problem optimizations, the comparable solve unit.", "counter", float64(snap.Loop.SubSolves)),
+		one("cwcs_slice_solves_total", "Solver invocations restricted to a dirty partition slice.", "counter", float64(snap.Loop.SliceSolves)),
+		one("cwcs_full_solves_total", "Incremental iterations that fell back to the monolithic model.", "counter", float64(snap.Loop.FullSolves)),
+		one("cwcs_repairs_total", "In-flight plan repairs spliced successfully.", "counter", float64(snap.Loop.Repairs)),
+		one("cwcs_failed_repairs_total", "Repair attempts that fell back to a full re-solve.", "counter", float64(snap.Loop.FailedRepairs)),
+		one("cwcs_widened_repairs_total", "Spliced repairs that needed region widening over a broken dependency chain.", "counter", float64(snap.Loop.WidenedRepairs)),
+		one("cwcs_repair_expansions_total", "Region-widening steps across all repairs (depth = expansions/widened).", "counter", float64(snap.Loop.RepairExpansions)),
+		one("cwcs_events_total", "Cluster events received by the loop.", "counter", float64(snap.Loop.Events)),
+		one("cwcs_events_coalesced_total", "Events absorbed into an armed wake-up or in-flight execution.", "counter", float64(snap.Loop.Coalesced)),
+		one("cwcs_partition_reuses_total", "Wake-ups that reused the cached partition carve.", "counter", float64(snap.Loop.PartitionReuses)),
+		one("cwcs_switches_total", "Executed cluster-wide context switches.", "counter", float64(snap.Switches)),
+		violations,
+		one("cwcs_queue_depth", "VJobs in the submission queue.", "gauge", float64(snap.QueueDepth)),
+		one("cwcs_draining_nodes", "Nodes currently under a drain order.", "gauge", float64(len(snap.DrainingNodes))),
+		one("cwcs_executing", "1 while a context switch is executing.", "gauge", executing),
+		one("cwcs_virtual_time_seconds", "Current virtual time of the cluster.", "gauge", snap.Now),
+	}
+	if s.Ledger != nil {
+		breach := family{name: "cwcs_rule_breach_seconds_total", help: "Integral of structural placement-rule breaches over virtual time, per rule kind.", typ: "counter"}
+		for _, e := range s.Ledger.RuleSeconds() {
+			breach.samples = append(breach.samples, sample{labels: labels("rule", e.Rule), value: e.Seconds})
+		}
+		fams = append(fams, breach)
+	}
+	if s.Solver != nil {
+		solver := s.Solver.Snapshot()
+		wins := family{name: "cwcs_portfolio_wins_total", help: "Solves won per portfolio strategy (the strategy whose plan was returned).", typ: "counter"}
+		for _, w := range s.Solver.WinRates() {
+			wins.samples = append(wins.samples, sample{labels: labels("strategy", w.Strategy), value: float64(w.Improvements)})
+		}
+		fams = append(fams,
+			wins,
+			one("cwcs_warm_start_hits_total", "Solves whose warm-start assignment was still viable and seeded the incumbent.", "counter", float64(solver.WarmStartHits)),
+			one("cwcs_warm_start_misses_total", "Solves whose warm-start assignment no longer applied.", "counter", float64(solver.WarmStartMisses)),
+		)
+	}
+	if s.Config != nil {
+		gauges := s.nodeGauges()
+		used := family{name: "cwcs_node_resource_used", help: "Per-node per-dimension resource demand of running VMs.", typ: "gauge"}
+		capacity := family{name: "cwcs_node_resource_capacity", help: "Per-node per-dimension resource capacity.", typ: "gauge"}
+		for _, g := range gauges {
+			l := labels("node", g.node, "kind", g.kind)
+			used.samples = append(used.samples, sample{labels: l, value: g.used})
+			capacity.samples = append(capacity.samples, sample{labels: l, value: g.capacity})
+		}
+		fams = append(fams, used, capacity)
+	}
+	info := obs.BuildInfo()
+	fams = append(fams, family{
+		name: "cwcs_build_info", help: "Build metadata of the serving binary; the value is always 1.", typ: "gauge",
+		samples: []sample{{labels: labels("version", info.Version, "go_version", info.GoVersion), value: 1}},
+	})
+	if s.Trace != nil {
+		fams = append(fams, one("cwcs_watch_drops_total", "Watch events dropped (and subscribers disconnected) because a client fell behind.", "counter", float64(s.Trace.WatchDrops())))
+	}
+	fams = append(fams, one("cwcs_state_watch_drops_total", "State-watch subscribers disconnected because a client fell behind.", "counter", float64(s.stateDrops.Load())))
+	return fams
 }
 
 // nodeGauge is one labeled sample of the per-node resource gauges.
@@ -86,26 +164,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var b strings.Builder
-	for _, m := range s.metricsSnapshot() {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.typ, m.name, m.value)
-	}
-	if s.Config != nil {
-		gauges := s.nodeGauges()
-		b.WriteString("# HELP cwcs_node_resource_used Per-node per-dimension resource demand of running VMs.\n# TYPE cwcs_node_resource_used gauge\n")
-		for _, g := range gauges {
-			fmt.Fprintf(&b, "cwcs_node_resource_used{node=%q,kind=%q} %g\n", g.node, g.kind, g.used)
+	for _, f := range s.metricFamilies() {
+		if len(f.samples) == 0 {
+			// A purely-labeled family with no series yet (e.g. no rule
+			// ever breached) is withheld rather than emitting orphan
+			// HELP/TYPE headers.
+			continue
 		}
-		b.WriteString("# HELP cwcs_node_resource_capacity Per-node per-dimension resource capacity.\n# TYPE cwcs_node_resource_capacity gauge\n")
-		for _, g := range gauges {
-			fmt.Fprintf(&b, "cwcs_node_resource_capacity{node=%q,kind=%q} %g\n", g.node, g.kind, g.capacity)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, smp := range f.samples {
+			fmt.Fprintf(&b, "%s%s %g\n", f.name, smp.labels, smp.value)
 		}
 	}
-	info := obs.BuildInfo()
-	fmt.Fprintf(&b, "# HELP cwcs_build_info Build metadata of the serving binary; the value is always 1.\n# TYPE cwcs_build_info gauge\ncwcs_build_info{version=%q,go_version=%q} 1\n",
-		info.Version, info.GoVersion)
 	if s.Trace != nil {
-		fmt.Fprintf(&b, "# HELP cwcs_watch_drops_total Watch events dropped (and subscribers disconnected) because a client fell behind.\n# TYPE cwcs_watch_drops_total counter\ncwcs_watch_drops_total %d\n",
-			s.Trace.WatchDrops())
 		writeHistograms(&b, s.Trace.Histograms())
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")

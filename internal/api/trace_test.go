@@ -231,7 +231,7 @@ func TestWatchSlowClientDroppedNotBlocking(t *testing.T) {
 // [a-z_]+, counters end in _total, histogram buckets are cumulative
 // and consistent with _count, and label values are quoted and escaped.
 func TestMetricsExpositionWellFormed(t *testing.T) {
-	b, _ := traceTestbed(t, 4, 2, 4096)
+	b, tr := traceTestbed(t, 4, 2, 4096)
 	b.churn(t)
 	text := string(b.get(t, "/metrics", http.StatusOK))
 
@@ -336,19 +336,28 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 	}
 
 	// Every family with headers produced at least one sample and vice
-	// versa; the tracer's histograms are all present.
+	// versa. The coverage set is the registry itself plus the tracer's
+	// histograms — not a hand-kept name list — so a family cannot ship
+	// unrendered.
 	for family := range typed {
 		if !samples[family] {
 			t.Errorf("family %s has headers but no samples", family)
 		}
 	}
-	for _, want := range []string{
-		"cwcs_solve_duration_seconds", "cwcs_wake_to_switch_seconds",
-		"cwcs_event_to_remediation_vseconds", "cwcs_action_duration_vseconds",
-		"cwcs_splice_duration_seconds", "cwcs_build_info", "cwcs_watch_drops_total",
-	} {
-		if !samples[want] {
-			t.Errorf("metric %s missing from exposition", want)
+	for _, f := range b.srv.metricFamilies() {
+		if len(f.samples) == 0 {
+			if typed[f.name] != "" {
+				t.Errorf("family %s has no samples but left headers in the exposition", f.name)
+			}
+			continue
+		}
+		if !samples[f.name] {
+			t.Errorf("registry family %s missing from exposition", f.name)
+		}
+	}
+	for _, h := range tr.Histograms() {
+		if name := h.Snapshot().Name; !samples[name] {
+			t.Errorf("histogram %s missing from exposition", name)
 		}
 	}
 	// Every histogram series ends in +Inf.

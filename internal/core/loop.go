@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"time"
 
 	"cwcs/internal/obs"
 	"cwcs/internal/plan"
@@ -153,6 +154,15 @@ type Loop struct {
 	// guards on it or goes through nil-safe obs.Span methods, so the
 	// disabled hot path allocates nothing (BenchmarkLoopTracingOff).
 	Trace *obs.Tracer
+	// Solver, when non-nil, accumulates search telemetry: one
+	// SolveReport per optimizer invocation (full or slice scope) with
+	// the dirty cause that provoked it, the winning strategy and the
+	// per-worker search counters — the data behind GET /v1/solver and
+	// the cwcs_portfolio_wins_total / cwcs_warm_start_* families. A
+	// nil Solver is inert like a nil Trace: every recording site
+	// guards on it, so the disabled path allocates nothing
+	// (BenchmarkLoopAttributionOff).
+	Solver *SolverTelemetry
 
 	// Records accumulates every non-empty context switch.
 	Records []SwitchRecord
@@ -180,6 +190,11 @@ type Loop struct {
 	debounceSpan obs.Span
 	wakeSpan     obs.Span
 	nowVirt      float64
+	// causeKind names the event kind that opened the current
+	// reconfiguration episode — the "why" a slice is re-solved. It is
+	// tracked independently of causeSpan so solver telemetry carries
+	// causes even without a tracer.
+	causeKind string
 
 	// Partition cache: the node/VM membership (and rescoped rules) of
 	// the last carve — or the verdict that the problem stays monolithic
@@ -220,11 +235,35 @@ func (l *Loop) endWake(a Actuator, switched bool) {
 // opened it is remediated as far as the loop can tell. Its virtual
 // duration is the event-to-remediation time.
 func (l *Loop) closeCause(a Actuator) {
+	l.causeKind = ""
 	if !l.causeSpan.Active() {
 		return
 	}
 	l.causeSpan.End(a.Now())
 	l.Trace.SetCause(0)
+}
+
+// recordSolve folds one optimizer invocation into the solver
+// telemetry: what ran (scope), why (the episode's opening event kind
+// and reconfig span ID), who won and what the search cost. Guarded by
+// the caller on l.Solver != nil, so the disabled path never builds a
+// report.
+func (l *Loop) recordSolve(scope string, res *Result, warm bool, wall float64) {
+	l.Solver.RecordSolve(SolveReport{
+		Virt:        l.nowVirt,
+		Scope:       scope,
+		Cause:       l.causeKind,
+		CauseID:     l.causeSpan.ID(),
+		Winner:      res.Winner,
+		Cost:        res.Cost,
+		Nodes:       res.Nodes,
+		Backtracks:  res.Fails,
+		WarmStart:   warm,
+		WarmHit:     res.WarmHit,
+		Workers:     res.Outcomes,
+		Trajectory:  res.Trajectory,
+		WallSeconds: wall,
+	})
 }
 
 // Stop halts the loop after the current iteration; a pending in-flight
@@ -294,6 +333,12 @@ func (l *Loop) Notify(a Actuator, ev Event) {
 	}
 	l.Stats.Events++
 	l.dirty.add(ev)
+	// The first event of an idle-to-busy burst names the episode's
+	// cause — tracked as a plain string too, so solver telemetry can
+	// say why a slice was re-solved even when no tracer is attached.
+	if l.causeKind == "" {
+		l.causeKind = ev.Kind.String()
+	}
 	if l.Trace != nil {
 		if !l.causeSpan.Active() {
 			l.causeSpan = l.Trace.Start(obs.KindReconfig, ev.Kind.String(), a.Now())
@@ -367,9 +412,17 @@ func (l *Loop) iterate(a Actuator) {
 	opt := l.Optimizer
 	opt.WarmStart = l.lastDst
 	sp := l.Trace.Start(obs.KindSolve, "full", l.nowVirt)
+	var t0 time.Time
+	if l.Solver != nil {
+		t0 = time.Now()
+	}
 	res, err := opt.SolveContext(l.ctx(), p)
 	if err == nil {
 		sp.SetSolve(float64(res.Cost), maxInt(res.Partitions, 1), opt.WarmStart != nil)
+		sp.SetSearch(res.Winner, res.Nodes, res.Fails, res.WarmHit)
+		if l.Solver != nil {
+			l.recordSolve("full", res, opt.WarmStart != nil, time.Since(t0).Seconds())
+		}
 	} else {
 		sp.SetOutcome("error")
 	}
@@ -670,6 +723,10 @@ func (l *Loop) solveDirtySlices(p Problem, dirtyNodes, dirtyVMs, coverNodes, cov
 		l.Stats.SliceSolves++
 		l.Stats.SubSolves++
 		sp := l.Trace.Start(obs.KindSolve, "slice", l.nowVirt)
+		var t0 time.Time
+		if l.Solver != nil {
+			t0 = time.Now()
+		}
 		res, err := opt.SolveContext(l.ctx(), sub)
 		if err != nil {
 			sp.SetOutcome("error")
@@ -677,7 +734,11 @@ func (l *Loop) solveDirtySlices(p Problem, dirtyNodes, dirtyVMs, coverNodes, cov
 			return nil, err
 		}
 		sp.SetSolve(float64(res.Cost), 1, opt.WarmStart != nil)
+		sp.SetSearch(res.Winner, res.Nodes, res.Fails, res.WarmHit)
 		sp.End(l.nowVirt)
+		if l.Solver != nil {
+			l.recordSolve("slice", res, opt.WarmStart != nil, time.Since(t0).Seconds())
+		}
 		out.plans = append(out.plans, res.Plan)
 		out.dsts = append(out.dsts, res.Dst)
 		out.srcs = append(out.srcs, sub.Src)
@@ -843,9 +904,17 @@ func (l *Loop) iterateIncremental(a Actuator) {
 		opt := l.Optimizer
 		opt.WarmStart = l.lastDst
 		sp := l.Trace.Start(obs.KindSolve, "full", l.nowVirt)
+		var t0 time.Time
+		if l.Solver != nil {
+			t0 = time.Now()
+		}
 		res, serr := opt.SolveContext(l.ctx(), p)
 		if serr == nil {
 			sp.SetSolve(float64(res.Cost), maxInt(res.Partitions, 1), opt.WarmStart != nil)
+			sp.SetSearch(res.Winner, res.Nodes, res.Fails, res.WarmHit)
+			if l.Solver != nil {
+				l.recordSolve("full", res, opt.WarmStart != nil, time.Since(t0).Seconds())
+			}
 		} else {
 			sp.SetOutcome("error")
 		}

@@ -102,7 +102,7 @@ type searchStrategy struct {
 // baseStrategy is the configuration the Optimizer's own flags ask for.
 func (o Optimizer) baseStrategy() searchStrategy {
 	return searchStrategy{
-		Strategy:    cp.Strategy{FirstFail: !o.NaiveOrdering, PreferValue: !o.NaiveOrdering},
+		Strategy:    cp.Strategy{Label: "base", FirstFail: !o.NaiveOrdering, PreferValue: !o.NaiveOrdering},
 		useKnapsack: o.UseKnapsack,
 	}
 }
@@ -110,7 +110,8 @@ func (o Optimizer) baseStrategy() searchStrategy {
 // strategies builds the diverse portfolio lineup: the configured
 // strategy first, then the knapsack-bound toggle and the two ordering
 // variants, then deterministically seeded shuffled-restart workers
-// (the same tail cp.DefaultStrategies uses).
+// (the same tail cp.DefaultStrategies uses). Labels feed the win
+// telemetry (Result.Winner, cwcs_portfolio_wins_total{strategy}).
 func (o Optimizer) strategies(n int) []searchStrategy {
 	base := o.baseStrategy()
 	out := make([]searchStrategy, 0, n)
@@ -120,6 +121,9 @@ func (o Optimizer) strategies(n int) []searchStrategy {
 		{Strategy: cp.Strategy{FirstFail: true}, useKnapsack: base.useKnapsack},
 		{Strategy: cp.Strategy{PreferValue: true}, useKnapsack: base.useKnapsack},
 	}
+	alts[0].Label = "knapsack"
+	alts[1].Label = "firstfail"
+	alts[2].Label = "prefer"
 	for i := 1; i < n; i++ {
 		if i-1 < len(alts) {
 			out = append(out, alts[i-1])
@@ -127,6 +131,7 @@ func (o Optimizer) strategies(n int) []searchStrategy {
 		}
 		st := base
 		st.ShuffleSeed = int64(i)
+		st.Label = fmt.Sprintf("shuffle#%d", i)
 		out = append(out, st)
 	}
 	return out
@@ -358,17 +363,29 @@ func (o Optimizer) solveMonolithic(ctx context.Context, p Problem, workers int) 
 	// the FFD seed: on incremental re-solves it is usually a near-no-op
 	// plan that undercuts FFD's from-scratch packing by far.
 	var seed *Result
+	seedLabel := ""
 	if sd, err := FFDPlan(p); err == nil && rulesHold(p.Rules, sd.Dst) && o.seedRespectsPins(p, sd) {
-		seed = sd
+		seed, seedLabel = sd, "ffd-seed"
 	}
-	if ws := o.warmSeed(p, c); ws != nil && (seed == nil || ws.Cost < seed.Cost) {
-		seed = ws
+	warmHit := false
+	if ws := o.warmSeed(p, c); ws != nil {
+		warmHit = true
+		if seed == nil || ws.Cost < seed.Cost {
+			seed, seedLabel = ws, "warm-seed"
+		}
 	}
 
+	var res *Result
 	if workers > 1 && len(c.runners) > 0 {
-		return o.solvePortfolio(ctx, p, c, seed, workers)
+		res, err = o.solvePortfolio(ctx, p, c, seed, seedLabel, workers)
+	} else {
+		res, err = o.solveSequential(ctx, p, c, seed, seedLabel)
 	}
-	return o.solveSequential(ctx, p, c, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.WarmHit = warmHit
+	return res, nil
 }
 
 // solvePartitioned optimizes the node-disjoint sub-problems
@@ -408,6 +425,8 @@ func (o Optimizer) solvePartitioned(ctx context.Context, p Problem, parts []Prob
 	dst := p.Src.Clone()
 	plans := make([]*plan.Plan, len(parts))
 	agg := &Result{Optimal: true, Partitions: len(parts)}
+	winCount := make(map[string]int)
+	outcomes := make(map[string]WorkerOutcome)
 	for i, r := range results {
 		if err := dst.Rebase(parts[i].Src, r.Dst); err != nil {
 			return nil, err
@@ -418,7 +437,30 @@ func (o Optimizer) solvePartitioned(ctx context.Context, p Problem, parts []Prob
 		agg.Nodes += r.Nodes
 		agg.Fails += r.Fails
 		agg.Optimal = agg.Optimal && r.Optimal
+		agg.WarmHit = agg.WarmHit || r.WarmHit
+		if r.Winner != "" {
+			winCount[r.Winner]++
+		}
+		for _, w := range r.Outcomes {
+			m := outcomes[w.Strategy]
+			m.Strategy = w.Strategy
+			m.Nodes += w.Nodes
+			m.Backtracks += w.Backtracks
+			m.Improvements += w.Improvements
+			outcomes[w.Strategy] = m
+		}
 	}
+	// The aggregate winner is the most frequent per-partition winner
+	// (label order breaks ties); outcomes merge by strategy.
+	for s, n := range winCount {
+		if c := winCount[agg.Winner]; agg.Winner == "" || n > c || (n == c && s < agg.Winner) {
+			agg.Winner = s
+		}
+	}
+	for _, w := range outcomes {
+		agg.Outcomes = append(agg.Outcomes, w)
+	}
+	sort.Slice(agg.Outcomes, func(i, j int) bool { return agg.Outcomes[i].Strategy < agg.Outcomes[j].Strategy })
 	if !dst.Viable() {
 		return nil, fmt.Errorf("core: merged configuration is non-viable: %v", dst.Violations())
 	}
@@ -439,12 +481,25 @@ func (o Optimizer) solvePartitioned(ctx context.Context, p Problem, parts []Prob
 
 // solveSequential is the single-worker branch-and-bound driven by the
 // true §4.2 plan cost.
-func (o Optimizer) solveSequential(ctx context.Context, p Problem, c *compiled, seed *Result) (*Result, error) {
+func (o Optimizer) solveSequential(ctx context.Context, p Problem, c *compiled, seed *Result, seedLabel string) (*Result, error) {
 	m, err := o.buildModel(p, c, o.baseStrategy())
 	if err != nil {
 		return nil, err
 	}
 	m.opts.Ctx = ctx
+
+	// Search telemetry: who produced the returned plan (the seed,
+	// until the branch-and-bound improves on it) and the incumbent
+	// trajectory of the improvements.
+	start := time.Now()
+	winner, improved := seedLabel, 0
+	var traj []BoundPoint
+	seal := func(r *Result) *Result {
+		r.Winner = winner
+		r.Trajectory = traj
+		r.Outcomes = []WorkerOutcome{{Strategy: "base", Nodes: r.Nodes, Backtracks: r.Fails, Improvements: improved}}
+		return r
+	}
 
 	best := seed
 	bound := c.maxObj
@@ -461,7 +516,7 @@ func (o Optimizer) solveSequential(ctx context.Context, p Problem, c *compiled, 
 				return nil, fmt.Errorf("%w: timeout before first solution", ErrNoViableConfiguration)
 			}
 			best.finishStats(m.s)
-			return best, nil
+			return seal(best), nil
 		}
 		m.s.RestoreState(root)
 		if err := m.s.RemoveAbove(m.obj, bound); err != nil {
@@ -473,7 +528,7 @@ func (o Optimizer) solveSequential(ctx context.Context, p Problem, c *compiled, 
 				return nil, fmt.Errorf("%w: timeout before first solution", ErrNoViableConfiguration)
 			}
 			best.finishStats(m.s)
-			return best, nil
+			return seal(best), nil
 		}
 		if errors.Is(err, cp.ErrFailed) {
 			break // search space exhausted: optimality proven
@@ -488,6 +543,8 @@ func (o Optimizer) solveSequential(ctx context.Context, p Problem, c *compiled, 
 				if pl, perr := o.Builder.Plan(g); perr == nil {
 					if best == nil || pl.Cost() < best.Cost {
 						best = &Result{Dst: dst, Plan: pl, Cost: pl.Cost(), LowerBound: lb, Solutions: 0}
+						winner, improved = "base", improved+1
+						traj = append(traj, BoundPoint{Seconds: time.Since(start).Seconds(), Cost: best.Cost})
 					}
 					best.Solutions++
 				}
@@ -506,7 +563,7 @@ func (o Optimizer) solveSequential(ctx context.Context, p Problem, c *compiled, 
 	}
 	best.Optimal = true
 	best.finishStats(m.s)
-	return best, nil
+	return seal(best), nil
 }
 
 // lowerBound sums the admissible per-VM cost contributions of a
@@ -524,25 +581,34 @@ func (c *compiled) lowerBound(sol cp.Solution, vars []*cp.IntVar) int {
 // worker's inner search loop), and the aggregate run flags.
 type portfolioState struct {
 	bound *cp.Incumbent
+	start time.Time
 
 	mu           sync.Mutex
 	best         *Result
+	winner       string // strategy that produced best (the seed's label until beaten)
 	solutions    int
 	proven       bool
 	err          error // first non-interruption worker error
 	nodes, fails int64 // aggregated search counters
+	outcomes     []WorkerOutcome
+	traj         []BoundPoint
 }
 
 // offer publishes a decoded solution; the caller then tightens the
-// bound with the returned incumbent cost.
-func (sh *portfolioState) offer(r *Result) int {
+// bound with the returned incumbent cost. It reports whether the
+// offer improved the incumbent, crediting the offering strategy and
+// extending the bound trajectory when it did.
+func (sh *portfolioState) offer(r *Result, strategy string) (int, bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.solutions++
-	if sh.best == nil || r.Cost < sh.best.Cost {
+	improved := sh.best == nil || r.Cost < sh.best.Cost
+	if improved {
 		sh.best = r
+		sh.winner = strategy
+		sh.traj = append(sh.traj, BoundPoint{Seconds: time.Since(sh.start).Seconds(), Cost: r.Cost})
 	}
-	return sh.best.Cost
+	return sh.best.Cost, improved
 }
 
 // solvePortfolio races diverse workers over independent copies of the
@@ -551,12 +617,12 @@ func (sh *portfolioState) offer(r *Result) int {
 // the first worker to exhaust the space below the incumbent proves
 // optimality (with respect to the bound, like the sequential search)
 // and cancels the rest.
-func (o Optimizer) solvePortfolio(ctx context.Context, p Problem, c *compiled, seed *Result, workers int) (*Result, error) {
+func (o Optimizer) solvePortfolio(ctx context.Context, p Problem, c *compiled, seed *Result, seedLabel string, workers int) (*Result, error) {
 	bound := c.maxObj
 	if seed != nil && seed.Cost-1 < bound {
 		bound = seed.Cost - 1
 	}
-	sh := &portfolioState{bound: cp.NewIncumbent(bound), best: seed}
+	sh := &portfolioState{bound: cp.NewIncumbent(bound), start: time.Now(), best: seed, winner: seedLabel}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -586,6 +652,10 @@ func (o Optimizer) solvePortfolio(ctx context.Context, p Problem, c *compiled, s
 	best.Optimal = sh.proven
 	best.Solutions = sh.solutions
 	best.Nodes, best.Fails = sh.nodes, sh.fails
+	best.Winner = sh.winner
+	sort.Slice(sh.outcomes, func(i, j int) bool { return sh.outcomes[i].Strategy < sh.outcomes[j].Strategy })
+	best.Outcomes = sh.outcomes
+	best.Trajectory = sh.traj
 	return best, nil
 }
 
@@ -606,11 +676,13 @@ func (o Optimizer) runPortfolioWorker(ctx context.Context, cancel context.Cancel
 		cancel()
 		return
 	}
+	improved := 0
 	defer func() {
 		n, f, _, _ := m.s.Stats()
 		sh.mu.Lock()
 		sh.nodes += n
 		sh.fails += f
+		sh.outcomes = append(sh.outcomes, WorkerOutcome{Strategy: st.Label, Nodes: n, Backtracks: f, Improvements: improved})
 		sh.mu.Unlock()
 	}()
 	opts := m.opts
@@ -654,7 +726,10 @@ func (o Optimizer) runPortfolioWorker(ctx context.Context, cancel context.Cancel
 		if dst, derr := o.decode(p, c.goals, c.runners, m.vars, c.nodes, sol); derr == nil {
 			if g, gerr := plan.BuildGraph(p.Src, dst); gerr == nil {
 				if pl, perr := o.Builder.Plan(g); perr == nil {
-					incumbent := sh.offer(&Result{Dst: dst, Plan: pl, Cost: pl.Cost(), LowerBound: lb})
+					incumbent, better := sh.offer(&Result{Dst: dst, Plan: pl, Cost: pl.Cost(), LowerBound: lb}, st.Label)
+					if better {
+						improved++
+					}
 					sh.bound.Tighten(incumbent - 1)
 				}
 			}

@@ -217,4 +217,23 @@ type Result struct {
 	// its slice optimal — the merged plan is not necessarily a global
 	// optimum, since cross-partition migrations were never considered.
 	Partitions int
+	// Winner names the strategy that produced the returned plan:
+	// "base", "knapsack", "firstfail", "prefer" or "shuffle#N" for a
+	// portfolio worker; "warm-seed" / "ffd-seed" when no worker beat
+	// the seed. On a partitioned solve it is the most frequent
+	// per-partition winner.
+	Winner string
+	// WarmHit reports that the WarmStart assignment was still viable
+	// for this problem and seeded the incumbent (whether a warm start
+	// was offered at all is the caller's knowledge: Optimizer.WarmStart
+	// != nil).
+	WarmHit bool
+	// Outcomes are the per-portfolio-worker search outcomes, strategy-
+	// sorted. A sequential solve reports one "base" entry; a
+	// partitioned solve merges per-partition outcomes by strategy.
+	Outcomes []WorkerOutcome
+	// Trajectory is the incumbent-bound trajectory: one point per
+	// improving solution, offset in wall seconds from the solve start.
+	// Empty on partitioned solves.
+	Trajectory []BoundPoint
 }

@@ -204,17 +204,35 @@ func TestLoopTraceDisabledIsByteIdentical(t *testing.T) {
 // TestNilTracerIsInertAndFree in internal/obs; this benchmark pins the
 // end-to-end ns/op against BENCH_obs.json.
 func BenchmarkLoopTracingOff(b *testing.B) {
-	benchLoopIteration(b, nil)
+	benchLoopIteration(b, nil, nil)
 }
 
 // BenchmarkLoopTracingOn measures the same iteration with a live
 // tracer, so the tracing tax is the delta to BenchmarkLoopTracingOff.
 // Not regress-gated: it exists for comparison.
 func BenchmarkLoopTracingOn(b *testing.B) {
-	benchLoopIteration(b, obs.NewTracer(0))
+	benchLoopIteration(b, obs.NewTracer(0), nil)
 }
 
-func benchLoopIteration(b *testing.B, tr *obs.Tracer) {
+// BenchmarkLoopAttributionOff pins the attribution era's inert hot
+// path: tracer AND solver telemetry both nil, so the cause-kind
+// bookkeeping and recordSolve guards added for per-solve attribution
+// are all the scenario can cost. Regress-gated against
+// BENCH_attrib.json; the nil-ledger 0-alloc claim is pinned by
+// TestLedgerNilIsInertAndFree in internal/monitor.
+func BenchmarkLoopAttributionOff(b *testing.B) {
+	benchLoopIteration(b, nil, nil)
+}
+
+// BenchmarkLoopAttributionOn measures the same iteration with live
+// solver telemetry, so the attribution tax is the delta to
+// BenchmarkLoopAttributionOff. Not regress-gated: it exists for
+// comparison.
+func BenchmarkLoopAttributionOn(b *testing.B) {
+	benchLoopIteration(b, nil, NewSolverTelemetry(0))
+}
+
+func benchLoopIteration(b *testing.B, tr *obs.Tracer, st *SolverTelemetry) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg, rules, jobs := benchChurnCluster(b, 64)
@@ -227,6 +245,7 @@ func benchLoopIteration(b *testing.B, tr *obs.Tracer) {
 			Rules:       rules,
 			Queue:       func() []*vjob.VJob { return jobs },
 			Trace:       tr,
+			Solver:      st,
 		}
 		l.Start(a)
 		a.run(1)

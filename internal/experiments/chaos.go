@@ -186,6 +186,17 @@ type ChaosResult struct {
 	RemediationP50, RemediationP95, RemediationMax float64
 	// Spans is the retained span stream when CollectSpans is set.
 	Spans []obs.SpanRecord
+	// Ledger is the per-entity attribution behind ViolationSeconds
+	// (ViolationSeconds == Ledger.Total() by construction). TopVJob /
+	// TopNode name the worst-suffering vjob and node with their
+	// violation-second integrals; RuleBreachSeconds integrates drain
+	// rules breached while a failed node still hosted VMs.
+	Ledger            *monitor.Ledger
+	TopVJob           string
+	TopVJobSeconds    float64
+	TopNode           string
+	TopNodeSeconds    float64
+	RuleBreachSeconds float64
 }
 
 // RunChaos replays one scenario cell. Unknown scenario names panic:
@@ -393,7 +404,7 @@ func RunChaos(scenario string, opts ChaosOptions) ChaosResult {
 	}
 	c.Schedule(opts.resyncInterval(), resync)
 
-	violSec := monitor.WatchViolationSeconds(c)
+	led := monitor.WatchLedger(c, drains.Rules)
 	recovery := monitor.WatchRecovery(c)
 	c.Schedule(co.Horizon, func() {}) // pin the clock for censoring
 
@@ -402,7 +413,15 @@ func RunChaos(scenario string, opts ChaosOptions) ChaosResult {
 	c.Run(co.Horizon)
 	res.Wall = time.Since(start)
 
-	res.ViolationSeconds = violSec()
+	res.ViolationSeconds = led.Total()
+	res.Ledger = led
+	if top := led.TopVJobs(1); len(top) > 0 {
+		res.TopVJob, res.TopVJobSeconds = top[0].VJob, top[0].Seconds
+	}
+	if top := led.TopNodes(1); len(top) > 0 {
+		res.TopNode, res.TopNodeSeconds = top[0].Node, top[0].Seconds
+	}
+	res.RuleBreachSeconds = led.RuleBreachSeconds()
 	if recovery.Open {
 		res.Unrecovered = 1
 		recovery.CloseAt(c.Now())
@@ -542,14 +561,15 @@ func ChaosTable(rows []ChaosResult) string {
 // ChaosCSV renders the rows for external plotting.
 func ChaosCSV(rows []ChaosResult) string {
 	var b strings.Builder
-	b.WriteString("scenario,episodes,recovery_p50,recovery_p95,recovery_max,remediation_p50,remediation_p95,remediation_max,matched_episodes,unrecovered,dropped,breaches,violation_seconds,final_violations,sub_solves,full_solves,repairs,switches,events,arrived,completed,end\n")
+	b.WriteString("scenario,episodes,recovery_p50,recovery_p95,recovery_max,remediation_p50,remediation_p95,remediation_max,matched_episodes,unrecovered,dropped,breaches,violation_seconds,final_violations,sub_solves,full_solves,repairs,switches,events,arrived,completed,end,top_vjob,top_vjob_viol_sec,top_node,top_node_viol_sec,rule_breach_sec\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n",
+		fmt.Fprintf(&b, "%s,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%.0f,%s,%.1f,%s,%.1f,%.1f\n",
 			r.Scenario, r.Episodes, r.RecoveryP50, r.RecoveryP95, r.RecoveryMax,
 			r.RemediationP50, r.RemediationP95, r.RemediationMax, r.MatchedEpisodes,
 			r.Unrecovered, r.Dropped, r.Breaches, r.ViolationSeconds, r.FinalViolations,
 			r.Stats.SubSolves, r.Stats.FullSolves, r.Stats.Repairs, r.Switches,
-			r.Stats.Events, r.Arrived, r.Completed, r.End)
+			r.Stats.Events, r.Arrived, r.Completed, r.End,
+			r.TopVJob, r.TopVJobSeconds, r.TopNode, r.TopNodeSeconds, r.RuleBreachSeconds)
 	}
 	return b.String()
 }

@@ -126,8 +126,10 @@ func TestChaosRendering(t *testing.T) {
 func TestGoldenChaosCSV(t *testing.T) {
 	rows := []ChaosResult{
 		{Scenario: ScenarioBaseline, Episodes: 3, RecoveryP50: 12, RecoveryP95: 40.5, RecoveryMax: 41, ViolationSeconds: 321.5, Switches: 14, Arrived: 10, Completed: 10, End: 1500},
-		{Scenario: ScenarioBursts, Episodes: 6, RecoveryP50: 25, RecoveryP95: 90, RecoveryMax: 120, ViolationSeconds: 1024, FinalViolations: 0, Switches: 22, Arrived: 10, Completed: 9, End: 1500},
-		{Scenario: ScenarioLoss, Episodes: 5, RecoveryP50: 60, RecoveryP95: 180, RecoveryMax: 200, Unrecovered: 1, Dropped: 17, ViolationSeconds: 900, Switches: 18, Arrived: 10, Completed: 9, End: 1500},
+		{Scenario: ScenarioBursts, Episodes: 6, RecoveryP50: 25, RecoveryP95: 90, RecoveryMax: 120, ViolationSeconds: 1024, FinalViolations: 0, Switches: 22, Arrived: 10, Completed: 9, End: 1500,
+			TopVJob: "vjob004", TopVJobSeconds: 512.5, TopNode: "node007", TopNodeSeconds: 600, RuleBreachSeconds: 90.5},
+		{Scenario: ScenarioLoss, Episodes: 5, RecoveryP50: 60, RecoveryP95: 180, RecoveryMax: 200, Unrecovered: 1, Dropped: 17, ViolationSeconds: 900, Switches: 18, Arrived: 10, Completed: 9, End: 1500,
+			TopVJob: "vjob001", TopVJobSeconds: 450, TopNode: "node002", TopNodeSeconds: 500},
 		{Scenario: ScenarioReplay, Episodes: 1, RecoveryP50: 8, RecoveryP95: 8, RecoveryMax: 8, ViolationSeconds: 64, Switches: 9, Arrived: 3, Completed: 1, End: 1500},
 	}
 	checkGolden(t, "chaos.csv.golden", ChaosCSV(rows))

@@ -128,6 +128,17 @@ type ChurnResult struct {
 	RemediationP50, RemediationP95, RemediationMax float64
 	// Spans is the retained span stream when CollectSpans is set.
 	Spans []obs.SpanRecord
+	// Ledger is the per-entity attribution behind ViolationSeconds
+	// (ViolationSeconds == Ledger.Total() by construction). TopVJob /
+	// TopNode name the worst-suffering vjob and node with their
+	// violation-second integrals (empty when the run stayed clean);
+	// RuleBreachSeconds integrates structural placement-rule breaches.
+	Ledger            *monitor.Ledger
+	TopVJob           string
+	TopVJobSeconds    float64
+	TopNode           string
+	TopNodeSeconds    float64
+	RuleBreachSeconds float64
 }
 
 // RunChurn replays the churn scenario under one loop schedule.
@@ -258,14 +269,22 @@ func RunChurn(eventDriven bool, opts ChurnOptions) ChurnResult {
 		scheduleArrival()
 	}
 
-	violSec := monitor.WatchViolationSeconds(c)
+	led := monitor.WatchLedger(c, nil)
 	recovery := monitor.WatchRecovery(c)
 
 	start := time.Now()
 	loop.Start(act)
 	c.Run(opts.Horizon)
 	res.Wall = time.Since(start)
-	res.ViolationSeconds = violSec()
+	res.ViolationSeconds = led.Total()
+	res.Ledger = led
+	if top := led.TopVJobs(1); len(top) > 0 {
+		res.TopVJob, res.TopVJobSeconds = top[0].VJob, top[0].Seconds
+	}
+	if top := led.TopNodes(1); len(top) > 0 {
+		res.TopNode, res.TopNodeSeconds = top[0].Node, top[0].Seconds
+	}
+	res.RuleBreachSeconds = led.RuleBreachSeconds()
 	recovery.CloseAt(c.Now())
 	res.Episodes = recovery.Episodes()
 	res.Recoveries = recovery.Durations
@@ -312,15 +331,19 @@ func ChurnStudy(opts ChurnOptions) []ChurnResult {
 func ChurnTable(rows []ChurnResult) string {
 	var b strings.Builder
 	b.WriteString("Periodic vs event-driven reconfiguration loop (equal per-solve budget)\n")
-	fmt.Fprintf(&b, "%-12s %9s %8s %8s %8s %8s %8s %10s %8s %9s %8s %8s %8s\n",
+	fmt.Fprintf(&b, "%-12s %9s %8s %8s %8s %8s %8s %10s %8s %9s %8s %8s %8s %-12s\n",
 		"mode", "subsolves", "slices", "full", "repairs", "switches", "events", "viol-sec", "final", "done/arr",
-		"episodes", "rem-p50", "rem-p95")
+		"episodes", "rem-p50", "rem-p95", "top-vjob")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-12s %9d %8d %8d %8d %8d %8d %10.0f %8d %5d/%-3d %8d %8.1f %8.1f\n",
+		top := "-"
+		if r.TopVJob != "" {
+			top = fmt.Sprintf("%s:%.0f", r.TopVJob, r.TopVJobSeconds)
+		}
+		fmt.Fprintf(&b, "%-12s %9d %8d %8d %8d %8d %8d %10.0f %8d %5d/%-3d %8d %8.1f %8.1f %-12s\n",
 			r.Mode, r.Stats.SubSolves, r.Stats.SliceSolves, r.Stats.FullSolves,
 			r.Stats.Repairs, r.Switches, r.Stats.Events,
 			r.ViolationSeconds, r.FinalViolations, r.Completed, r.Arrived,
-			r.Episodes, r.RemediationP50, r.RemediationP95)
+			r.Episodes, r.RemediationP50, r.RemediationP95, top)
 	}
 	if len(rows) == 2 && rows[1].Stats.SubSolves > 0 {
 		fmt.Fprintf(&b, "solver invocations: %.1fx fewer; violation-seconds: %sx lower (event-driven vs periodic)\n",
@@ -348,14 +371,15 @@ func ratioStr(a, b float64) string {
 // ChurnCSV renders the rows for external plotting.
 func ChurnCSV(rows []ChurnResult) string {
 	var b strings.Builder
-	b.WriteString("mode,sub_solves,solver_calls,slice_solves,full_solves,repairs,failed_repairs,switches,events,coalesced,violation_seconds,final_violations,arrived,completed,end,episodes,matched_episodes,remediation_p50,remediation_p95,remediation_max\n")
+	b.WriteString("mode,sub_solves,solver_calls,slice_solves,full_solves,repairs,failed_repairs,switches,events,coalesced,violation_seconds,final_violations,arrived,completed,end,episodes,matched_episodes,remediation_p50,remediation_p95,remediation_max,top_vjob,top_vjob_viol_sec,top_node,top_node_viol_sec,rule_breach_sec\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%d,%d,%d,%.0f,%d,%d,%.1f,%.1f,%.1f\n",
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%d,%d,%d,%.0f,%d,%d,%.1f,%.1f,%.1f,%s,%.1f,%s,%.1f,%.1f\n",
 			r.Mode, r.Stats.SubSolves, r.Stats.SolverCalls, r.Stats.SliceSolves, r.Stats.FullSolves,
 			r.Stats.Repairs, r.Stats.FailedRepairs, r.Switches, r.Stats.Events,
 			r.Stats.Coalesced, r.ViolationSeconds, r.FinalViolations,
 			r.Arrived, r.Completed, r.End,
-			r.Episodes, r.MatchedEpisodes, r.RemediationP50, r.RemediationP95, r.RemediationMax)
+			r.Episodes, r.MatchedEpisodes, r.RemediationP50, r.RemediationP95, r.RemediationMax,
+			r.TopVJob, r.TopVJobSeconds, r.TopNode, r.TopNodeSeconds, r.RuleBreachSeconds)
 	}
 	return b.String()
 }

@@ -51,6 +51,13 @@ type RepairStormResult struct {
 	Breaches int
 	// Switches counts executed context switches.
 	Switches int
+	// TopVJob / TopNode name the worst-suffering vjob and node with
+	// their violation-second integrals (attribution ledger; empty when
+	// the cell stayed violation-free).
+	TopVJob        string
+	TopVJobSeconds float64
+	TopNode        string
+	TopNodeSeconds float64
 }
 
 // RepairStormStudy replays the scenario for every (rate, widening)
@@ -79,6 +86,10 @@ func RepairStormStudy(opts RepairStormOptions) []RepairStormResult {
 				FinalViolations:  r.FinalViolations,
 				Breaches:         r.Breaches,
 				Switches:         r.Switches,
+				TopVJob:          r.TopVJob,
+				TopVJobSeconds:   r.TopVJobSeconds,
+				TopNode:          r.TopNode,
+				TopNodeSeconds:   r.TopNodeSeconds,
 			})
 		}
 	}
@@ -130,16 +141,16 @@ func RepairStormTable(rows []RepairStormResult) string {
 // RepairStormCSV renders the rows for external plotting.
 func RepairStormCSV(rows []RepairStormResult) string {
 	var b strings.Builder
-	b.WriteString("rate,widen,repairs,widened_repairs,repair_expansions,failed_repairs,full_solves,violation_seconds,final_violations,breaches,switches\n")
+	b.WriteString("rate,widen,repairs,widened_repairs,repair_expansions,failed_repairs,full_solves,violation_seconds,final_violations,breaches,switches,top_vjob,top_vjob_viol_sec,top_node,top_node_viol_sec\n")
 	for _, r := range rows {
 		widen := "off"
 		if r.Widen {
 			widen = "on"
 		}
-		fmt.Fprintf(&b, "%.2f,%s,%d,%d,%d,%d,%d,%.1f,%d,%d,%d\n",
+		fmt.Fprintf(&b, "%.2f,%s,%d,%d,%d,%d,%d,%.1f,%d,%d,%d,%s,%.1f,%s,%.1f\n",
 			r.Rate, widen, r.Repairs, r.WidenedRepairs, r.RepairExpansions,
 			r.FailedRepairs, r.FullSolves, r.ViolationSeconds, r.FinalViolations,
-			r.Breaches, r.Switches)
+			r.Breaches, r.Switches, r.TopVJob, r.TopVJobSeconds, r.TopNode, r.TopNodeSeconds)
 	}
 	return b.String()
 }

@@ -76,8 +76,10 @@ func TestRepairStormRendering(t *testing.T) {
 // rows, like the figure exports.
 func TestGoldenRepairStormCSV(t *testing.T) {
 	rows := []RepairStormResult{
-		{Rate: 0.05, Widen: false, Repairs: 9, FailedRepairs: 4, FullSolves: 2, ViolationSeconds: 512.5, Switches: 14},
-		{Rate: 0.05, Widen: true, Repairs: 13, WidenedRepairs: 3, RepairExpansions: 4, FailedRepairs: 0, ViolationSeconds: 430, Switches: 14},
+		{Rate: 0.05, Widen: false, Repairs: 9, FailedRepairs: 4, FullSolves: 2, ViolationSeconds: 512.5, Switches: 14,
+			TopVJob: "vjob002", TopVJobSeconds: 256.5, TopNode: "node011", TopNodeSeconds: 300},
+		{Rate: 0.05, Widen: true, Repairs: 13, WidenedRepairs: 3, RepairExpansions: 4, FailedRepairs: 0, ViolationSeconds: 430, Switches: 14,
+			TopVJob: "vjob002", TopVJobSeconds: 215, TopNode: "node011", TopNodeSeconds: 240},
 		{Rate: 0.20, Widen: false, Repairs: 15, FailedRepairs: 22, FullSolves: 9, ViolationSeconds: 2048, FinalViolations: 1, Switches: 31},
 		{Rate: 0.20, Widen: true, Repairs: 33, WidenedRepairs: 12, RepairExpansions: 19, FailedRepairs: 4, FullSolves: 1, ViolationSeconds: 1536, Switches: 31},
 	}

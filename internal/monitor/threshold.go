@@ -229,16 +229,11 @@ func (w *ThresholdWatcher) Stop() { w.stopped = true }
 // streams is exposure just like an overloaded node — exactly the
 // exposure the planner's transfer gating trades plan parallelism
 // against. It returns the running integral's getter.
+//
+// Since the attribution ledger landed, this is a view over it: the
+// integral is the fold of the ledger's per-vjob subtotals, so the
+// aggregate and its decomposition are the same numbers by
+// construction (see Ledger.Total).
 func WatchViolationSeconds(c *sim.Cluster) func() float64 {
-	total, lastT := 0.0, 0.0
-	lastViol := 0
-	c.OnAdvance(func() {
-		now := c.Now()
-		if now > lastT {
-			total += float64(lastViol) * (now - lastT)
-			lastT = now
-		}
-		lastViol = len(c.Config().Violations()) + len(c.TransferViolations())
-	})
-	return func() float64 { return total }
+	return WatchLedger(c, nil).Total
 }

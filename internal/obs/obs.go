@@ -103,6 +103,14 @@ type SpanRecord struct {
 	Switch    bool    `json:"switch,omitempty"`     // wake: ended in a switch
 	Outcome   string  `json:"outcome,omitempty"`    // splice/solve: terminal state
 
+	// Search telemetry (solve spans only); scalars so SpanRecord stays
+	// comparable — the per-worker breakdown lives in core.Result and
+	// core.SolverTelemetry, not on the span.
+	Winner      string `json:"winner,omitempty"`       // solve: winning strategy
+	SearchNodes int64  `json:"search_nodes,omitempty"` // solve: nodes explored
+	Backtracks  int64  `json:"backtracks,omitempty"`   // solve: search failures
+	WarmHit     bool   `json:"warm_hit,omitempty"`     // solve: warm seed viable
+
 	kind Kind
 }
 
@@ -143,6 +151,16 @@ func (s *Span) SetSolve(cost float64, subSolves int, warm bool) {
 		return
 	}
 	s.rec.Cost, s.rec.SubSolves, s.rec.Warm = cost, subSolves, warm
+}
+
+// SetSearch records a solve's search telemetry: the winning strategy,
+// the explored node and backtrack counts, and whether the warm seed
+// was still viable.
+func (s *Span) SetSearch(winner string, nodes, backtracks int64, warmHit bool) {
+	if s.t == nil {
+		return
+	}
+	s.rec.Winner, s.rec.SearchNodes, s.rec.Backtracks, s.rec.WarmHit = winner, nodes, backtracks, warmHit
 }
 
 // SetCached marks a carve span as served from the partition cache.
